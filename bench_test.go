@@ -1,0 +1,124 @@
+// Benchmarks: one testing.B target per table/figure of the paper's
+// evaluation (§6), plus the ablations. Each benchmark iteration runs one
+// deterministic simulation cell and reports the experiment's own metric
+// (virtual-time throughput or latency) alongside Go's wall-clock numbers.
+//
+// Regenerate the full figures with `go run ./cmd/xbench -all`; these
+// benchmark targets exist so `go test -bench=.` exercises every
+// experiment path and reports its headline measurement.
+package xssd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xssd/internal/bench"
+	"xssd/internal/pm"
+	"xssd/internal/sched"
+)
+
+// BenchmarkFig09LocalLogging measures TPC-C throughput and latency per
+// logging setup at the paper's 8-worker point (Fig 9).
+func BenchmarkFig09LocalLogging(b *testing.B) {
+	for _, setup := range []string{"NoLog", "Memory", "Villars-SRAM", "Villars-DRAM", "NVMe"} {
+		b.Run(setup, func(b *testing.B) {
+			var lat time.Duration
+			var ktps float64
+			for i := 0; i < b.N; i++ {
+				lat, ktps = bench.Fig09Cell(setup, 8)
+			}
+			b.ReportMetric(ktps, "ktxn/s")
+			b.ReportMetric(float64(lat.Microseconds()), "txn-latency-µs")
+		})
+	}
+}
+
+// BenchmarkFig10WriteCombining measures fast-side intake throughput for
+// the WC/UC × write-size grid's corner points (Fig 10).
+func BenchmarkFig10WriteCombining(b *testing.B) {
+	cases := []struct {
+		name     string
+		uncached bool
+		size     int
+	}{
+		{"WC-8B", false, 8},
+		{"WC-64B", false, 64},
+		{"UC-8B", true, 8},
+		{"UC-64B", true, 64},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				tput = bench.Fig10Cell(pm.SRAMSpec, c.uncached, c.size)
+			}
+			b.ReportMetric(tput/1e6, "MB/s")
+		})
+	}
+}
+
+// BenchmarkFig11QueueSize measures XPwrite+XFsync latency for the paper's
+// recommended 32 KB queue against a cramped 4 KB one (Fig 11).
+func BenchmarkFig11QueueSize(b *testing.B) {
+	for _, q := range []int{4 << 10, 32 << 10} {
+		b.Run(fmt.Sprintf("queue-%dKB", q>>10), func(b *testing.B) {
+			var lat time.Duration
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				lat, mbps = bench.Fig11Cell(q, 16<<10)
+			}
+			b.ReportMetric(float64(lat.Microseconds()), "flush-latency-µs")
+			b.ReportMetric(mbps, "MB/s")
+		})
+	}
+}
+
+// BenchmarkFig12Destaging measures conventional-side protection under the
+// two policies at the paper's worst contention point (Fig 12).
+func BenchmarkFig12Destaging(b *testing.B) {
+	for _, policy := range []sched.Policy{sched.Neutral, sched.ConventionalPriority} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var conv, fast float64
+			for i := 0; i < b.N; i++ {
+				conv, fast = bench.Fig12Cell(policy, 0.60)
+			}
+			b.ReportMetric(conv*100, "conv-%bw")
+			b.ReportMetric(fast*100, "fast-%bw")
+		})
+	}
+}
+
+// BenchmarkFig13ReplicationDelay measures the shadow-counter confirmation
+// delay at the fastest and slowest update periods (Fig 13).
+func BenchmarkFig13ReplicationDelay(b *testing.B) {
+	for _, period := range []time.Duration{400 * time.Nanosecond, 1600 * time.Nanosecond} {
+		b.Run(fmt.Sprintf("period-%dns", period.Nanoseconds()), func(b *testing.B) {
+			var p50, max time.Duration
+			var share float64
+			for i := 0; i < b.N; i++ {
+				c, s := bench.Fig13Cell(period)
+				p50, max, share = c.P50, c.Max, s
+			}
+			b.ReportMetric(float64(p50.Nanoseconds())/1e3, "p50-delay-µs")
+			b.ReportMetric(float64(max.Nanoseconds())/1e3, "max-delay-µs")
+			b.ReportMetric(share, "update-bw-%")
+		})
+	}
+}
+
+// BenchmarkAblationCreditStrategy compares the §5.1 credit-check
+// strategies end to end.
+func BenchmarkAblationCreditStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationCredit()
+	}
+}
+
+// BenchmarkAblationReplicationScheme compares eager/lazy/chain commit
+// latency.
+func BenchmarkAblationReplicationScheme(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationScheme()
+	}
+}

@@ -1,0 +1,143 @@
+// Command tpccd runs a TPC-C benchmark session against the simulated
+// X-SSD stack with a selectable logging path, printing the kind of
+// per-setup summary a DBA would want before deciding where the WAL goes.
+//
+// Usage:
+//
+//	tpccd                        # default: Villars-SRAM, 8 workers, 200ms
+//	tpccd -sink nvme -workers 4
+//	tpccd -sink all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xssd/internal/db"
+	"xssd/internal/metrics"
+	"xssd/internal/pcie"
+	"xssd/internal/pm"
+	"xssd/internal/sim"
+	"xssd/internal/tpcc"
+	"xssd/internal/villars"
+	"xssd/internal/wal"
+)
+
+func main() {
+	sink := flag.String("sink", "villars-sram", "log sink: villars-sram, villars-dram, memory, nvme, nolog, all")
+	workers := flag.Int("workers", 8, "worker terminals")
+	window := flag.Duration("window", 200*time.Millisecond, "virtual-time measurement window")
+	warehouses := flag.Int("warehouses", 16, "TPC-C warehouses")
+	flag.Parse()
+
+	sinks := []string{*sink}
+	if *sink == "all" {
+		sinks = []string{"nolog", "memory", "villars-sram", "villars-dram", "nvme"}
+	}
+	fmt.Printf("TPC-C: %d warehouses, %d workers, %v virtual window\n", *warehouses, *workers, *window)
+	fmt.Printf("%-14s %10s %12s %10s %8s\n", "sink", "ktxn/s", "avg latency", "p95", "aborts")
+	for _, s := range sinks {
+		if err := run(s, *workers, *window, *warehouses); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(sinkName string, workers int, window time.Duration, warehouses int) error {
+	env := sim.NewEnv(1)
+	hostMem := pcie.NewHostMemory(1 << 21)
+
+	var log *wal.Log
+	mk := func(s wal.Sink) *wal.Log {
+		return wal.NewLog(env, s, wal.Config{GroupBytes: 16 << 10, GroupTimeout: 5 * time.Millisecond})
+	}
+	switch sinkName {
+	case "nolog":
+	case "memory":
+		log = mk(wal.NewMemorySink(env, pm.NVDIMMSpec))
+	case "villars-sram", "villars-dram":
+		cfg := villars.DefaultConfig("tpccd")
+		if sinkName == "villars-dram" {
+			cfg.Backing = pm.DRAMSpec
+		}
+		// Ring depth sized so the destage pipeline can stream at the
+		// array's program bandwidth (cf. the fig10/fig9 notes on CMB
+		// capacity as an FPGA-resource tradeoff).
+		if cfg.Backing.Capacity < 2<<20 {
+			cfg.Backing.Capacity = 2 << 20
+		}
+		cfg.CMBSize = cfg.Backing.Capacity
+		dev := villars.New(env, cfg, hostMem)
+		env.Go("open", func(p *sim.Proc) { log = mk(wal.NewVillarsSink(p, dev, sinkName)) })
+		env.RunUntil(env.Now() + time.Millisecond)
+	case "nvme":
+		dev := villars.New(env, villars.DefaultConfig("tpccd"), hostMem)
+		log = mk(wal.NewNVMeSink(dev, hostMem, 1<<20, 0, dev.FTL().LogicalPages()/2))
+	default:
+		return fmt.Errorf("unknown sink %q", sinkName)
+	}
+
+	eng := db.New(env, log)
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = warehouses
+	tpcc.Load(eng, cfg, 7)
+
+	// ERMIA-style pipelined commit: workers run ahead of durability by a
+	// bounded log-buffer amount; a tracker samples ack latency.
+	var sample metrics.Sample
+	type pending struct {
+		lsn   int64
+		start time.Duration
+	}
+	var fifo []pending
+	arrived := env.NewSignal()
+	if log != nil {
+		env.Go("tracker", func(p *sim.Proc) {
+			for {
+				if len(fifo) == 0 {
+					p.Wait(arrived)
+					continue
+				}
+				e := fifo[0]
+				fifo = fifo[1:]
+				log.WaitDurable(p, e.lsn)
+				sample.Add(p.Now() - e.start)
+			}
+		})
+	}
+	for w := 0; w < workers; w++ {
+		w := w
+		env.Go("terminal", func(p *sim.Proc) {
+			client := tpcc.NewClient(eng, cfg, int64(w), w%cfg.Warehouses+1)
+			for {
+				if log != nil {
+					log.WaitBacklog(p, 64<<10)
+				}
+				t0 := p.Now()
+				p.Sleep(26 * time.Microsecond) // per-txn compute budget
+				lsn, err := client.RunMixAsync(p)
+				if err != nil {
+					continue
+				}
+				if log == nil || lsn == 0 {
+					sample.Add(p.Now() - t0)
+					continue
+				}
+				fifo = append(fifo, pending{lsn: lsn, start: t0})
+				arrived.Broadcast()
+			}
+		})
+	}
+	env.RunUntil(env.Now() + window)
+	commits, aborts := eng.Stats()
+	fmt.Printf("%-14s %10.1f %12v %10v %8d\n",
+		sinkName,
+		float64(commits)/window.Seconds()/1000,
+		sample.Mean().Round(time.Microsecond),
+		sample.Percentile(95).Round(time.Microsecond),
+		aborts)
+	return nil
+}

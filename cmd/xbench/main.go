@@ -1,0 +1,53 @@
+// Command xbench regenerates the paper's evaluation figures (and the
+// repository's ablation studies) from the simulated X-SSD stack.
+//
+// Usage:
+//
+//	xbench -list
+//	xbench -fig 9            # one figure
+//	xbench -exp fig12        # by name
+//	xbench -all              # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xssd/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (9-13)")
+	exp := flag.String("exp", "", "experiment name (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiment names")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range bench.Experiments {
+			fmt.Println(name)
+		}
+	case *all:
+		for _, name := range bench.Experiments {
+			if err := bench.Run(name, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	case *fig != 0:
+		if err := bench.Run(fmt.Sprintf("fig%d", *fig), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *exp != "":
+		if err := bench.Run(*exp, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,71 @@
+// Multitenant: the paper's §7.2 hyperscaler scenario — several virtual
+// databases sharing one X-SSD through SR-IOV-style virtual functions.
+// Each tenant gets an independent fast side (its own ring, credit counter
+// and destage range), so flow control and durability never cross tenant
+// boundaries; this is also the §7.1 answer to multi-threaded log writers
+// needing private counters.
+package main
+
+import (
+	"fmt"
+
+	"xssd"
+)
+
+func main() {
+	sys := xssd.NewSystem(31)
+	dev := sys.NewDevice(xssd.DeviceOptions{Name: "shared-ssd"})
+
+	// Carve three tenant fast sides out of the device.
+	var tenants []*xssd.VF
+	for i := 1; i <= 3; i++ {
+		vf, err := dev.NewVF(fmt.Sprintf("tenant%d", i), 64<<10, 8<<10, 128)
+		if err != nil {
+			panic(err)
+		}
+		tenants = append(tenants, vf)
+	}
+
+	// Each tenant runs its own log workload concurrently; sizes differ so
+	// the independent credit counters are visible.
+	done := 0
+	for i, vf := range tenants {
+		i, vf := i, vf
+		sys.Go(vf.Name(), func(p *xssd.Proc) {
+			log := vf.OpenLog(p)
+			entries := 5 * (i + 1)
+			for e := 0; e < entries; e++ {
+				log.Pwrite(p, []byte(fmt.Sprintf("[%s] commit %d\n", vf.Name(), e)))
+			}
+			if err := log.Fsync(p); err != nil {
+				panic(err)
+			}
+			fmt.Printf("t=%-12v %s: %d entries durable (%d bytes, private counter)\n",
+				p.Now(), vf.Name(), entries, log.Written())
+
+			// Tail-read the tenant's own destaged log: isolation check.
+			buf := make([]byte, log.Written())
+			if _, err := log.Pread(p, buf); err != nil {
+				panic(err)
+			}
+			fmt.Printf("t=%-12v %s: tail read OK, first line: %q\n",
+				p.Now(), vf.Name(), firstLine(buf))
+			done++
+		})
+	}
+	sys.Run(func(p *xssd.Proc) {
+		for done < len(tenants) {
+			p.Sleep(1 << 20)
+		}
+	})
+	fmt.Println("all tenants finished with fully isolated fast sides")
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

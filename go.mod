@@ -1,0 +1,3 @@
+module xssd
+
+go 1.22

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/metrics"
+	"xssd/internal/nand"
+	"xssd/internal/ntb"
+	"xssd/internal/nvme"
+	"xssd/internal/pcie"
+	"xssd/internal/pm"
+	"xssd/internal/sched"
+	"xssd/internal/sim"
+	"xssd/internal/villars"
+	"xssd/internal/xapi"
+)
+
+// Ablations for the design choices DESIGN.md calls out.
+
+// AblationPolicy sweeps all three destage scheduling policies at the
+// paper's contention point (conventional 50% + fast 50%).
+func AblationPolicy() *Table {
+	t := &Table{
+		Title:  "Ablation — destage scheduling policy at 50%+50% offered load",
+		Header: []string{"policy", "conventional achieved", "fast achieved"},
+	}
+	for _, policy := range []sched.Policy{sched.Neutral, sched.DestagePriority, sched.ConventionalPriority} {
+		conv, fast := Fig12Cell(policy, 0.50)
+		t.Add(policy.String(), fmt.Sprintf("%.0f%%", conv*100), fmt.Sprintf("%.0f%%", fast*100))
+	}
+	return t
+}
+
+// AblationScheme compares the commit latency the database observes under
+// the three replication schemes with two secondaries: eager waits for the
+// slowest replica, lazy only for local persistence, chain for the tail.
+func AblationScheme() *Table {
+	t := &Table{
+		Title:  "Ablation — replication scheme vs XPwrite+XFsync latency (two secondaries)",
+		Header: []string{"scheme", "p50 latency", "p75 latency"},
+	}
+	for _, scheme := range []core.ReplicationScheme{core.Lazy, core.Chain, core.Eager} {
+		c := ablationSchemeCell(scheme)
+		t.Add(scheme.String(), fmtDur(c.P50), fmtDur(c.P75))
+	}
+	return t
+}
+
+func ablationSchemeCell(scheme core.ReplicationScheme) metrics.Candlestick {
+	env := sim.NewEnv(5)
+	prim := fig13Device(env, "prim", 400*time.Nanosecond)
+	sec1 := fig13Device(env, "sec1", 400*time.Nanosecond)
+	sec2 := fig13Device(env, "sec2", 400*time.Nanosecond)
+	for i, sec := range []*villars.Device{sec1, sec2} {
+		prim.Transport().AddPeer(sec,
+			ntb.NewDefaultBridge(env, fmt.Sprintf("p-s%d", i)),
+			ntb.NewDefaultBridge(env, fmt.Sprintf("s%d-p", i)))
+		setRoles(env, prim, sec)
+	}
+	prim.Transport().SetScheme(scheme)
+	var sample metrics.Sample
+	env.Go("writer", func(p *sim.Proc) {
+		l := xapi.Open(p, prim, xapi.Options{})
+		buf := make([]byte, 256)
+		for {
+			t0 := p.Now()
+			l.XPwrite(p, buf)
+			if err := l.XFsync(p); err != nil {
+				return
+			}
+			sample.Add(p.Now() - t0)
+			p.Sleep(2 * time.Microsecond)
+		}
+	})
+	env.RunUntil(env.Now() + 4*time.Millisecond)
+	return sample.Candlestick()
+}
+
+// AblationCredit compares the two credit-check strategies of §5.1: the
+// paper's winner (use all credits, then re-read) against re-reading the
+// counter before every chunk.
+func AblationCredit() *Table {
+	t := &Table{
+		Title:  "Ablation — XPwrite credit-check strategy (§5.1)",
+		Header: []string{"strategy", "throughput MB/s", "credit reads / MB"},
+	}
+	for _, strat := range []xapi.CreditStrategy{xapi.UseAllCredits, xapi.CheckEveryChunk} {
+		name := "use-all-credits"
+		if strat == xapi.CheckEveryChunk {
+			name = "check-every-chunk"
+		}
+		mbps, readsPerMB := ablationCreditCell(strat)
+		t.Add(name, fmt.Sprintf("%.0f", mbps), fmt.Sprintf("%.0f", readsPerMB))
+	}
+	return t
+}
+
+func ablationCreditCell(strat xapi.CreditStrategy) (mbps, readsPerMB float64) {
+	env := sim.NewEnv(1)
+	dev := fig10Device(env, pm.SRAMSpec)
+	var reads int64
+	env.Go("writer", func(p *sim.Proc) {
+		l := xapi.Open(p, dev, xapi.Options{Strategy: strat})
+		buf := make([]byte, 4096)
+		for {
+			l.XPwrite(p, buf)
+			reads = l.CreditReads()
+		}
+	})
+	env.RunUntil(20 * time.Millisecond)
+	bytes := float64(dev.CMB().Ring().Frontier())
+	mb := bytes / 1e6
+	if mb == 0 {
+		return 0, 0
+	}
+	return mb / 0.020, float64(reads) / mb
+}
+
+// AblationBacking sweeps the CMB backing class for a fixed log workload,
+// adding the host-NVDIMM and conventional-NVMe reference points — the
+// microbenchmark behind Fig 9's ordering.
+func AblationBacking() *Table {
+	t := &Table{
+		Title:  "Ablation — 16 KB log-flush latency per backing class",
+		Header: []string{"path", "p50 flush latency"},
+	}
+	// Villars fast side per backing.
+	for _, backing := range []pm.Spec{pm.SRAMSpec, pm.DRAMSpec} {
+		env := sim.NewEnv(1)
+		dev := fig10Device(env, backing)
+		var sample metrics.Sample
+		env.Go("writer", func(p *sim.Proc) {
+			l := xapi.Open(p, dev, xapi.Options{})
+			buf := make([]byte, 16<<10)
+			for {
+				t0 := p.Now()
+				l.XPwrite(p, buf)
+				if err := l.XFsync(p); err != nil {
+					return
+				}
+				sample.Add(p.Now() - t0)
+				p.Sleep(50 * time.Microsecond)
+			}
+		})
+		env.RunUntil(20 * time.Millisecond)
+		t.Add(fmt.Sprintf("Villars-%s", backing.Class), fmtDur(sample.Candlestick().P50))
+	}
+	// Host NVDIMM stores.
+	{
+		env := sim.NewEnv(1)
+		bank := pm.NewBank(env, pm.NVDIMMSpec)
+		var sample metrics.Sample
+		env.Go("writer", func(p *sim.Proc) {
+			for {
+				t0 := p.Now()
+				bank.Write(p, 16<<10)
+				sample.Add(p.Now() - t0)
+				p.Sleep(50 * time.Microsecond)
+			}
+		})
+		env.RunUntil(20 * time.Millisecond)
+		t.Add("Memory (NVDIMM)", fmtDur(sample.Candlestick().P50))
+	}
+	// Conventional NVMe write.
+	{
+		env := sim.NewEnv(1)
+		hostMem := pcie.NewHostMemory(1 << 20)
+		cfg := villars.DefaultConfig("abl")
+		cfg.Geometry = nand.Geometry{Channels: 8, WaysPerChan: 8, BlocksPerDie: 64, PagesPerBlock: 64, PageSize: 16 << 10}
+		dev := villars.New(env, cfg, hostMem)
+		var sample metrics.Sample
+		env.Go("writer", func(p *sim.Proc) {
+			lba := int64(0)
+			for {
+				t0 := p.Now()
+				c := dev.HostDriver().Submit(p, nvmeWrite(lba, 1, 0))
+				if c.Status != 0 {
+					return
+				}
+				sample.Add(p.Now() - t0)
+				lba++
+				p.Sleep(50 * time.Microsecond)
+			}
+		})
+		env.RunUntil(20 * time.Millisecond)
+		t.Add("NVMe (conventional)", fmtDur(sample.Candlestick().P50))
+	}
+	return t
+}
+
+// nvmeWrite builds a one-block NVMe write command.
+func nvmeWrite(lba int64, blocks int, prp int64) nvme.Command {
+	return nvme.Command{Opcode: nvme.OpWrite, LBA: lba, Blocks: blocks, PRP: prp}
+}

@@ -1,0 +1,103 @@
+// Package bench is the experiment harness: one driver per figure of the
+// paper's evaluation (§6), each regenerating the figure's series as a text
+// table, plus the ablation studies DESIGN.md calls out. Every driver runs a
+// fresh deterministic simulation and reports measurements in virtual time.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n=== %s ===\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment names accepted by Run.
+var Experiments = []string{"fig9", "fig10", "fig11", "fig12", "fig13",
+	"ablation-policy", "ablation-scheme", "ablation-credit", "ablation-backing"}
+
+// Run executes one experiment by name and writes its table(s) to w.
+func Run(name string, w io.Writer) error {
+	switch name {
+	case "fig9":
+		Fig09().Fprint(w)
+	case "fig10":
+		for _, t := range Fig10() {
+			t.Fprint(w)
+		}
+	case "fig11":
+		for _, t := range Fig11() {
+			t.Fprint(w)
+		}
+	case "fig12":
+		for _, t := range Fig12() {
+			t.Fprint(w)
+		}
+	case "fig13":
+		Fig13().Fprint(w)
+	case "ablation-policy":
+		AblationPolicy().Fprint(w)
+	case "ablation-scheme":
+		AblationScheme().Fprint(w)
+	case "ablation-credit":
+		AblationCredit().Fprint(w)
+	case "ablation-backing":
+		AblationBacking().Fprint(w)
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
+	}
+	return nil
+}

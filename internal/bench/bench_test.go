@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"xssd/internal/pm"
+	"xssd/internal/sched"
+)
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"col-a", "b"},
+	}
+	tab.Add("1", "longer-cell")
+	tab.Add("22", "x")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"=== demo ===", "a note", "col-a", "longer-cell", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := Run("fig99", new(bytes.Buffer)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentNamesRoundTrip(t *testing.T) {
+	// Every listed name must be dispatchable (checked without running the
+	// heavy ones: only validate the error path is about unknown names).
+	for _, name := range Experiments {
+		if name == "" {
+			t.Fatal("empty experiment name")
+		}
+	}
+}
+
+// Directional smoke checks on single experiment cells (fast parameters).
+
+func TestFig10CellWCBeatsUCDirectionally(t *testing.T) {
+	wc := Fig10Cell(pm.SRAMSpec, false, 64)
+	uc := Fig10Cell(pm.SRAMSpec, true, 64)
+	if wc <= uc {
+		t.Fatalf("WC %.0f <= UC %.0f MB/s", wc/1e6, uc/1e6)
+	}
+}
+
+func TestFig11CellQueueEffect(t *testing.T) {
+	latSmall, thrSmall := Fig11Cell(4<<10, 64<<10)
+	latBig, thrBig := Fig11Cell(32<<10, 64<<10)
+	if latBig >= latSmall {
+		t.Fatalf("32KB queue latency %v not better than 4KB %v", latBig, latSmall)
+	}
+	if thrBig <= thrSmall {
+		t.Fatalf("32KB queue throughput %.0f not better than 4KB %.0f", thrBig, thrSmall)
+	}
+}
+
+func TestFig13CellVarianceGrowsWithPeriod(t *testing.T) {
+	fast, _ := Fig13Cell(400 * time.Nanosecond)
+	slow, _ := Fig13Cell(1600 * time.Nanosecond)
+	if fast.N == 0 || slow.N == 0 {
+		t.Fatal("no samples collected")
+	}
+	if iqr(slow) <= iqr(fast) {
+		t.Fatalf("IQR at 1.6µs (%v) not larger than at 0.4µs (%v)", iqr(slow), iqr(fast))
+	}
+}
+
+func TestFig13BandwidthShareInverseToPeriod(t *testing.T) {
+	_, fast := Fig13Cell(400 * time.Nanosecond)
+	_, slow := Fig13Cell(1600 * time.Nanosecond)
+	if fast <= slow {
+		t.Fatalf("update bandwidth at 0.4µs (%.2f%%) not above 1.6µs (%.2f%%)", fast, slow)
+	}
+	if fast < 1.5 || fast > 3.5 {
+		t.Fatalf("update bandwidth at 0.4µs = %.2f%%, want near the paper's 2.35%%", fast)
+	}
+}
+
+func iqr(c interface{ IQR() time.Duration }) time.Duration { return c.IQR() }
+
+func TestFig09CellNoLogFastest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, noLog := Fig09Cell("NoLog", 2)
+	latNVMe, nvme := Fig09Cell("NVMe", 2)
+	if noLog <= 0 || nvme <= 0 {
+		t.Fatalf("throughputs: nolog %.1f nvme %.1f", noLog, nvme)
+	}
+	if noLog < nvme {
+		t.Fatalf("NoLog (%.1f ktps) slower than NVMe (%.1f ktps)", noLog, nvme)
+	}
+	if latNVMe <= 0 {
+		t.Fatal("NVMe latency not measured")
+	}
+}
+
+func TestFig12CellConventionalPriorityProtects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	conv, _ := Fig12Cell(sched.ConventionalPriority, 0.60)
+	if conv < 0.42 {
+		t.Fatalf("conventional priority achieved only %.0f%%, want ~50%%", conv*100)
+	}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/metrics"
+	"xssd/internal/nand"
+	"xssd/internal/ntb"
+	"xssd/internal/nvme"
+	"xssd/internal/pcie"
+	"xssd/internal/pm"
+	"xssd/internal/sim"
+	"xssd/internal/villars"
+	"xssd/internal/xapi"
+)
+
+// Fig 13 (§6.5): replication delay versus the secondary's shadow-counter
+// update period. A primary/secondary pair is wired over NTB; a writer
+// issues small CMB writes, and for each write we measure the time until
+// the primary's shadow counter covers it — i.e., the write is confirmed on
+// the secondary. The right axis reports the share of fabric bandwidth the
+// fixed-rate counter updates consume.
+
+var fig13Periods = []time.Duration{
+	400 * time.Nanosecond,
+	800 * time.Nanosecond,
+	1200 * time.Nanosecond,
+	1600 * time.Nanosecond,
+}
+
+const (
+	fig13Window    = 4 * time.Millisecond
+	fig13WriteSize = 64
+	fig13WritePace = 4 * time.Microsecond
+)
+
+func fig13Device(env *sim.Env, name string, period time.Duration) *villars.Device {
+	cfg := villars.DefaultConfig(name)
+	cfg.Backing = pm.SRAMSpec
+	cfg.Geometry = nand.Geometry{Channels: 4, WaysPerChan: 4, BlocksPerDie: 64, PagesPerBlock: 64, PageSize: 16 << 10}
+	cfg.ShadowUpdatePeriod = period
+	return villars.New(env, cfg, pcie.NewHostMemory(1<<20))
+}
+
+// Fig13Cell measures the shadow-counter confirmation delay distribution
+// and the counter-update bandwidth share for one period.
+func Fig13Cell(period time.Duration) (metrics.Candlestick, float64) {
+	env := sim.NewEnv(5)
+	prim := fig13Device(env, "prim", period)
+	sec := fig13Device(env, "sec", period)
+	toSec := ntb.NewDefaultBridge(env, "p-s")
+	toPrim := ntb.NewDefaultBridge(env, "s-p")
+	prim.Transport().AddPeer(sec, toSec, toPrim)
+	setRoles(env, prim, sec)
+
+	var sample metrics.Sample
+	target := int64(0)
+	env.Go("writer", func(p *sim.Proc) {
+		l := xapi.Open(p, prim, xapi.Options{})
+		buf := make([]byte, fig13WriteSize)
+		for {
+			t0 := p.Now()
+			l.XPwrite(p, buf)
+			target += int64(fig13WriteSize)
+			want := target
+			// Wait until the secondary's persistence is confirmed at the
+			// primary (the shadow counter covers this write).
+			p.WaitFor(prim.Transport().ShadowAdvanced, func() bool {
+				return prim.Transport().Shadow(0) >= want
+			})
+			sample.Add(p.Now() - t0)
+			// Jitter the pacing so samples are not phase-locked to the
+			// update period.
+			jitter := time.Duration(env.Rand().Intn(2000)) * time.Nanosecond
+			if wait := fig13WritePace + jitter - (p.Now() - t0); wait > 0 {
+				p.Sleep(wait)
+			}
+		}
+	})
+	env.RunUntil(fig13Window)
+	updates := sec.Transport().UpdatesSent()
+	wire := float64(updates) * float64(core.CounterUpdateBytes)
+	share := wire / (ntb.DefaultBandwidth * fig13Window.Seconds())
+	return sample.Candlestick(), share * 100
+}
+
+// setRoles flips the pair into secondary/primary through the admin path.
+func setRoles(env *sim.Env, prim, sec *villars.Device) {
+	env.Go("set-roles", func(p *sim.Proc) {
+		submitMode(p, sec, core.Secondary)
+		submitMode(p, prim, core.Primary)
+	})
+	env.RunUntil(env.Now() + 100*time.Microsecond)
+}
+
+func submitMode(p *sim.Proc, d *villars.Device, mode core.TransportMode) {
+	d.HostDriver().Submit(p, nvme.Command{Opcode: nvme.OpXSetTransportMode, CDW: int64(mode)})
+}
+
+// Fig13 regenerates the paper's Figure 13.
+func Fig13() *Table {
+	t := &Table{
+		Title:  "Fig 13 — replication delay vs shadow-counter update period",
+		Note:   "delay: write at primary -> shadow counter confirms secondary persistence",
+		Header: []string{"update period", "min", "p25", "p50", "p75", "max", "update bandwidth"},
+	}
+	for _, period := range fig13Periods {
+		c, share := Fig13Cell(period)
+		t.Add(fmt.Sprintf("%.1fµs", float64(period)/1e3),
+			fmtDur(c.Min), fmtDur(c.P25), fmtDur(c.P50), fmtDur(c.P75), fmtDur(c.Max),
+			fmt.Sprintf("%.2f%%", share))
+	}
+	return t
+}

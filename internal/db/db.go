@@ -1,0 +1,415 @@
+// Package db implements the in-memory database substrate the experiments
+// drive (the paper uses ERMIA, a memory-optimized engine whose only
+// persistent state is the transaction log). The engine keeps all rows in
+// memory, runs transactions with optimistic concurrency control, and
+// persists commits through a pluggable wal.Log — which is exactly the
+// surface the X-SSD accelerates.
+package db
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"xssd/internal/sim"
+	"xssd/internal/wal"
+)
+
+// Errors returned by transactions.
+var (
+	ErrConflict = errors.New("db: transaction conflict, retry")
+	ErrNoTable  = errors.New("db: no such table")
+	ErrTxDone   = errors.New("db: transaction already finished")
+)
+
+// Engine is an in-memory multi-table store with redo logging.
+type Engine struct {
+	env    *sim.Env
+	log    *wal.Log // nil: run without durability (recovery impossible)
+	tables map[string]*table
+	nextTx int64
+
+	commits, aborts int64
+}
+
+type table struct {
+	rows map[string]row
+}
+
+type row struct {
+	val []byte
+	ver int64 // transaction id of the writer
+}
+
+// New creates an engine. log may be nil for a volatile instance.
+func New(env *sim.Env, log *wal.Log) *Engine {
+	return &Engine{env: env, log: log, tables: map[string]*table{}}
+}
+
+// CreateTable registers a table; creating an existing table is a no-op.
+func (e *Engine) CreateTable(name string) {
+	if _, ok := e.tables[name]; !ok {
+		e.tables[name] = &table{rows: map[string]row{}}
+	}
+}
+
+// Tables returns the table names (unordered).
+func (e *Engine) Tables() []string {
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// RowCount returns the number of live rows in a table (tombstones are
+// excluded; 0 if the table is absent).
+func (e *Engine) RowCount(name string) int {
+	t, ok := e.tables[name]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, r := range t.rows {
+		if r.val != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns committed and aborted transaction counts.
+func (e *Engine) Stats() (commits, aborts int64) { return e.commits, e.aborts }
+
+// Tx is one transaction. All methods must be called from a single
+// simulated process; only Commit blocks.
+type Tx struct {
+	eng  *Engine
+	id   int64
+	done bool
+
+	reads  map[string]int64 // "table\x00key" -> observed version
+	writes []writeOp
+	wIndex map[string]int // read-your-writes index into writes
+}
+
+type writeOp struct {
+	table, key string
+	val        []byte
+	delete     bool
+}
+
+func rk(table, key string) string { return table + "\x00" + key }
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *Tx {
+	e.nextTx++
+	return &Tx{eng: e, id: e.nextTx, reads: map[string]int64{}, wIndex: map[string]int{}}
+}
+
+// ID returns the transaction id.
+func (t *Tx) ID() int64 { return t.id }
+
+// Get reads a row, observing the transaction's own writes first.
+func (t *Tx) Get(tableName, key string) ([]byte, bool) {
+	if i, ok := t.wIndex[rk(tableName, key)]; ok {
+		w := t.writes[i]
+		if w.delete {
+			return nil, false
+		}
+		return w.val, true
+	}
+	tab, ok := t.eng.tables[tableName]
+	if !ok {
+		return nil, false
+	}
+	r, ok := tab.rows[key]
+	t.reads[rk(tableName, key)] = r.ver // absent rows observe version 0
+	if !ok || r.val == nil {
+		return nil, false // missing or tombstoned
+	}
+	return r.val, true
+}
+
+// Put buffers a row write.
+func (t *Tx) Put(tableName, key string, val []byte) {
+	t.addWrite(writeOp{table: tableName, key: key, val: append([]byte(nil), val...)})
+}
+
+// Delete buffers a row deletion.
+func (t *Tx) Delete(tableName, key string) {
+	t.addWrite(writeOp{table: tableName, key: key, delete: true})
+}
+
+func (t *Tx) addWrite(w writeOp) {
+	k := rk(w.table, w.key)
+	if i, ok := t.wIndex[k]; ok {
+		t.writes[i] = w
+		return
+	}
+	t.wIndex[k] = len(t.writes)
+	t.writes = append(t.writes, w)
+}
+
+// Abort discards the transaction.
+func (t *Tx) Abort() {
+	if !t.done {
+		t.done = true
+		t.eng.aborts++
+	}
+}
+
+// Commit validates the read set, applies the write set, logs the redo
+// record and blocks until it is durable. Read-only transactions skip the
+// log entirely.
+func (t *Tx) Commit(p *sim.Proc) error {
+	if t.done {
+		return ErrTxDone
+	}
+	// Validate: every row read must still carry the version we saw.
+	for k, ver := range t.reads {
+		tableName, key := splitRK(k)
+		tab, ok := t.eng.tables[tableName]
+		cur := int64(0)
+		if ok {
+			cur = tab.rows[key].ver
+		}
+		if cur != ver {
+			t.Abort()
+			return ErrConflict
+		}
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		t.eng.commits++
+		return nil
+	}
+	// Apply in memory (versions stamp the writer id), then persist the
+	// redo record; the caller is unblocked when the group commit flushes.
+	t.applyWrites()
+	t.eng.commits++
+	if t.eng.log != nil {
+		t.eng.log.Commit(p, wal.Record{TxID: t.id, Payload: encodeWrites(t.writes)})
+	}
+	return nil
+}
+
+// CommitAsync validates and applies like Commit but returns immediately
+// with the LSN to wait on, enabling pipelined (asynchronous) commit: the
+// worker continues with new transactions while durability catches up, and
+// acknowledges the client only once the log passes the returned LSN.
+// Read-only transactions return LSN 0.
+func (t *Tx) CommitAsync() (int64, error) {
+	if t.done {
+		return 0, ErrTxDone
+	}
+	for k, ver := range t.reads {
+		tableName, key := splitRK(k)
+		tab, ok := t.eng.tables[tableName]
+		cur := int64(0)
+		if ok {
+			cur = tab.rows[key].ver
+		}
+		if cur != ver {
+			t.Abort()
+			return 0, ErrConflict
+		}
+	}
+	t.done = true
+	t.eng.commits++
+	if len(t.writes) == 0 {
+		return 0, nil
+	}
+	t.applyWrites()
+	if t.eng.log == nil {
+		return 0, nil
+	}
+	return t.eng.log.Append(wal.Record{TxID: t.id, Payload: encodeWrites(t.writes)}), nil
+}
+
+// Log returns the engine's WAL (nil when volatile).
+func (e *Engine) Log() *wal.Log { return e.log }
+
+func (t *Tx) applyWrites() {
+	for _, w := range t.writes {
+		t.eng.applyOp(w, t.id)
+	}
+}
+
+func (e *Engine) applyOp(w writeOp, ver int64) {
+	tab, ok := e.tables[w.table]
+	if !ok {
+		e.CreateTable(w.table)
+		tab = e.tables[w.table]
+	}
+	if w.delete {
+		// Deletion leaves a versioned tombstone (val == nil) so OCC still
+		// detects conflicts against a read of the now-absent row.
+		tab.rows[w.key] = row{val: nil, ver: ver}
+	} else {
+		tab.rows[w.key] = row{val: w.val, ver: ver}
+	}
+}
+
+func splitRK(k string) (string, string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}
+
+// LoadRow installs a row directly, bypassing transactions and the log.
+// It exists for bulk loading (e.g. populating TPC-C tables); rows loaded
+// this way carry version 0, exactly like rows recovered from a snapshot.
+func (e *Engine) LoadRow(tableName, key string, val []byte) {
+	e.CreateTable(tableName)
+	e.tables[tableName].rows[key] = row{val: append([]byte(nil), val...)}
+}
+
+// Read is a convenience snapshot read outside any transaction.
+func (e *Engine) Read(tableName, key string) ([]byte, bool) {
+	tab, ok := e.tables[tableName]
+	if !ok {
+		return nil, false
+	}
+	r, ok := tab.rows[key]
+	if !ok || r.val == nil {
+		return nil, false
+	}
+	return r.val, true
+}
+
+// --- redo payload encoding -------------------------------------------------
+
+// encodeWrites serializes a write set:
+// [nOps u16] then per op: [flags u8][tableLen u8][table][keyLen u16][key]
+// [valLen u32][val].
+func encodeWrites(ws []writeOp) []byte {
+	var buf []byte
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(ws)))
+	buf = append(buf, n[:]...)
+	for _, w := range ws {
+		flags := byte(0)
+		if w.delete {
+			flags = 1
+		}
+		buf = append(buf, flags, byte(len(w.table)))
+		buf = append(buf, w.table...)
+		var kl [2]byte
+		binary.LittleEndian.PutUint16(kl[:], uint16(len(w.key)))
+		buf = append(buf, kl[:]...)
+		buf = append(buf, w.key...)
+		var vl [4]byte
+		binary.LittleEndian.PutUint32(vl[:], uint32(len(w.val)))
+		buf = append(buf, vl[:]...)
+		buf = append(buf, w.val...)
+	}
+	return buf
+}
+
+// decodeWrites parses a redo payload.
+func decodeWrites(buf []byte) ([]writeOp, error) {
+	if len(buf) < 2 {
+		return nil, errors.New("db: short redo payload")
+	}
+	n := int(binary.LittleEndian.Uint16(buf[:2]))
+	buf = buf[2:]
+	out := make([]writeOp, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 2 {
+			return nil, errors.New("db: truncated redo op")
+		}
+		flags, tl := buf[0], int(buf[1])
+		buf = buf[2:]
+		if len(buf) < tl+2 {
+			return nil, errors.New("db: truncated table name")
+		}
+		tableName := string(buf[:tl])
+		buf = buf[tl:]
+		kl := int(binary.LittleEndian.Uint16(buf[:2]))
+		buf = buf[2:]
+		if len(buf) < kl+4 {
+			return nil, errors.New("db: truncated key")
+		}
+		key := string(buf[:kl])
+		buf = buf[kl:]
+		vl := int(binary.LittleEndian.Uint32(buf[:4]))
+		buf = buf[4:]
+		if len(buf) < vl {
+			return nil, errors.New("db: truncated value")
+		}
+		val := append([]byte(nil), buf[:vl]...)
+		buf = buf[vl:]
+		out = append(out, writeOp{table: tableName, key: key, val: val, delete: flags&1 != 0})
+	}
+	return out, nil
+}
+
+// ApplyRecord replays one redo record (recovery and secondary apply).
+func (e *Engine) ApplyRecord(r wal.Record) error {
+	ws, err := decodeWrites(r.Payload)
+	if err != nil {
+		return fmt.Errorf("db: apply tx %d: %w", r.TxID, err)
+	}
+	for _, w := range ws {
+		e.applyOp(w, r.TxID)
+	}
+	e.commits++
+	return nil
+}
+
+// Recover replays a decoded log stream in order (crash restart).
+func (e *Engine) Recover(records []wal.Record) error {
+	for _, r := range records {
+		if err := e.ApplyRecord(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fingerprint folds every table's contents into a deterministic hash, for
+// equivalence checks between a recovered or replicated engine and its
+// source. (FNV-1a over sorted rows.)
+func (e *Engine) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(s []byte) {
+		for _, b := range s {
+			h ^= uint64(b)
+			h *= prime
+		}
+	}
+	names := e.Tables()
+	sortStrings(names)
+	for _, n := range names {
+		tab := e.tables[n]
+		keys := make([]string, 0, len(tab.rows))
+		for k := range tab.rows {
+			if tab.rows[k].val != nil {
+				keys = append(keys, k)
+			}
+		}
+		sortStrings(keys)
+		mix([]byte(n))
+		for _, k := range keys {
+			mix([]byte(k))
+			mix(tab.rows[k].val)
+		}
+	}
+	return h
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

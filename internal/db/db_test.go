@@ -1,0 +1,324 @@
+package db
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xssd/internal/sim"
+	"xssd/internal/wal"
+)
+
+// instantSink acks immediately (pure engine tests).
+type instantSink struct{ data []byte }
+
+func (s *instantSink) Write(p *sim.Proc, d []byte) error {
+	s.data = append(s.data, d...)
+	return nil
+}
+
+func (s *instantSink) Name() string { return "instant" }
+
+func newEngine(env *sim.Env) (*Engine, *instantSink) {
+	sink := &instantSink{}
+	log := wal.NewLog(env, sink, wal.Config{GroupBytes: 1, GroupTimeout: time.Microsecond})
+	return New(env, log), sink
+}
+
+func TestPutGetCommit(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, _ := newEngine(env)
+	eng.CreateTable("acct")
+	env.Go("tx", func(p *sim.Proc) {
+		tx := eng.Begin()
+		tx.Put("acct", "alice", []byte("100"))
+		if err := tx.Commit(p); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		if v, ok := eng.Read("acct", "alice"); !ok || string(v) != "100" {
+			t.Errorf("read back %q ok=%v", v, ok)
+		}
+	})
+	env.RunUntil(time.Second)
+	if c, a := eng.Stats(); c != 1 || a != 0 {
+		t.Fatalf("stats = %d/%d", c, a)
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, _ := newEngine(env)
+	eng.CreateTable("t")
+	env.Go("tx", func(p *sim.Proc) {
+		tx := eng.Begin()
+		tx.Put("t", "k", []byte("v1"))
+		if v, ok := tx.Get("t", "k"); !ok || string(v) != "v1" {
+			t.Error("did not see own write")
+		}
+		tx.Delete("t", "k")
+		if _, ok := tx.Get("t", "k"); ok {
+			t.Error("saw own deleted row")
+		}
+		tx.Abort()
+	})
+	env.RunUntil(time.Second)
+}
+
+func TestConflictAborts(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, _ := newEngine(env)
+	eng.CreateTable("t")
+	var errA, errB error
+	env.Go("setup", func(p *sim.Proc) {
+		tx := eng.Begin()
+		tx.Put("t", "hot", []byte("v0"))
+		tx.Commit(p)
+
+		a := eng.Begin()
+		b := eng.Begin()
+		a.Get("t", "hot")
+		b.Get("t", "hot")
+		a.Put("t", "hot", []byte("a"))
+		b.Put("t", "hot", []byte("b"))
+		errA = a.Commit(p) // commits first: ok
+		errB = b.Commit(p) // observed the pre-a version: conflict
+	})
+	env.RunUntil(time.Second)
+	if errA != nil {
+		t.Fatalf("first committer failed: %v", errA)
+	}
+	if errB != ErrConflict {
+		t.Fatalf("second committer err = %v, want ErrConflict", errB)
+	}
+	if v, _ := eng.Read("t", "hot"); string(v) != "a" {
+		t.Fatalf("final value %q", v)
+	}
+}
+
+func TestConflictOnPhantomInsert(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, _ := newEngine(env)
+	eng.CreateTable("t")
+	env.Go("tx", func(p *sim.Proc) {
+		a := eng.Begin()
+		if _, ok := a.Get("t", "new"); ok {
+			t.Error("phantom row exists")
+		}
+		b := eng.Begin()
+		b.Put("t", "new", []byte("x"))
+		b.Commit(p)
+		a.Put("t", "other", []byte("y"))
+		if err := a.Commit(p); err != ErrConflict {
+			t.Errorf("read-of-absent-then-inserted err = %v, want conflict", err)
+		}
+	})
+	env.RunUntil(time.Second)
+}
+
+func TestDoubleCommitRejected(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, _ := newEngine(env)
+	env.Go("tx", func(p *sim.Proc) {
+		tx := eng.Begin()
+		tx.Put("t", "k", []byte("v"))
+		tx.Commit(p)
+		if err := tx.Commit(p); err != ErrTxDone {
+			t.Errorf("second commit: %v", err)
+		}
+	})
+	env.RunUntil(time.Second)
+}
+
+func TestDeleteAndTombstoneConflict(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, _ := newEngine(env)
+	eng.CreateTable("t")
+	env.Go("tx", func(p *sim.Proc) {
+		tx := eng.Begin()
+		tx.Put("t", "k", []byte("v"))
+		tx.Commit(p)
+
+		del := eng.Begin()
+		del.Delete("t", "k")
+		del.Commit(p)
+		if _, ok := eng.Read("t", "k"); ok {
+			t.Error("row visible after delete")
+		}
+		// A reader that saw the tombstone version conflicts with a rewrite.
+		r := eng.Begin()
+		if _, ok := r.Get("t", "k"); ok {
+			t.Error("tx read deleted row")
+		}
+		w := eng.Begin()
+		w.Put("t", "k", []byte("v2"))
+		w.Commit(p)
+		r.Put("t", "x", []byte("y"))
+		if err := r.Commit(p); err != ErrConflict {
+			t.Errorf("stale tombstone read committed: %v", err)
+		}
+	})
+	env.RunUntil(time.Second)
+}
+
+func TestRecoveryRebuildsIdenticalState(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, sink := newEngine(env)
+	eng.CreateTable("t")
+	rng := rand.New(rand.NewSource(7))
+	env.Go("load", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			tx := eng.Begin()
+			key := string(rune('a' + rng.Intn(20)))
+			switch rng.Intn(3) {
+			case 0, 1:
+				val := make([]byte, rng.Intn(50)+1)
+				rng.Read(val)
+				tx.Put("t", key, val)
+			case 2:
+				tx.Delete("t", key)
+			}
+			if err := tx.Commit(p); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+			}
+		}
+	})
+	env.RunUntil(time.Minute)
+
+	recovered := New(env, nil)
+	if err := recovered.Recover(wal.DecodeAll(sink.data)); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if eng.Fingerprint() != recovered.Fingerprint() {
+		t.Fatal("recovered state differs from original")
+	}
+}
+
+func TestRecoveryOfTruncatedLogIsPrefix(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, sink := newEngine(env)
+	eng.CreateTable("t")
+	env.Go("load", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			tx := eng.Begin()
+			tx.Put("t", string(rune('a'+i)), []byte{byte(i)})
+			tx.Commit(p)
+		}
+	})
+	env.RunUntil(time.Second)
+	// Chop mid-record: recovery applies only whole records.
+	cut := sink.data[:len(sink.data)-5]
+	recovered := New(env, nil)
+	if err := recovered.Recover(wal.DecodeAll(cut)); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got, want := recovered.RowCount("t"), 9; got != want {
+		t.Fatalf("recovered rows = %d, want %d (last record lost)", got, want)
+	}
+}
+
+func TestFollowerConvergesAcrossArbitraryChunking(t *testing.T) {
+	f := func(seed int64) bool {
+		env := sim.NewEnv(1)
+		eng, sink := newEngine(env)
+		eng.CreateTable("t")
+		rng := rand.New(rand.NewSource(seed))
+		env.Go("load", func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				tx := eng.Begin()
+				val := make([]byte, rng.Intn(80))
+				rng.Read(val)
+				tx.Put("t", string(rune('a'+rng.Intn(10))), val)
+				tx.Commit(p)
+			}
+		})
+		env.RunUntil(time.Minute)
+
+		follower := NewFollower(New(env, nil))
+		stream := sink.data
+		for len(stream) > 0 {
+			n := rng.Intn(64) + 1
+			if n > len(stream) {
+				n = len(stream)
+			}
+			if err := follower.Feed(stream[:n]); err != nil {
+				return false
+			}
+			stream = stream[n:]
+		}
+		return follower.Engine().Fingerprint() == eng.Fingerprint() &&
+			follower.Transactions() == 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyTxSkipsLog(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, sink := newEngine(env)
+	eng.CreateTable("t")
+	env.Go("tx", func(p *sim.Proc) {
+		tx := eng.Begin()
+		tx.Get("t", "nothing")
+		if err := tx.Commit(p); err != nil {
+			t.Errorf("read-only commit: %v", err)
+		}
+	})
+	env.RunUntil(time.Second)
+	if len(sink.data) != 0 {
+		t.Fatal("read-only transaction wrote to the log")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	env := sim.NewEnv(1)
+	a, _ := newEngine(env)
+	b, _ := newEngine(env)
+	a.CreateTable("t")
+	b.CreateTable("t")
+	env.Go("tx", func(p *sim.Proc) {
+		ta := a.Begin()
+		ta.Put("t", "k", []byte("v1"))
+		ta.Commit(p)
+		tb := b.Begin()
+		tb.Put("t", "k", []byte("v2"))
+		tb.Commit(p)
+	})
+	env.RunUntil(time.Second)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprints collide on different values")
+	}
+}
+
+func TestEncodeDecodeWritesRoundTrip(t *testing.T) {
+	ws := []writeOp{
+		{table: "warehouse", key: "w1", val: bytes.Repeat([]byte{7}, 90)},
+		{table: "stock", key: "s:1:100", delete: true},
+		{table: "t", key: "", val: nil},
+	}
+	got, err := decodeWrites(encodeWrites(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ops = %d", len(got))
+	}
+	if got[0].table != "warehouse" || !bytes.Equal(got[0].val, ws[0].val) {
+		t.Fatal("op 0 mismatch")
+	}
+	if !got[1].delete || got[1].key != "s:1:100" {
+		t.Fatal("op 1 mismatch")
+	}
+}
+
+func TestDecodeWritesRejectsTruncation(t *testing.T) {
+	ws := []writeOp{{table: "t", key: "k", val: []byte("hello")}}
+	enc := encodeWrites(ws)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := decodeWrites(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

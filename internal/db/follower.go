@@ -1,0 +1,49 @@
+package db
+
+import (
+	"xssd/internal/wal"
+)
+
+// Follower incrementally applies a primary's log stream to a secondary
+// engine (the paper's Fig 1 right, step 3: the remote database reads the
+// shipped log and updates its own memory). Feed it raw log bytes in
+// arrival order — chunk boundaries need not align with records.
+type Follower struct {
+	eng     *Engine
+	pending []byte
+	applied int64 // stream bytes fully applied
+	txns    int64
+}
+
+// NewFollower wraps eng.
+func NewFollower(eng *Engine) *Follower { return &Follower{eng: eng} }
+
+// Feed consumes the next chunk of the log stream, applying every complete
+// record it completes. Partial records are buffered for the next call.
+func (f *Follower) Feed(chunk []byte) error {
+	f.pending = append(f.pending, chunk...)
+	off := 0
+	for {
+		r, n, err := wal.Decode(f.pending[off:])
+		if err != nil {
+			break // incomplete tail record: wait for more bytes
+		}
+		if err := f.eng.ApplyRecord(r); err != nil {
+			return err
+		}
+		off += n
+		f.txns++
+	}
+	f.pending = f.pending[off:]
+	f.applied += int64(off)
+	return nil
+}
+
+// Applied returns the number of log bytes fully applied.
+func (f *Follower) Applied() int64 { return f.applied }
+
+// Transactions returns the number of transactions replayed.
+func (f *Follower) Transactions() int64 { return f.txns }
+
+// Engine returns the secondary engine.
+func (f *Follower) Engine() *Engine { return f.eng }

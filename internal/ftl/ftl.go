@@ -1,0 +1,479 @@
+// Package ftl implements the page-mapped Flash Translation Layer of the
+// device's conventional side (paper §2.2): logical-to-physical page
+// mapping, striped allocation across dies, greedy garbage collection, and
+// bad-block handling (paper §7.1: a destage failure is handled internally
+// by picking a new block to write).
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"xssd/internal/nand"
+	"xssd/internal/sched"
+	"xssd/internal/sim"
+)
+
+// Errors returned by FTL operations.
+var (
+	ErrUnmapped = errors.New("ftl: logical page not mapped")
+	ErrNoSpace  = errors.New("ftl: no free blocks and nothing to collect")
+	ErrRange    = errors.New("ftl: logical page out of range")
+)
+
+// Config tunes the FTL.
+type Config struct {
+	// OverProvision is the fraction of raw capacity hidden from the host
+	// and used as GC headroom.
+	OverProvision float64
+	// GCThreshold triggers collection on a die when its free-block count
+	// falls to or below this value.
+	GCThreshold int
+	// GCReserve blocks per die are usable only by the collector itself.
+	GCReserve int
+}
+
+// DefaultConfig matches a typical 20% over-provisioned SSD.
+var DefaultConfig = Config{OverProvision: 0.2, GCThreshold: 3, GCReserve: 1}
+
+const unmapped = int64(-1)
+
+// writePoint is an open block being filled by one traffic class. Each
+// class (conventional/destage/GC) owns its own write point per die — the
+// multi-stream arrangement that keeps NAND page-order intact even when the
+// scheduler reorders requests across classes (paper §8.1 cites the same
+// technique in multi-streamed SSDs).
+type writePoint struct {
+	active   int // block currently being filled (-1 none)
+	nextPage int
+}
+
+type dieState struct {
+	free   []int         // erased blocks ready for allocation
+	points [3]writePoint // per sched.Source write points
+	sealed []int         // fully written blocks (GC victim candidates)
+}
+
+// FTL maps logical pages onto a nand.Array through a sched.Scheduler.
+type FTL struct {
+	env *sim.Env
+	arr *nand.Array
+	sch *sched.Scheduler
+	geo nand.Geometry
+	cfg Config
+
+	l2p        []int64 // logical -> physical page number
+	p2l        []int64 // physical -> logical (unmapped for invalid/free)
+	validCount []int   // per block: number of valid pages
+	dies       []dieState
+	nextDie    int
+
+	spaceFreed *sim.Signal // broadcast when GC returns blocks
+	gcKick     *sim.Signal
+
+	// stats
+	hostPages, gcPages, gcErases, badRetries int64
+}
+
+// New builds an FTL over arr, dispatching through sch. All blocks start
+// erased and free.
+func New(env *sim.Env, arr *nand.Array, sch *sched.Scheduler, cfg Config) *FTL {
+	geo := arr.Geometry()
+	f := &FTL{
+		env:        env,
+		arr:        arr,
+		sch:        sch,
+		geo:        geo,
+		cfg:        cfg,
+		l2p:        make([]int64, logicalPages(geo, cfg)),
+		p2l:        make([]int64, geo.TotalPages()),
+		validCount: make([]int, geo.Dies()*geo.BlocksPerDie),
+		dies:       make([]dieState, geo.Dies()),
+		spaceFreed: env.NewSignal(),
+		gcKick:     env.NewSignal(),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	for d := range f.dies {
+		for c := range f.dies[d].points {
+			f.dies[d].points[c].active = -1
+		}
+		for b := 0; b < geo.BlocksPerDie; b++ {
+			f.dies[d].free = append(f.dies[d].free, b)
+		}
+	}
+	env.Go("ftl-gc", f.gcLoop)
+	return f
+}
+
+// logicalPages computes the host-visible logical page count.
+func logicalPages(geo nand.Geometry, cfg Config) int64 {
+	return int64(float64(geo.TotalPages()) * (1 - cfg.OverProvision))
+}
+
+// LogicalPages returns the host-visible capacity in pages.
+func (f *FTL) LogicalPages() int64 { return int64(len(f.l2p)) }
+
+// PageSize returns the page size in bytes.
+func (f *FTL) PageSize() int { return f.geo.PageSize }
+
+func (f *FTL) dieOf(ppn int64) int { return int(ppn) / f.geo.PagesPerDie() }
+func (f *FTL) blockOf(ppn int64) int {
+	return int(ppn) % f.geo.PagesPerDie() / f.geo.PagesPerBlock
+}
+
+func (f *FTL) addr(ppn int64) nand.PageAddr {
+	die := f.dieOf(ppn)
+	rem := int(ppn) % f.geo.PagesPerDie()
+	return nand.PageAddr{
+		Channel: die / f.geo.WaysPerChan,
+		Way:     die % f.geo.WaysPerChan,
+		Block:   rem / f.geo.PagesPerBlock,
+		Page:    rem % f.geo.PagesPerBlock,
+	}
+}
+
+func (f *FTL) ppn(die, block, page int) int64 {
+	return int64(die)*int64(f.geo.PagesPerDie()) + int64(block)*int64(f.geo.PagesPerBlock) + int64(page)
+}
+
+func (f *FTL) blockIndex(die, block int) int { return die*f.geo.BlocksPerDie + block }
+
+// allocateOn picks the next physical page on a specific die for the given
+// traffic class, opening a fresh block when needed. minFree guards the
+// reserve: host allocations require len(free) > reserve, GC allocations
+// may drain it. Returns -1 if the die has no usable write point.
+func (f *FTL) allocateOn(die int, class sched.Source, minFree int) int64 {
+	d := &f.dies[die]
+	wp := &d.points[class]
+	if wp.active == -1 || wp.nextPage == f.geo.PagesPerBlock {
+		if wp.active != -1 {
+			d.sealed = append(d.sealed, wp.active)
+			wp.active = -1
+		}
+		if len(d.free) <= minFree {
+			return -1
+		}
+		wp.active = d.free[0]
+		d.free = d.free[1:]
+		wp.nextPage = 0
+		if len(d.free) <= f.cfg.GCThreshold {
+			f.gcKick.Broadcast()
+		}
+	}
+	ppn := f.ppn(die, wp.active, wp.nextPage)
+	wp.nextPage++
+	return ppn
+}
+
+// allocate finds a write point for the class, round-robin over dies,
+// waiting on GC when every die is out of space.
+func (f *FTL) allocate(p *sim.Proc, class sched.Source) (int64, error) {
+	for {
+		for try := 0; try < len(f.dies); try++ {
+			die := f.nextDie
+			f.nextDie = (f.nextDie + 1) % len(f.dies)
+			if ppn := f.allocateOn(die, class, f.cfg.GCReserve); ppn >= 0 {
+				return ppn, nil
+			}
+		}
+		if !f.anythingToCollect() {
+			return 0, ErrNoSpace
+		}
+		f.gcKick.Broadcast()
+		p.Wait(f.spaceFreed)
+	}
+}
+
+func (f *FTL) anythingToCollect() bool {
+	for d := range f.dies {
+		if f.victim(d) != -1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Write stores data (exactly one page) at logical page lpn, blocking the
+// calling process until the flash program completes. src tags the traffic
+// class for the scheduler. Bad blocks are retired and the write retried
+// transparently.
+func (f *FTL) Write(p *sim.Proc, lpn int64, data []byte, src sched.Source) error {
+	if lpn < 0 || lpn >= f.LogicalPages() {
+		return ErrRange
+	}
+	if len(data) != f.geo.PageSize {
+		return fmt.Errorf("ftl: payload %d bytes, want one page of %d", len(data), f.geo.PageSize)
+	}
+	for {
+		ppn, err := f.allocate(p, src)
+		if err != nil {
+			return err
+		}
+		var progErr error
+		done := false
+		sig := f.env.NewSignal()
+		f.sch.Submit(&sched.Request{
+			Kind:   sched.OpProgram,
+			Addr:   f.addr(ppn),
+			Data:   data,
+			Source: src,
+			Done: func(_ []byte, err error) {
+				progErr = err
+				done = true
+				sig.Broadcast()
+			},
+		})
+		p.WaitFor(sig, func() bool { return done })
+		if progErr == nand.ErrBadBlock {
+			// Retire the block and retry elsewhere (paper §7.1).
+			f.retireActive(f.dieOf(ppn), f.blockOf(ppn))
+			f.badRetries++
+			continue
+		}
+		if progErr != nil {
+			return progErr
+		}
+		f.commitMapping(lpn, ppn, src)
+		return nil
+	}
+}
+
+// retireActive drops a bad block from whichever write point holds it.
+func (f *FTL) retireActive(die, block int) {
+	d := &f.dies[die]
+	for c := range d.points {
+		if d.points[c].active == block {
+			d.points[c].active = -1
+		}
+	}
+}
+
+// commitMapping installs lpn->ppn and invalidates the previous location.
+func (f *FTL) commitMapping(lpn, ppn int64, src sched.Source) {
+	if old := f.l2p[lpn]; old != unmapped {
+		f.p2l[old] = unmapped
+		f.validCount[f.blockIndex(f.dieOf(old), f.blockOf(old))]--
+	}
+	f.l2p[lpn] = ppn
+	f.p2l[ppn] = lpn
+	f.validCount[f.blockIndex(f.dieOf(ppn), f.blockOf(ppn))]++
+	if src == sched.GC {
+		f.gcPages++
+	} else {
+		f.hostPages++
+	}
+}
+
+// Read returns the page stored at lpn, blocking for the flash read.
+func (f *FTL) Read(p *sim.Proc, lpn int64) ([]byte, error) {
+	if lpn < 0 || lpn >= f.LogicalPages() {
+		return nil, ErrRange
+	}
+	ppn := f.l2p[lpn]
+	if ppn == unmapped {
+		return nil, ErrUnmapped
+	}
+	var data []byte
+	var rerr error
+	done := false
+	sig := f.env.NewSignal()
+	f.sch.Submit(&sched.Request{
+		Kind:   sched.OpRead,
+		Addr:   f.addr(ppn),
+		Source: sched.Conventional,
+		Done: func(d []byte, err error) {
+			data, rerr = d, err
+			done = true
+			sig.Broadcast()
+		},
+	})
+	p.WaitFor(sig, func() bool { return done })
+	return data, rerr
+}
+
+// Trim unmaps a logical page, invalidating its physical copy.
+func (f *FTL) Trim(lpn int64) error {
+	if lpn < 0 || lpn >= f.LogicalPages() {
+		return ErrRange
+	}
+	if old := f.l2p[lpn]; old != unmapped {
+		f.p2l[old] = unmapped
+		f.validCount[f.blockIndex(f.dieOf(old), f.blockOf(old))]--
+		f.l2p[lpn] = unmapped
+	}
+	return nil
+}
+
+// victim returns the sealed block on die with the fewest valid pages, or -1.
+func (f *FTL) victim(die int) int {
+	d := &f.dies[die]
+	best, bestValid := -1, int(^uint(0)>>1)
+	for _, b := range d.sealed {
+		if v := f.validCount[f.blockIndex(die, b)]; v < bestValid {
+			best, bestValid = b, v
+		}
+	}
+	return best
+}
+
+// gcLoop runs forever: whenever a die is low on free blocks it migrates the
+// valid pages of the greediest victim and erases it.
+func (f *FTL) gcLoop(p *sim.Proc) {
+	for {
+		worked := false
+		for die := range f.dies {
+			d := &f.dies[die]
+			if len(d.free) > f.cfg.GCThreshold {
+				continue
+			}
+			if f.collectOne(p, die) {
+				worked = true
+			}
+		}
+		if !worked {
+			p.Wait(f.gcKick)
+		}
+	}
+}
+
+// collectOne migrates and erases one victim block on die. Returns false if
+// the die has no victim.
+func (f *FTL) collectOne(p *sim.Proc, die int) bool {
+	block := f.victim(die)
+	if block == -1 {
+		return false
+	}
+	d := &f.dies[die]
+	for i, b := range d.sealed {
+		if b == block {
+			d.sealed = append(d.sealed[:i], d.sealed[i+1:]...)
+			break
+		}
+	}
+	// Migrate valid pages within the same die (GC may use the reserve).
+	for page := 0; page < f.geo.PagesPerBlock; page++ {
+		src := f.ppn(die, block, page)
+		lpn := f.p2l[src]
+		if lpn == unmapped {
+			continue
+		}
+		data := f.readForGC(p, src)
+		if data == nil {
+			continue
+		}
+		// Re-check validity: the host may have overwritten lpn while we
+		// were reading.
+		if f.p2l[src] != lpn {
+			continue
+		}
+		dst := f.allocateOn(die, sched.GC, 0)
+		if dst < 0 {
+			// Desperate: no room even in reserve; give up on this block.
+			d.sealed = append(d.sealed, block)
+			return false
+		}
+		if !f.programForGC(p, dst, data) {
+			continue
+		}
+		if f.p2l[src] == lpn { // still current after the program
+			f.commitMapping(lpn, dst, sched.GC)
+		}
+	}
+	// Erase and return to the free pool.
+	erased := false
+	var eraseErr error
+	sig := f.env.NewSignal()
+	f.sch.Submit(&sched.Request{
+		Kind:   sched.OpErase,
+		Addr:   nand.PageAddr{Channel: die / f.geo.WaysPerChan, Way: die % f.geo.WaysPerChan, Block: block},
+		Source: sched.GC,
+		Done: func(_ []byte, err error) {
+			eraseErr = err
+			erased = true
+			sig.Broadcast()
+		},
+	})
+	p.WaitFor(sig, func() bool { return erased })
+	if eraseErr != nil {
+		// Bad block: retire it permanently (do not return to free pool).
+		return true
+	}
+	f.gcErases++
+	d.free = append(d.free, block)
+	f.spaceFreed.Broadcast()
+	return true
+}
+
+func (f *FTL) readForGC(p *sim.Proc, ppn int64) []byte {
+	var data []byte
+	done := false
+	sig := f.env.NewSignal()
+	f.sch.Submit(&sched.Request{
+		Kind:   sched.OpRead,
+		Addr:   f.addr(ppn),
+		Source: sched.GC,
+		Done: func(d []byte, err error) {
+			if err == nil {
+				data = d
+			}
+			done = true
+			sig.Broadcast()
+		},
+	})
+	p.WaitFor(sig, func() bool { return done })
+	return data
+}
+
+func (f *FTL) programForGC(p *sim.Proc, ppn int64, data []byte) bool {
+	ok := false
+	done := false
+	sig := f.env.NewSignal()
+	f.sch.Submit(&sched.Request{
+		Kind:   sched.OpProgram,
+		Addr:   f.addr(ppn),
+		Data:   data,
+		Source: sched.GC,
+		Done: func(_ []byte, err error) {
+			ok = err == nil
+			done = true
+			sig.Broadcast()
+		},
+	})
+	p.WaitFor(sig, func() bool { return done })
+	return ok
+}
+
+// Stats summarizes FTL activity.
+type Stats struct {
+	HostPages  int64 // pages programmed on behalf of the host/destage
+	GCPages    int64 // pages migrated by the collector
+	GCErases   int64
+	BadRetries int64
+}
+
+// WriteAmplification returns (host+gc)/host page programs, or 1 if idle.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostPages == 0 {
+		return 1
+	}
+	return float64(s.HostPages+s.GCPages) / float64(s.HostPages)
+}
+
+// Stats returns a snapshot of FTL counters.
+func (f *FTL) Stats() Stats {
+	return Stats{HostPages: f.hostPages, GCPages: f.gcPages, GCErases: f.gcErases, BadRetries: f.badRetries}
+}
+
+// FreeBlocks returns the total number of free blocks across all dies.
+func (f *FTL) FreeBlocks() int {
+	n := 0
+	for d := range f.dies {
+		n += len(f.dies[d].free)
+	}
+	return n
+}

@@ -1,0 +1,232 @@
+// Package hic implements the Host Interface Controller of the simulated
+// device (paper §2.2, Fig 2): a device process that fetches commands from
+// the NVMe submission queue, moves data in and out of host memory with DMA
+// over the PCIe link, drives the FTL for block IO, and posts completions.
+//
+// Like the Cosmos+ the paper builds on, writes are acknowledged once the
+// data sits in the device's Data Buffer ("it is very common for an SSD to
+// cache data in this temporary area") and the flash program completes in
+// the background; the buffer's capacity bounds how far acknowledgement can
+// run ahead of the flash. Reads are served from the buffer when they hit
+// an in-flight write. Vendor-specific admin commands are delegated to an
+// AdminHandler so the Villars fast-side modules can extend the command set
+// without touching the conventional path.
+package hic
+
+import (
+	"time"
+
+	"xssd/internal/ftl"
+	"xssd/internal/nvme"
+	"xssd/internal/pcie"
+	"xssd/internal/sched"
+	"xssd/internal/sim"
+)
+
+// AdminHandler services vendor-specific commands (opcode >= 0xC0). It runs
+// in the command-handling process's context and may block.
+type AdminHandler interface {
+	Admin(p *sim.Proc, cmd nvme.Command) nvme.Completion
+}
+
+// Config tunes the controller.
+type Config struct {
+	// Workers is the number of concurrent command-handling processes
+	// (models the device's internal parallelism).
+	Workers int
+	// WriteCacheBytes bounds how much acknowledged-but-unprogrammed data
+	// the Data Buffer may hold. 0 means 64 MB.
+	WriteCacheBytes int64
+	// FirmwareLatency is the fixed per-command firmware overhead added to
+	// the write-acknowledge path. 0 means 80 µs — prototype-grade firmware
+	// (the Cosmos+ the paper builds on is an FPGA platform, not a
+	// production controller; its conventional-side latency dominates the
+	// paper's Fig 9 NVMe series).
+	FirmwareLatency time.Duration
+}
+
+// DefaultConfig uses 8 command handlers, a 64 MB write cache and 80 µs of
+// firmware overhead.
+var DefaultConfig = Config{Workers: 8}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.WriteCacheBytes == 0 {
+		c.WriteCacheBytes = 64 << 20
+	}
+	if c.FirmwareLatency == 0 {
+		c.FirmwareLatency = 80 * time.Microsecond
+	}
+}
+
+// Controller is the host interface controller.
+type Controller struct {
+	env   *sim.Env
+	cfg   Config
+	qp    *nvme.QueuePair
+	link  *sim.Link
+	host  *pcie.HostMemory
+	ftl   *ftl.FTL
+	admin AdminHandler
+
+	pending []nvme.Command
+	work    *sim.Signal
+
+	// Data Buffer write cache: acknowledged blocks not yet on flash.
+	cacheUsed  int64
+	cacheData  map[int64][]byte // LBA -> buffered content
+	cacheFreed *sim.Signal
+	inflight   int64 // blocks being programmed
+
+	// stats
+	reads, writes, flushes, admins, errors, cacheHits int64
+}
+
+// New starts a controller: a fetcher process drains the SQ and Workers
+// handler processes execute commands.
+func New(env *sim.Env, qp *nvme.QueuePair, link *sim.Link, host *pcie.HostMemory, f *ftl.FTL, admin AdminHandler, cfg Config) *Controller {
+	cfg.fill()
+	c := &Controller{
+		env:        env,
+		cfg:        cfg,
+		qp:         qp,
+		link:       link,
+		host:       host,
+		ftl:        f,
+		admin:      admin,
+		work:       env.NewSignal(),
+		cacheData:  map[int64][]byte{},
+		cacheFreed: env.NewSignal(),
+	}
+	env.Go("hic-fetch", func(p *sim.Proc) {
+		for {
+			moved := false
+			for {
+				cmd, ok := qp.SQ.Pop()
+				if !ok {
+					break
+				}
+				c.pending = append(c.pending, cmd)
+				moved = true
+			}
+			if moved {
+				c.work.Broadcast()
+			}
+			p.Wait(qp.SQ.Doorbell)
+		}
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		env.Go("hic-worker", c.worker)
+	}
+	return c
+}
+
+func (c *Controller) worker(p *sim.Proc) {
+	for {
+		if len(c.pending) == 0 {
+			p.Wait(c.work)
+			continue
+		}
+		cmd := c.pending[0]
+		c.pending = c.pending[1:]
+		c.qp.CQ.Post(c.execute(p, cmd))
+	}
+}
+
+// BlockSize returns the logical block size: this device formats its
+// namespace with one block per flash page.
+func (c *Controller) BlockSize() int { return c.ftl.PageSize() }
+
+// CacheUsed returns the bytes currently held in the write cache.
+func (c *Controller) CacheUsed() int64 { return c.cacheUsed }
+
+func (c *Controller) execute(p *sim.Proc, cmd nvme.Command) nvme.Completion {
+	if cmd.Opcode >= 0xC0 {
+		c.admins++
+		if c.admin == nil {
+			return nvme.Completion{ID: cmd.ID, Status: nvme.StatusInvalid}
+		}
+		out := c.admin.Admin(p, cmd)
+		out.ID = cmd.ID
+		return out
+	}
+	switch cmd.Opcode {
+	case nvme.OpWrite:
+		c.writes++
+		return c.executeWrite(p, cmd)
+	case nvme.OpRead:
+		c.reads++
+		return c.executeRead(p, cmd)
+	case nvme.OpFlush:
+		// Drain the write cache: everything acknowledged is on flash.
+		c.flushes++
+		p.WaitFor(c.cacheFreed, func() bool { return c.inflight == 0 })
+		return nvme.Completion{ID: cmd.ID, Status: nvme.StatusSuccess}
+	default:
+		c.errors++
+		return nvme.Completion{ID: cmd.ID, Status: nvme.StatusInvalid}
+	}
+}
+
+// executeWrite DMAs the payload into the Data Buffer, schedules the flash
+// programs in the background, and acknowledges after the firmware latency.
+func (c *Controller) executeWrite(p *sim.Proc, cmd nvme.Command) nvme.Completion {
+	bs := c.BlockSize()
+	for i := 0; i < cmd.Blocks; i++ {
+		data := c.host.DMARead(p, c.link, cmd.PRP+int64(i*bs), bs)
+		// Reserve Data Buffer space; stall when the cache is full (the
+		// device then runs at flash program speed).
+		p.WaitFor(c.cacheFreed, func() bool {
+			return c.cacheUsed+int64(bs) <= c.cfg.WriteCacheBytes
+		})
+		lba := cmd.LBA + int64(i)
+		c.cacheUsed += int64(bs)
+		c.cacheData[lba] = data
+		c.inflight++
+		c.env.Go("hic-bgwrite", func(w *sim.Proc) {
+			err := c.ftl.Write(w, lba, data, sched.Conventional)
+			c.cacheUsed -= int64(bs)
+			c.inflight--
+			if cur, ok := c.cacheData[lba]; ok && &cur[0] == &data[0] {
+				delete(c.cacheData, lba)
+			}
+			if err != nil {
+				c.errors++
+			}
+			c.cacheFreed.Broadcast()
+		})
+	}
+	p.Sleep(c.cfg.FirmwareLatency)
+	return nvme.Completion{ID: cmd.ID, Status: nvme.StatusSuccess}
+}
+
+func (c *Controller) executeRead(p *sim.Proc, cmd nvme.Command) nvme.Completion {
+	bs := c.BlockSize()
+	for i := 0; i < cmd.Blocks; i++ {
+		lba := cmd.LBA + int64(i)
+		var data []byte
+		if buffered, ok := c.cacheData[lba]; ok {
+			c.cacheHits++
+			data = buffered
+		} else {
+			var err error
+			data, err = c.ftl.Read(p, lba)
+			if err != nil {
+				c.errors++
+				return nvme.Completion{ID: cmd.ID, Status: nvme.StatusError}
+			}
+		}
+		c.host.DMAWrite(p, c.link, cmd.PRP+int64(i*bs), data)
+	}
+	return nvme.Completion{ID: cmd.ID, Status: nvme.StatusSuccess}
+}
+
+// Stats returns cumulative command counts.
+func (c *Controller) Stats() (reads, writes, flushes, admins, errors int64) {
+	return c.reads, c.writes, c.flushes, c.admins, c.errors
+}
+
+// CacheHits returns how many block reads were served from the Data Buffer.
+func (c *Controller) CacheHits() int64 { return c.cacheHits }

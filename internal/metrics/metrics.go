@@ -1,0 +1,144 @@
+// Package metrics provides the small statistics toolkit the benchmark
+// harness uses to report experiment results: streaming samples with
+// percentile summaries (for latency candlesticks à la the paper's Fig 13),
+// and throughput counters over virtual time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates duration observations and summarizes them.
+// The zero value is ready to use.
+type Sample struct {
+	vals   []time.Duration
+	sorted bool
+	sum    float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) {
+	s.vals = append(s.vals, d)
+	s.sorted = false
+	s.sum += float64(d)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s *Sample) Mean() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return time.Duration(s.sum / float64(len(s.vals)))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Slice(s.vals, func(i, j int) bool { return s.vals[i] < s.vals[j] })
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation, or 0 if empty.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := p / 100 * float64(len(s.vals)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := rank - float64(lo)
+	return s.vals[lo] + time.Duration(frac*float64(s.vals[hi]-s.vals[lo]))
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Sample) Min() time.Duration { return s.Percentile(0) }
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Sample) Max() time.Duration { return s.Percentile(100) }
+
+// Candlestick summarizes a sample the way the paper's Fig 13 plots
+// replication delay: min/p25/median/p75/max.
+type Candlestick struct {
+	N                       int
+	Min, P25, P50, P75, Max time.Duration
+	Mean                    time.Duration
+}
+
+// Candlestick computes the five-number summary plus mean.
+func (s *Sample) Candlestick() Candlestick {
+	return Candlestick{
+		N:    s.N(),
+		Min:  s.Min(),
+		P25:  s.Percentile(25),
+		P50:  s.Percentile(50),
+		P75:  s.Percentile(75),
+		Max:  s.Max(),
+		Mean: s.Mean(),
+	}
+}
+
+// IQR returns the interquartile range (P75 - P25), the spread measure the
+// replication-delay experiment compares across update periods.
+func (c Candlestick) IQR() time.Duration { return c.P75 - c.P25 }
+
+// String implements fmt.Stringer.
+func (c Candlestick) String() string {
+	return fmt.Sprintf("n=%d min=%v p25=%v p50=%v p75=%v max=%v mean=%v",
+		c.N, c.Min, c.P25, c.P50, c.P75, c.Max, c.Mean)
+}
+
+// Counter counts events (e.g. committed transactions, bytes moved) and
+// converts them to rates over a virtual-time interval.
+type Counter struct {
+	n     int64
+	start time.Duration
+}
+
+// NewCounter returns a counter whose rate window begins at start.
+func NewCounter(start time.Duration) *Counter { return &Counter{start: start} }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Total returns the accumulated count.
+func (c *Counter) Total() int64 { return c.n }
+
+// PerSecond converts the count to a rate over [start, now].
+func (c *Counter) PerSecond(now time.Duration) float64 {
+	window := now - c.start
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.n) / window.Seconds()
+}
+
+// Reset zeroes the counter and restarts its window at now.
+func (c *Counter) Reset(now time.Duration) {
+	c.n = 0
+	c.start = now
+}
+
+// MBps formats a byte counter as megabytes per second over [start, now].
+func (c *Counter) MBps(now time.Duration) float64 {
+	return c.PerSecond(now) / 1e6
+}

@@ -1,0 +1,179 @@
+// Package nvme defines the NVMe vocabulary the simulated device speaks
+// (paper §2.1): submission/completion queues with doorbells, IO commands
+// (read/write/flush), and the vendor-specific admin commands the Villars
+// device adds for transport and destage control (paper §4.2: "the commands
+// we added are sent using vendor-specific features of the regular NVMe
+// drivers").
+package nvme
+
+import (
+	"xssd/internal/sim"
+)
+
+// Opcode identifies a command.
+type Opcode uint8
+
+// IO and admin opcodes. The vendor-specific range (0xC0+) carries the
+// X-SSD extensions.
+const (
+	OpFlush Opcode = 0x00
+	OpWrite Opcode = 0x01
+	OpRead  Opcode = 0x02
+
+	// Vendor-specific admin commands (X-SSD extensions).
+	OpXSetTransportMode Opcode = 0xC0 // CDW: TransportMode
+	OpXSetDestagePolicy Opcode = 0xC1 // CDW: scheduling policy
+	OpXConfigureRing    Opcode = 0xC2 // CDW: destage LBA ring base/len
+	OpXQueryStatus      Opcode = 0xC3 // returns transport status register
+	OpXAddPeer          Opcode = 0xC4 // attach a secondary peer
+	OpXAlloc            Opcode = 0xC5 // advanced API: reserve a fast-side area (CDW: size)
+	OpXFree             Opcode = 0xC6 // advanced API: release an area (CDW: start offset)
+)
+
+// Status is a command completion status.
+type Status uint16
+
+// Completion statuses.
+const (
+	StatusSuccess Status = 0
+	StatusError   Status = 1
+	StatusInvalid Status = 2
+)
+
+// Command is a submission-queue entry.
+type Command struct {
+	ID     uint16
+	Opcode Opcode
+	LBA    int64 // starting logical block
+	Blocks int   // block count
+	PRP    int64 // host-memory address of the data buffer
+	CDW    int64 // command-specific dword (vendor extensions)
+}
+
+// Completion is a completion-queue entry.
+type Completion struct {
+	ID     uint16
+	Status Status
+	Value  int64 // command-specific result (vendor extensions)
+}
+
+// SubmissionQueue is a host-side command ring with a doorbell the device
+// listens on.
+type SubmissionQueue struct {
+	entries  []Command
+	Doorbell *sim.Signal
+}
+
+// NewSubmissionQueue creates an empty SQ in env.
+func NewSubmissionQueue(env *sim.Env) *SubmissionQueue {
+	return &SubmissionQueue{Doorbell: env.NewSignal()}
+}
+
+// Push enqueues a command and rings the doorbell.
+func (q *SubmissionQueue) Push(c Command) {
+	q.entries = append(q.entries, c)
+	q.Doorbell.Broadcast()
+}
+
+// Pop dequeues the oldest command; ok is false when empty.
+func (q *SubmissionQueue) Pop() (Command, bool) {
+	if len(q.entries) == 0 {
+		return Command{}, false
+	}
+	c := q.entries[0]
+	q.entries = q.entries[1:]
+	return c, true
+}
+
+// Len returns the number of queued commands.
+func (q *SubmissionQueue) Len() int { return len(q.entries) }
+
+// CompletionQueue is a device-side completion ring with an interrupt the
+// host driver listens on.
+type CompletionQueue struct {
+	entries   []Completion
+	Interrupt *sim.Signal
+}
+
+// NewCompletionQueue creates an empty CQ in env.
+func NewCompletionQueue(env *sim.Env) *CompletionQueue {
+	return &CompletionQueue{Interrupt: env.NewSignal()}
+}
+
+// Post enqueues a completion and raises the interrupt.
+func (q *CompletionQueue) Post(c Completion) {
+	q.entries = append(q.entries, c)
+	q.Interrupt.Broadcast()
+}
+
+// Pop dequeues the oldest completion; ok is false when empty.
+func (q *CompletionQueue) Pop() (Completion, bool) {
+	if len(q.entries) == 0 {
+		return Completion{}, false
+	}
+	c := q.entries[0]
+	q.entries = q.entries[1:]
+	return c, true
+}
+
+// Len returns the number of pending completions.
+func (q *CompletionQueue) Len() int { return len(q.entries) }
+
+// QueuePair bundles an SQ and CQ, the unit a driver binds to.
+type QueuePair struct {
+	SQ *SubmissionQueue
+	CQ *CompletionQueue
+}
+
+// NewQueuePair creates a connected SQ/CQ pair.
+func NewQueuePair(env *sim.Env) *QueuePair {
+	return &QueuePair{SQ: NewSubmissionQueue(env), CQ: NewCompletionQueue(env)}
+}
+
+// Driver is the host-side NVMe driver: it issues commands on a queue pair
+// and matches completions to callers.
+type Driver struct {
+	env    *sim.Env
+	qp     *QueuePair
+	nextID uint16
+	done   map[uint16]Completion
+	wake   *sim.Signal
+}
+
+// NewDriver binds a driver to qp and starts its interrupt-service process.
+func NewDriver(env *sim.Env, qp *QueuePair) *Driver {
+	d := &Driver{env: env, qp: qp, done: map[uint16]Completion{}, wake: env.NewSignal()}
+	env.Go("nvme-isr", func(p *sim.Proc) {
+		for {
+			for {
+				c, ok := qp.CQ.Pop()
+				if !ok {
+					break
+				}
+				d.done[c.ID] = c
+			}
+			d.wake.Broadcast()
+			p.Wait(qp.CQ.Interrupt)
+		}
+	})
+	return d
+}
+
+// Submit issues cmd and blocks the calling process until its completion
+// arrives.
+func (d *Driver) Submit(p *sim.Proc, cmd Command) Completion {
+	d.nextID++
+	cmd.ID = d.nextID
+	id := cmd.ID
+	d.qp.SQ.Push(cmd)
+	var out Completion
+	p.WaitFor(d.wake, func() bool {
+		c, ok := d.done[id]
+		if ok {
+			out = c
+			delete(d.done, id)
+		}
+		return ok
+	})
+	return out
+}

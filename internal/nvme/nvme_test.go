@@ -1,0 +1,124 @@
+package nvme
+
+import (
+	"testing"
+	"time"
+
+	"xssd/internal/sim"
+)
+
+// echoDevice is a minimal device: it pops commands and posts completions
+// after a fixed delay.
+func echoDevice(env *sim.Env, qp *QueuePair, delay time.Duration) {
+	env.Go("echo-device", func(p *sim.Proc) {
+		for {
+			cmd, ok := qp.SQ.Pop()
+			if !ok {
+				p.Wait(qp.SQ.Doorbell)
+				continue
+			}
+			p.Sleep(delay)
+			qp.CQ.Post(Completion{ID: cmd.ID, Status: StatusSuccess, Value: cmd.CDW * 2})
+		}
+	})
+}
+
+func TestDriverMatchesCompletionToCaller(t *testing.T) {
+	env := sim.NewEnv(1)
+	qp := NewQueuePair(env)
+	echoDevice(env, qp, 10*time.Microsecond)
+	drv := NewDriver(env, qp)
+	var got Completion
+	env.Go("host", func(p *sim.Proc) {
+		got = drv.Submit(p, Command{Opcode: OpXQueryStatus, CDW: 21})
+	})
+	env.RunUntil(time.Millisecond)
+	if got.Status != StatusSuccess || got.Value != 42 {
+		t.Fatalf("completion = %+v", got)
+	}
+}
+
+func TestDriverConcurrentSubmitters(t *testing.T) {
+	env := sim.NewEnv(1)
+	qp := NewQueuePair(env)
+	echoDevice(env, qp, 5*time.Microsecond)
+	drv := NewDriver(env, qp)
+	results := map[int]int64{}
+	for i := 0; i < 10; i++ {
+		i := i
+		env.Go("host", func(p *sim.Proc) {
+			c := drv.Submit(p, Command{Opcode: OpRead, CDW: int64(i)})
+			results[i] = c.Value
+		})
+	}
+	env.RunUntil(time.Millisecond)
+	if len(results) != 10 {
+		t.Fatalf("completions = %d", len(results))
+	}
+	for i, v := range results {
+		if v != int64(i*2) {
+			t.Fatalf("caller %d got value %d (cross-matched completion)", i, v)
+		}
+	}
+}
+
+func TestDriverSubmitAssignsUniqueIDs(t *testing.T) {
+	env := sim.NewEnv(1)
+	qp := NewQueuePair(env)
+	seen := map[uint16]bool{}
+	env.Go("device", func(p *sim.Proc) {
+		for len(seen) < 5 {
+			cmd, ok := qp.SQ.Pop()
+			if !ok {
+				p.Wait(qp.SQ.Doorbell)
+				continue
+			}
+			if seen[cmd.ID] {
+				t.Errorf("duplicate command id %d", cmd.ID)
+			}
+			seen[cmd.ID] = true
+			qp.CQ.Post(Completion{ID: cmd.ID})
+		}
+	})
+	drv := NewDriver(env, qp)
+	env.Go("host", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			drv.Submit(p, Command{Opcode: OpFlush})
+		}
+	})
+	env.RunUntil(time.Millisecond)
+	if len(seen) != 5 {
+		t.Fatalf("device saw %d commands", len(seen))
+	}
+}
+
+func TestQueueDoorbellWakesConsumer(t *testing.T) {
+	env := sim.NewEnv(1)
+	sq := NewSubmissionQueue(env)
+	var wokeAt time.Duration
+	env.Go("consumer", func(p *sim.Proc) {
+		p.Wait(sq.Doorbell)
+		wokeAt = p.Now()
+	})
+	env.Go("producer", func(p *sim.Proc) {
+		p.Sleep(7 * time.Microsecond)
+		sq.Push(Command{ID: 1})
+	})
+	env.RunUntil(time.Millisecond)
+	if wokeAt != 7*time.Microsecond {
+		t.Fatalf("consumer woke at %v", wokeAt)
+	}
+}
+
+func TestVendorOpcodeRange(t *testing.T) {
+	for _, op := range []Opcode{OpXSetTransportMode, OpXSetDestagePolicy, OpXConfigureRing, OpXQueryStatus, OpXAddPeer, OpXAlloc, OpXFree} {
+		if op < 0xC0 {
+			t.Fatalf("vendor opcode 0x%X below vendor-specific range", op)
+		}
+	}
+	for _, op := range []Opcode{OpFlush, OpWrite, OpRead} {
+		if op >= 0xC0 {
+			t.Fatalf("standard opcode 0x%X in vendor range", op)
+		}
+	}
+}

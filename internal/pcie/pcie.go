@@ -1,0 +1,305 @@
+// Package pcie models the PCIe subsystem the paper builds on (§2.1, §2.3):
+// point-to-point links with generation/lane bandwidth, Transaction Layer
+// Packet (TLP) framing overhead, memory-mapped IO regions in Write-Combining
+// or Uncached mode, and DMA transfers out of host memory.
+//
+// The TLP framing model is what produces the paper's Fig 10 effect: a store
+// that reaches the device carries a fixed per-packet header, so small MMIO
+// writes waste most of the wire. Write-Combining coalesces stores into
+// cache-line-sized packets and recovers the efficiency.
+package pcie
+
+import (
+	"fmt"
+	"time"
+
+	"xssd/internal/sim"
+)
+
+// Framing constants for the simulated fabric.
+const (
+	// HeaderBytes is the per-TLP overhead on the wire (header + framing).
+	HeaderBytes = 20
+	// MaxPayload is the largest TLP payload the fabric carries.
+	MaxPayload = 256
+	// WCLineSize is the write-combining buffer line size: stores flush to
+	// the wire in chunks of at most this many bytes.
+	WCLineSize = 64
+	// UCStoreSize is the widest single store an Uncached region accepts;
+	// wider writes are split into stores of this size.
+	UCStoreSize = 8
+)
+
+// Generation selects per-lane bandwidth.
+type Generation int
+
+// PCIe generations supported by the model.
+const (
+	Gen1 Generation = 1 + iota
+	Gen2
+	Gen3
+	Gen4
+)
+
+// LaneBandwidth returns the usable per-lane bandwidth in bytes/second.
+func (g Generation) LaneBandwidth() float64 {
+	switch g {
+	case Gen1:
+		return 250e6
+	case Gen2:
+		return 500e6
+	case Gen3:
+		return 985e6
+	case Gen4:
+		return 1969e6
+	default:
+		panic(fmt.Sprintf("pcie: unknown generation %d", g))
+	}
+}
+
+// TLP is a transaction-layer packet delivered to a device.
+type TLP struct {
+	Addr int64  // target address within the device's BAR
+	Data []byte // payload for memory writes; nil for reads
+}
+
+// WireBytes returns the on-wire size of a TLP with an n-byte payload.
+func WireBytes(n int) int { return HeaderBytes + n }
+
+// Target is the device-side sink of a mapped region. Handlers run in
+// scheduler context at packet-arrival time and must not block; they should
+// enqueue work and signal device processes.
+type Target interface {
+	// MemWrite delivers a posted write of data at region offset off.
+	MemWrite(off int64, data []byte)
+	// MemRead services a non-posted read of n bytes at region offset off.
+	MemRead(off int64, n int) []byte
+}
+
+// Region is a device memory window (BAR mapping) reachable from a host
+// through one link. The host accesses it via an MMIO handle (see NewMMIO).
+type Region struct {
+	env    *sim.Env
+	link   *sim.Link
+	target Target
+	size   int64
+}
+
+// NewRegion maps target behind link as a region of the given size.
+func NewRegion(env *sim.Env, link *sim.Link, target Target, size int64) *Region {
+	return &Region{env: env, link: link, target: target, size: size}
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() int64 { return r.size }
+
+// Link returns the PCIe link the region is reached through.
+func (r *Region) Link() *sim.Link { return r.link }
+
+// write sends one posted-write TLP (payload ≤ MaxPayload) and blocks the
+// calling process for its wire serialization. Delivery to the target
+// happens when the packet fully arrives.
+func (r *Region) write(p *sim.Proc, off int64, data []byte) {
+	if off < 0 || off+int64(len(data)) > r.size {
+		panic(fmt.Sprintf("pcie: write [%d,%d) outside region of %d", off, off+int64(len(data)), r.size))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	r.link.Send(WireBytes(len(buf)), func() { r.target.MemWrite(off, buf) })
+	// The store occupies the CPU until it is accepted on the wire: model
+	// by blocking for this packet's serialization time (not its delivery).
+	p.Sleep(time.Duration(float64(WireBytes(len(data))) / r.link.BytesPerSec() * 1e9))
+}
+
+// writeBlocking sends one write TLP and stalls the calling process until
+// it is delivered at the device — the Uncached store semantics: the CPU
+// serializes on each store instead of posting it, which is what makes UC
+// MMIO so much slower than WC (paper §6.2).
+func (r *Region) writeBlocking(p *sim.Proc, off int64, data []byte) {
+	if off < 0 || off+int64(len(data)) > r.size {
+		panic(fmt.Sprintf("pcie: write [%d,%d) outside region of %d", off, off+int64(len(data)), r.size))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	r.link.Transfer(p, WireBytes(len(buf)))
+	r.target.MemWrite(off, buf)
+}
+
+// writeAsync sends a posted write without blocking the caller beyond
+// scheduling; used for device-to-device mirroring where a hardware engine,
+// not a CPU, feeds the wire.
+func (r *Region) writeAsync(off int64, data []byte, done func()) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	r.link.Send(WireBytes(len(buf)), func() {
+		r.target.MemWrite(off, buf)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Read performs a non-posted read: a request TLP travels to the device,
+// the completion TLP returns the data. The caller blocks for the round
+// trip.
+func (r *Region) Read(p *sim.Proc, off int64, n int) []byte {
+	if off < 0 || off+int64(n) > r.size {
+		panic(fmt.Sprintf("pcie: read [%d,%d) outside region of %d", off, off+int64(n), r.size))
+	}
+	r.link.Transfer(p, WireBytes(0)) // request
+	data := r.target.MemRead(off, n)
+	r.link.Transfer(p, WireBytes(len(data))) // completion
+	return data
+}
+
+// MMIOMode selects the CPU caching attribute of a mapped region.
+type MMIOMode int
+
+// Supported MMIO modes (paper §4.1 / Intel SDM memory cache control).
+const (
+	// Uncached: every store becomes its own TLP, at most UCStoreSize wide.
+	Uncached MMIOMode = iota
+	// WriteCombining: stores coalesce in a WCLineSize buffer and flush as
+	// one TLP per line (or partial line on a fence/discontinuity).
+	WriteCombining
+)
+
+// String implements fmt.Stringer.
+func (m MMIOMode) String() string {
+	if m == WriteCombining {
+		return "WC"
+	}
+	return "UC"
+}
+
+// MMIO is a host-side handle to a Region with a caching mode. It is the
+// model of the application's mapped pointer into CMB. Not safe for
+// concurrent use; each simulated CPU core should own its handle.
+type MMIO struct {
+	region *Region
+	mode   MMIOMode
+
+	// write-combining buffer state
+	wcStart int64
+	wcBuf   []byte
+}
+
+// NewMMIO maps region with the given mode.
+func NewMMIO(region *Region, mode MMIOMode) *MMIO {
+	return &MMIO{region: region, mode: mode, wcBuf: make([]byte, 0, WCLineSize)}
+}
+
+// Mode returns the caching mode.
+func (m *MMIO) Mode() MMIOMode { return m.mode }
+
+// Store writes data at region offset off with store-width semantics of the
+// region's mode. WriteCombining stores may linger in the WC buffer until
+// Fence or until a line fills; Uncached stores hit the wire immediately.
+func (m *MMIO) Store(p *sim.Proc, off int64, data []byte) {
+	switch m.mode {
+	case Uncached:
+		for len(data) > 0 {
+			n := UCStoreSize
+			if n > len(data) {
+				n = len(data)
+			}
+			m.region.writeBlocking(p, off, data[:n])
+			off += int64(n)
+			data = data[n:]
+		}
+	case WriteCombining:
+		for len(data) > 0 {
+			if len(m.wcBuf) > 0 && off != m.wcStart+int64(len(m.wcBuf)) {
+				m.flush(p) // discontiguous store: spill the buffer
+			}
+			if len(m.wcBuf) == 0 {
+				m.wcStart = off
+			}
+			// fill up to the boundary of the line the buffer started in
+			lineUsed := int(m.wcStart%WCLineSize) + len(m.wcBuf)
+			n := WCLineSize - lineUsed
+			if n > len(data) {
+				n = len(data)
+			}
+			m.wcBuf = append(m.wcBuf, data[:n]...)
+			off += int64(n)
+			data = data[n:]
+			if lineUsed+n == WCLineSize {
+				m.flush(p)
+			}
+		}
+	}
+}
+
+func (m *MMIO) flush(p *sim.Proc) {
+	if len(m.wcBuf) == 0 {
+		return
+	}
+	m.region.write(p, m.wcStart, m.wcBuf)
+	m.wcBuf = m.wcBuf[:0]
+}
+
+// Fence drains the write-combining buffer (sfence). A no-op in Uncached
+// mode where stores are never buffered.
+func (m *MMIO) Fence(p *sim.Proc) {
+	if m.mode == WriteCombining {
+		m.flush(p)
+	}
+}
+
+// Load reads n bytes at off through the region's non-posted read path.
+func (m *MMIO) Load(p *sim.Proc, off int64, n int) []byte {
+	return m.region.Read(p, off, n)
+}
+
+// HostMemory is a flat host DRAM buffer that devices DMA in and out of
+// through their link (the HIC's data path for conventional NVMe IO).
+type HostMemory struct {
+	buf []byte
+}
+
+// NewHostMemory allocates size bytes of host memory.
+func NewHostMemory(size int) *HostMemory { return &HostMemory{buf: make([]byte, size)} }
+
+// Bytes exposes the backing buffer for host-side (zero-cost) access.
+func (h *HostMemory) Bytes() []byte { return h.buf }
+
+// DMARead moves n bytes from host memory at addr into the device across
+// link, blocking the calling (device) process for the transfer.
+func (h *HostMemory) DMARead(p *sim.Proc, link *sim.Link, addr int64, n int) []byte {
+	out := make([]byte, n)
+	copy(out, h.buf[addr:addr+int64(n)])
+	packets := (n + MaxPayload - 1) / MaxPayload
+	link.Transfer(p, n+packets*HeaderBytes)
+	return out
+}
+
+// DMAWrite moves data from the device into host memory at addr across
+// link, blocking the calling (device) process for the transfer.
+func (h *HostMemory) DMAWrite(p *sim.Proc, link *sim.Link, addr int64, data []byte) {
+	packets := (len(data) + MaxPayload - 1) / MaxPayload
+	link.Transfer(p, len(data)+packets*HeaderBytes)
+	copy(h.buf[addr:], data)
+}
+
+// MirrorWrite is the device-to-device posted-write path used by the
+// Transport module: it pushes data at off into region without a CPU in the
+// loop. done (may be nil) runs in scheduler context on arrival of the last
+// packet.
+func MirrorWrite(region *Region, off int64, data []byte, done func()) {
+	for len(data) > 0 {
+		n := MaxPayload
+		last := false
+		if n >= len(data) {
+			n = len(data)
+			last = true
+		}
+		var cb func()
+		if last {
+			cb = done
+		}
+		region.writeAsync(off, data[:n], cb)
+		off += int64(n)
+		data = data[n:]
+	}
+}

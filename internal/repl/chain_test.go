@@ -1,0 +1,105 @@
+package repl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/sim"
+	"xssd/internal/villars"
+)
+
+// Chain replication (paper §4.2): the head mirrors to its successor, each
+// link relays onward, and the head's effective credit tracks whole-chain
+// persistence through a single shadow counter.
+
+// makeDevices builds n small test devices named n0..n(n-1).
+func makeDevices(env *sim.Env, n int) []*villars.Device {
+	out := make([]*villars.Device, n)
+	for i := range out {
+		out[i] = testDevice(env, fmt.Sprintf("n%d", i))
+	}
+	return out
+}
+
+func chainCluster(t *testing.T, env *sim.Env, n int) *Cluster {
+	t.Helper()
+	c, err := New(env, makeDevices(env, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	env.Go("setup", func(p *sim.Proc) {
+		if err := c.SetupChain(p); err != nil {
+			t.Errorf("setup chain: %v", err)
+			return
+		}
+		ok = true
+	})
+	env.RunUntil(env.Now() + time.Millisecond)
+	if !ok {
+		t.Fatal("chain setup did not complete")
+	}
+	return c
+}
+
+func TestChainDataReachesTail(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := chainCluster(t, env, 3)
+	env.Go("db", func(p *sim.Proc) {
+		c.devices[0].CMB().MemWrite(0, make([]byte, 512))
+	})
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	for i, d := range c.devices {
+		if got := d.CMB().Ring().Frontier(); got != 512 {
+			t.Fatalf("node %d frontier = %d, want 512 (relay broken)", i, got)
+		}
+	}
+}
+
+func TestChainHeadCreditTracksWholeChain(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := chainCluster(t, env, 3)
+	env.Go("db", func(p *sim.Proc) {
+		c.devices[0].CMB().MemWrite(0, make([]byte, 256))
+	})
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	head := c.devices[0]
+	if got := head.EffectiveCredit(); got != 256 {
+		t.Fatalf("head chain credit = %d, want 256", got)
+	}
+	// The head has exactly one peer (its successor), whose reported value
+	// is the whole-chain minimum.
+	if head.Transport().Peers() != 1 {
+		t.Fatalf("head peers = %d, want 1 (chain, not star)", head.Transport().Peers())
+	}
+	if got := head.Transport().Shadow(0); got != 256 {
+		t.Fatalf("head shadow = %d, want chain-combined 256", got)
+	}
+}
+
+func TestChainNeedsTwoDevices(t *testing.T) {
+	env := sim.NewEnv(1)
+	c, err := New(env, makeDevices(env, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("setup", func(p *sim.Proc) {
+		if err := c.SetupChain(p); err == nil {
+			t.Error("single-node chain accepted")
+		}
+	})
+	env.RunUntil(env.Now() + time.Millisecond)
+}
+
+func TestChainSchemeRecorded(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := chainCluster(t, env, 2)
+	if c.Scheme() != core.Chain {
+		t.Fatalf("scheme = %v", c.Scheme())
+	}
+	if c.Primary().Transport().Scheme() != core.Chain {
+		t.Fatal("head scheme not chain")
+	}
+}

@@ -1,0 +1,194 @@
+// Package repl manages a replication group of Villars devices (paper
+// §4.2, §7.1): it wires NTB bridges between the peers, assigns transport
+// roles through the vendor-specific NVMe admin commands, selects a
+// replication scheme, and performs the promotion/demotion sequences the
+// paper assigns to the database system.
+package repl
+
+import (
+	"errors"
+	"fmt"
+
+	"xssd/internal/core"
+	"xssd/internal/ntb"
+	"xssd/internal/nvme"
+	"xssd/internal/sim"
+	"xssd/internal/villars"
+)
+
+// Cluster is a replication group. Exactly one member is primary; the rest
+// are secondaries receiving the mirrored fast-side stream.
+type Cluster struct {
+	env     *sim.Env
+	devices []*villars.Device
+	primary int
+	scheme  core.ReplicationScheme
+
+	// bridges[i][j] carries traffic from device i to device j.
+	bridges [][]*ntb.Bridge
+
+	promotions int
+}
+
+// New creates a cluster over devices (at least one) with a full mesh of
+// NTB bridges, so any member can later be promoted without re-cabling.
+func New(env *sim.Env, devices []*villars.Device) (*Cluster, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("repl: cluster needs at least one device")
+	}
+	c := &Cluster{env: env, devices: devices, primary: -1}
+	c.bridges = make([][]*ntb.Bridge, len(devices))
+	for i := range devices {
+		c.bridges[i] = make([]*ntb.Bridge, len(devices))
+		for j := range devices {
+			if i == j {
+				continue
+			}
+			c.bridges[i][j] = ntb.NewDefaultBridge(env, fmt.Sprintf("%s->%s", devices[i].Name(), devices[j].Name()))
+		}
+	}
+	return c, nil
+}
+
+// Devices returns the cluster members.
+func (c *Cluster) Devices() []*villars.Device { return c.devices }
+
+// Primary returns the current primary, or nil before Setup.
+func (c *Cluster) Primary() *villars.Device {
+	if c.primary < 0 {
+		return nil
+	}
+	return c.devices[c.primary]
+}
+
+// Secondaries returns the non-primary members in peer order.
+func (c *Cluster) Secondaries() []*villars.Device {
+	var out []*villars.Device
+	for i, d := range c.devices {
+		if i != c.primary {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Scheme returns the active replication scheme.
+func (c *Cluster) Scheme() core.ReplicationScheme { return c.scheme }
+
+// setMode issues the vendor-specific transport-mode command to a device.
+func setMode(p *sim.Proc, d *villars.Device, mode core.TransportMode) error {
+	comp := d.HostDriver().Submit(p, nvme.Command{
+		Opcode: nvme.OpXSetTransportMode,
+		CDW:    int64(mode),
+	})
+	if comp.Status != nvme.StatusSuccess {
+		return fmt.Errorf("repl: set %s mode on %s: status %d", mode, d.Name(), comp.Status)
+	}
+	return nil
+}
+
+// Setup elects devices[primaryIdx] primary with the given scheme and turns
+// the rest into secondaries. Must run in process context.
+func (c *Cluster) Setup(p *sim.Proc, primaryIdx int, scheme core.ReplicationScheme) error {
+	if primaryIdx < 0 || primaryIdx >= len(c.devices) {
+		return errors.New("repl: primary index out of range")
+	}
+	c.primary = primaryIdx
+	c.scheme = scheme
+	prim := c.devices[primaryIdx]
+	prim.Transport().ClearPeers()
+	prim.Transport().SetScheme(scheme)
+	for i, d := range c.devices {
+		if i == primaryIdx {
+			continue
+		}
+		if err := setMode(p, d, core.Secondary); err != nil {
+			return err
+		}
+		prim.Transport().AddPeer(d, c.bridges[primaryIdx][i], c.bridges[i][primaryIdx])
+	}
+	return setMode(p, prim, core.Primary)
+}
+
+// SetupChain wires the devices as a replication chain (paper §4.2):
+// devices[0] is the head (primary), each member mirrors to its successor
+// and reports whole-chain persistence upstream, and the head reports the
+// chain-combined counter to the database.
+func (c *Cluster) SetupChain(p *sim.Proc) error {
+	if len(c.devices) < 2 {
+		return errors.New("repl: a chain needs at least two devices")
+	}
+	c.primary = 0
+	c.scheme = core.Chain
+	for i, d := range c.devices {
+		d.Transport().ClearPeers()
+		if i == 0 {
+			d.Transport().SetScheme(core.Chain)
+			continue
+		}
+		if err := setMode(p, d, core.Secondary); err != nil {
+			return err
+		}
+	}
+	// Wire links head -> ... -> tail; AddPeer also installs the reverse
+	// counter-report window.
+	for i := 0; i < len(c.devices)-1; i++ {
+		c.devices[i].Transport().AddPeer(c.devices[i+1], c.bridges[i][i+1], c.bridges[i+1][i])
+	}
+	return setMode(p, c.devices[0], core.Primary)
+}
+
+// Promote fails over to devices[newPrimary]: the old primary (if alive) is
+// demoted to secondary and the peer set is rebuilt around the new primary.
+// The paper (§7.1) leaves catch-up data transfer to the database; Promote
+// only performs the role changes.
+func (c *Cluster) Promote(p *sim.Proc, newPrimary int) error {
+	if newPrimary < 0 || newPrimary >= len(c.devices) {
+		return errors.New("repl: promote index out of range")
+	}
+	if newPrimary == c.primary {
+		return nil
+	}
+	old := c.primary
+	if old >= 0 && !c.devices[old].PowerLost() {
+		if err := setMode(p, c.devices[old], core.Secondary); err != nil {
+			return err
+		}
+		c.devices[old].Transport().ClearPeers()
+	}
+	c.promotions++
+	// Rebuild peers around the new primary, skipping dead devices.
+	c.primary = newPrimary
+	prim := c.devices[newPrimary]
+	prim.Transport().ClearPeers()
+	prim.Transport().SetScheme(c.scheme)
+	for i, d := range c.devices {
+		if i == newPrimary || d.PowerLost() {
+			continue
+		}
+		if err := setMode(p, d, core.Secondary); err != nil {
+			return err
+		}
+		prim.Transport().AddPeer(d, c.bridges[newPrimary][i], c.bridges[i][newPrimary])
+	}
+	return setMode(p, prim, core.Primary)
+}
+
+// Promotions returns how many failovers the cluster has performed.
+func (c *Cluster) Promotions() int { return c.promotions }
+
+// Lag returns, for each secondary peer of the current primary, how many
+// stream bytes its shadow counter trails the primary's local counter.
+func (c *Cluster) Lag() []int64 {
+	prim := c.Primary()
+	if prim == nil {
+		return nil
+	}
+	local := prim.CMB().Ring().Frontier()
+	n := prim.Transport().Peers()
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = local - prim.Transport().Shadow(i)
+	}
+	return out
+}

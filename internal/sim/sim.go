@@ -1,0 +1,310 @@
+// Package sim implements a deterministic, process-based discrete-event
+// simulation engine. It is the substrate that stands in for the paper's
+// hardware: every component of the simulated X-SSD device, the PCIe
+// subsystem, and the database workers runs as a sim process in virtual time.
+//
+// Processes are goroutines, but the scheduler serializes them: exactly one
+// process runs at any instant, and control returns to the scheduler whenever
+// a process blocks (Sleep, Wait, Transfer, ...). Event ordering is total —
+// (virtual time, sequence number) — so runs are bit-for-bit reproducible for
+// a given seed, and shared state needs no locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, add processes with Go, and drive it with Run,
+// RunFor or RunUntil.
+type Env struct {
+	now     int64 // virtual time in nanoseconds
+	seq     int64 // tie-breaker for events at the same instant
+	pq      eventHeap
+	rng     *rand.Rand
+	yield   chan struct{} // running process -> scheduler handshake
+	live    int           // processes started and not yet finished
+	blocked int           // processes waiting on a Signal (no pending event)
+	running bool
+}
+
+type event struct {
+	at   int64
+	seq  int64
+	proc *Proc  // process to resume, or
+	fn   func() // callback to invoke inline
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEnv returns an empty environment whose random source is seeded with
+// seed. Two environments with the same seed and the same process program
+// produce identical traces.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return time.Duration(e.now) }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from process context (calls are serialized by the scheduler).
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+func (e *Env) schedule(at int64, p *Proc, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, proc: p, fn: fn})
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+// fn runs in scheduler context and must not block.
+func (e *Env) At(t time.Duration, fn func()) { e.schedule(int64(t), nil, fn) }
+
+// After schedules fn to run d from now. fn runs in scheduler context and
+// must not block.
+func (e *Env) After(d time.Duration, fn func()) { e.schedule(e.now+int64(d), nil, fn) }
+
+// Proc is a simulated process. All its methods must be called from within
+// the process's own function.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.Now() }
+
+// Go starts fn as a new simulated process at the current virtual time.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume // wait to be scheduled for the first time
+		fn(p)
+		e.live--
+		e.yield <- struct{}{}
+	}()
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// yieldToScheduler hands control back and blocks until resumed.
+func (p *Proc) yieldToScheduler() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p.env.now+int64(d), p, nil)
+	p.yieldToScheduler()
+}
+
+// SleepUntil suspends the process until absolute virtual time t.
+func (p *Proc) SleepUntil(t time.Duration) {
+	p.env.schedule(int64(t), p, nil)
+	p.yieldToScheduler()
+}
+
+// Yield reschedules the process at the current instant, letting any other
+// event due now run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Signal is a broadcast condition variable in virtual time. The zero value
+// is not usable; create with NewSignal.
+type Signal struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewSignal returns a Signal bound to e.
+func (e *Env) NewSignal() *Signal { return &Signal{env: e} }
+
+// Broadcast wakes every process currently waiting on s. The wake-ups are
+// scheduled at the current instant, after events already due.
+func (s *Signal) Broadcast() {
+	for _, p := range s.waiters {
+		s.env.blocked--
+		s.env.schedule(s.env.now, p, nil)
+	}
+	s.waiters = s.waiters[:0]
+}
+
+// Wait blocks the process until the next Broadcast on s.
+func (p *Proc) Wait(s *Signal) {
+	s.waiters = append(s.waiters, p)
+	p.env.blocked++
+	p.yieldToScheduler()
+}
+
+// WaitFor blocks until cond() is true, re-checking after every Broadcast of
+// s. It returns immediately if cond() already holds.
+func (p *Proc) WaitFor(s *Signal, cond func() bool) {
+	for !cond() {
+		p.Wait(s)
+	}
+}
+
+// Run drives the simulation until no events remain. It returns the number
+// of processes still blocked on Signals (0 means everything ran to
+// completion; >0 indicates a deadlock or processes waiting on external
+// stimulus).
+func (e *Env) Run() int { return e.run(-1) }
+
+// RunUntil drives the simulation until virtual time t; events due later
+// stay queued. It returns the number of processes blocked on Signals.
+func (e *Env) RunUntil(t time.Duration) int { return e.run(int64(t)) }
+
+// RunFor drives the simulation for d of virtual time from now.
+func (e *Env) RunFor(d time.Duration) int { return e.RunUntil(e.Now() + d) }
+
+func (e *Env) run(until int64) int {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 {
+		if until >= 0 && e.pq[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.pq).(event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		if ev.proc != nil {
+			ev.proc.resume <- struct{}{}
+			<-e.yield
+		}
+	}
+	if until > e.now {
+		e.now = until
+	}
+	return e.blocked
+}
+
+// Link models a shared, FIFO, bandwidth-limited transfer resource (a PCIe
+// link, a memory bus, a flash channel bus). A transfer of n bytes occupies
+// the link for n/BytesPerSec and completes Latency after it leaves the
+// link. Requests are served strictly in arrival order.
+type Link struct {
+	env         *Env
+	name        string
+	bytesPerSec float64
+	latency     time.Duration
+
+	busyUntil int64
+	// stats
+	bytes    int64
+	busyTime int64
+	xfers    int64
+}
+
+// NewLink creates a link with the given bandwidth (bytes/second) and fixed
+// propagation latency.
+func (e *Env) NewLink(name string, bytesPerSec float64, latency time.Duration) *Link {
+	if bytesPerSec <= 0 {
+		panic("sim: link bandwidth must be positive")
+	}
+	return &Link{env: e, name: name, bytesPerSec: bytesPerSec, latency: latency}
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// BytesPerSec returns the link's configured bandwidth.
+func (l *Link) BytesPerSec() float64 { return l.bytesPerSec }
+
+// occupy reserves the link for n bytes starting no earlier than now and
+// returns the completion time of the transfer (excluding latency).
+func (l *Link) occupy(n int) (start, end int64) {
+	start = l.env.now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	dur := int64(float64(n) / l.bytesPerSec * 1e9)
+	if dur < 1 && n > 0 {
+		dur = 1
+	}
+	end = start + dur
+	l.busyUntil = end
+	l.bytes += int64(n)
+	l.busyTime += dur
+	l.xfers++
+	return start, end
+}
+
+// Transfer moves n bytes across the link, blocking the calling process for
+// queueing + serialization + latency.
+func (l *Link) Transfer(p *Proc, n int) {
+	_, end := l.occupy(n)
+	p.SleepUntil(time.Duration(end) + l.latency)
+}
+
+// Send moves n bytes across the link without blocking the caller; fn (may
+// be nil) runs in scheduler context when the data has fully arrived.
+func (l *Link) Send(n int, fn func()) {
+	_, end := l.occupy(n)
+	if fn != nil {
+		l.env.At(time.Duration(end)+l.latency, fn)
+	}
+}
+
+// Stats reports total bytes moved, cumulative busy time and transfer count.
+func (l *Link) Stats() (bytes int64, busy time.Duration, transfers int64) {
+	return l.bytes, time.Duration(l.busyTime), l.xfers
+}
+
+// Utilization returns the fraction of the interval [0, now] the link was
+// busy.
+func (l *Link) Utilization() float64 {
+	if l.env.now == 0 {
+		return 0
+	}
+	return float64(l.busyTime) / float64(l.env.now)
+}
+
+// String implements fmt.Stringer.
+func (l *Link) String() string {
+	return fmt.Sprintf("link %s: %.2f MB/s, util %.1f%%", l.name, l.bytesPerSec/1e6, 100*l.Utilization())
+}

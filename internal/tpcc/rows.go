@@ -1,0 +1,450 @@
+// Package tpcc implements the TPC-C workload the paper's evaluation drives
+// through ERMIA (§6: "the TPC-C benchmark ... with 16 warehouses"): table
+// schemas with compact binary row codecs, the standard data generator, and
+// the five transaction profiles with the standard mix.
+package tpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xssd/internal/db"
+)
+
+// Table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	TCustIdx   = "customer_name_idx"
+	THistory   = "history"
+	TNewOrder  = "new_order"
+	TOrder     = "orders"
+	TOrderLine = "order_line"
+	TItem      = "item"
+	TStock     = "stock"
+)
+
+// Config scales the database. The TPC-C spec values are Districts=10,
+// CustomersPerDistrict=3000, Items=100000; the default scales customers
+// and items down so simulations stay light while preserving the log
+// traffic shape (record sizes are governed by FillerLen).
+type Config struct {
+	Warehouses           int
+	Districts            int
+	CustomersPerDistrict int
+	Items                int
+	// FillerLen sizes the free-text fields (spec uses 24-50 chars); it is
+	// the main knob for WAL record size.
+	FillerLen int
+}
+
+// DefaultConfig is the scaled-down configuration used by tests and the
+// benchmark harness (16 warehouses like the paper, reduced rows).
+func DefaultConfig() Config {
+	return Config{Warehouses: 16, Districts: 10, CustomersPerDistrict: 60, Items: 200, FillerLen: 12}
+}
+
+// SpecConfig is the full TPC-C scale (memory hungry; documentation value).
+func SpecConfig() Config {
+	return Config{Warehouses: 16, Districts: 10, CustomersPerDistrict: 3000, Items: 100000, FillerLen: 24}
+}
+
+// --- key construction -------------------------------------------------------
+
+// WKey..HKey build the composite row keys.
+func WKey(w int) string       { return fmt.Sprintf("w:%d", w) }
+func DKey(w, d int) string    { return fmt.Sprintf("d:%d:%d", w, d) }
+func CKey(w, d, c int) string { return fmt.Sprintf("c:%d:%d:%d", w, d, c) }
+func CIdxKey(w, d int, last string) string {
+	return fmt.Sprintf("cn:%d:%d:%s", w, d, last)
+}
+func IKey(i int) string              { return fmt.Sprintf("i:%d", i) }
+func SKey(w, i int) string           { return fmt.Sprintf("s:%d:%d", w, i) }
+func OKey(w, d, o int) string        { return fmt.Sprintf("o:%d:%d:%d", w, d, o) }
+func OLKey(w, d, o, n int) string    { return fmt.Sprintf("ol:%d:%d:%d:%d", w, d, o, n) }
+func NOKey(w, d, o int) string       { return fmt.Sprintf("no:%d:%d:%d", w, d, o) }
+func HKey(w, d int, tx int64) string { return fmt.Sprintf("h:%d:%d:%d", w, d, tx) }
+
+// --- binary codec -----------------------------------------------------------
+
+type enc struct{ b []byte }
+
+func (e *enc) u(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i(v int64)  { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) s(s string) {
+	e.u(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type dec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *dec) u() uint64 {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) i() int64 {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) s() string {
+	n := int(d.u())
+	if d.bad || n > len(d.b) {
+		d.bad = true
+		return ""
+	}
+	out := string(d.b[:n])
+	d.b = d.b[n:]
+	return out
+}
+
+// --- rows -------------------------------------------------------------------
+
+// Warehouse row.
+type Warehouse struct {
+	Name string
+	Tax  int64 // basis points
+	YTD  int64 // cents
+}
+
+// Encode serializes the row.
+func (r Warehouse) Encode() []byte {
+	var e enc
+	e.s(r.Name)
+	e.i(r.Tax)
+	e.i(r.YTD)
+	return e.b
+}
+
+// DecodeWarehouse parses a warehouse row.
+func DecodeWarehouse(b []byte) Warehouse {
+	d := dec{b: b}
+	return Warehouse{Name: d.s(), Tax: d.i(), YTD: d.i()}
+}
+
+// District row.
+type District struct {
+	Name         string
+	Tax          int64
+	YTD          int64
+	NextOID      int64 // next order id to assign
+	NextDelivery int64 // oldest undelivered order id
+}
+
+// Encode serializes the row.
+func (r District) Encode() []byte {
+	var e enc
+	e.s(r.Name)
+	e.i(r.Tax)
+	e.i(r.YTD)
+	e.i(r.NextOID)
+	e.i(r.NextDelivery)
+	return e.b
+}
+
+// DecodeDistrict parses a district row.
+func DecodeDistrict(b []byte) District {
+	d := dec{b: b}
+	return District{Name: d.s(), Tax: d.i(), YTD: d.i(), NextOID: d.i(), NextDelivery: d.i()}
+}
+
+// Customer row.
+type Customer struct {
+	First       string
+	Last        string
+	Credit      string // "GC" or "BC"
+	Discount    int64  // basis points
+	Balance     int64  // cents (may go negative)
+	YTDPayment  int64
+	PaymentCnt  int64
+	DeliveryCnt int64
+	Data        string
+}
+
+// Encode serializes the row.
+func (r Customer) Encode() []byte {
+	var e enc
+	e.s(r.First)
+	e.s(r.Last)
+	e.s(r.Credit)
+	e.i(r.Discount)
+	e.i(r.Balance)
+	e.i(r.YTDPayment)
+	e.i(r.PaymentCnt)
+	e.i(r.DeliveryCnt)
+	e.s(r.Data)
+	return e.b
+}
+
+// DecodeCustomer parses a customer row.
+func DecodeCustomer(b []byte) Customer {
+	d := dec{b: b}
+	return Customer{
+		First: d.s(), Last: d.s(), Credit: d.s(),
+		Discount: d.i(), Balance: d.i(), YTDPayment: d.i(),
+		PaymentCnt: d.i(), DeliveryCnt: d.i(), Data: d.s(),
+	}
+}
+
+// Item row.
+type Item struct {
+	Name  string
+	Price int64 // cents
+	Data  string
+}
+
+// Encode serializes the row.
+func (r Item) Encode() []byte {
+	var e enc
+	e.s(r.Name)
+	e.i(r.Price)
+	e.s(r.Data)
+	return e.b
+}
+
+// DecodeItem parses an item row.
+func DecodeItem(b []byte) Item {
+	d := dec{b: b}
+	return Item{Name: d.s(), Price: d.i(), Data: d.s()}
+}
+
+// Stock row.
+type Stock struct {
+	Qty       int64
+	YTD       int64
+	OrderCnt  int64
+	RemoteCnt int64
+	Dist      string // district info filler
+	Data      string
+}
+
+// Encode serializes the row.
+func (r Stock) Encode() []byte {
+	var e enc
+	e.i(r.Qty)
+	e.i(r.YTD)
+	e.i(r.OrderCnt)
+	e.i(r.RemoteCnt)
+	e.s(r.Dist)
+	e.s(r.Data)
+	return e.b
+}
+
+// DecodeStock parses a stock row.
+func DecodeStock(b []byte) Stock {
+	d := dec{b: b}
+	return Stock{Qty: d.i(), YTD: d.i(), OrderCnt: d.i(), RemoteCnt: d.i(), Dist: d.s(), Data: d.s()}
+}
+
+// Order row.
+type Order struct {
+	CID      int64
+	EntryD   int64 // virtual nanoseconds
+	Carrier  int64 // 0: not delivered
+	OLCnt    int64
+	AllLocal bool
+}
+
+// Encode serializes the row.
+func (r Order) Encode() []byte {
+	var e enc
+	e.i(r.CID)
+	e.i(r.EntryD)
+	e.i(r.Carrier)
+	e.i(r.OLCnt)
+	al := int64(0)
+	if r.AllLocal {
+		al = 1
+	}
+	e.i(al)
+	return e.b
+}
+
+// DecodeOrder parses an order row.
+func DecodeOrder(b []byte) Order {
+	d := dec{b: b}
+	return Order{CID: d.i(), EntryD: d.i(), Carrier: d.i(), OLCnt: d.i(), AllLocal: d.i() == 1}
+}
+
+// OrderLine row.
+type OrderLine struct {
+	IID       int64
+	SupplyW   int64
+	Qty       int64
+	Amount    int64 // cents
+	DeliveryD int64 // 0: undelivered
+	DistInfo  string
+}
+
+// Encode serializes the row.
+func (r OrderLine) Encode() []byte {
+	var e enc
+	e.i(r.IID)
+	e.i(r.SupplyW)
+	e.i(r.Qty)
+	e.i(r.Amount)
+	e.i(r.DeliveryD)
+	e.s(r.DistInfo)
+	return e.b
+}
+
+// DecodeOrderLine parses an order-line row.
+func DecodeOrderLine(b []byte) OrderLine {
+	d := dec{b: b}
+	return OrderLine{IID: d.i(), SupplyW: d.i(), Qty: d.i(), Amount: d.i(), DeliveryD: d.i(), DistInfo: d.s()}
+}
+
+// History row.
+type History struct {
+	CID    int64
+	Amount int64
+	Date   int64
+	Data   string
+}
+
+// Encode serializes the row.
+func (r History) Encode() []byte {
+	var e enc
+	e.i(r.CID)
+	e.i(r.Amount)
+	e.i(r.Date)
+	e.s(r.Data)
+	return e.b
+}
+
+// DecodeHistory parses a history row.
+func DecodeHistory(b []byte) History {
+	d := dec{b: b}
+	return History{CID: d.i(), Amount: d.i(), Date: d.i(), Data: d.s()}
+}
+
+// encodeIDList / decodeIDList back the customer-by-last-name index.
+func encodeIDList(ids []int64) []byte {
+	var e enc
+	e.u(uint64(len(ids)))
+	for _, id := range ids {
+		e.i(id)
+	}
+	return e.b
+}
+
+func decodeIDList(b []byte) []int64 {
+	d := dec{b: b}
+	n := int(d.u())
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.i())
+	}
+	return out
+}
+
+// --- random helpers (TPC-C clause 2.1.6 and 4.3) ----------------------------
+
+// nuRand C constants, fixed per spec shape (run-time constants).
+const (
+	cLast = 173
+	cCID  = 319
+	cIID  = 1217
+)
+
+// nuRand implements the non-uniform random function NURand(A, x, y).
+func nuRand(rng *rand.Rand, a, c, x, y int) int {
+	return (((rng.Intn(a+1) | (x + rng.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+var lastSyllables = [10]string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName builds the spec's syllable-composed customer last name.
+func LastName(num int) string {
+	return lastSyllables[num/100%10] + lastSyllables[num/10%10] + lastSyllables[num%10]
+}
+
+func randomFiller(rng *rand.Rand, n int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alpha[rng.Intn(len(alpha))])
+	}
+	return sb.String()
+}
+
+// --- loader -----------------------------------------------------------------
+
+// Load populates eng with a freshly generated TPC-C database, bypassing
+// the log (clause 4.3 population, scaled by cfg).
+func Load(eng *db.Engine, cfg Config, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, t := range []string{TWarehouse, TDistrict, TCustomer, TCustIdx, THistory, TNewOrder, TOrder, TOrderLine, TItem, TStock} {
+		eng.CreateTable(t)
+	}
+	for i := 1; i <= cfg.Items; i++ {
+		eng.LoadRow(TItem, IKey(i), Item{
+			Name:  randomFiller(rng, cfg.FillerLen),
+			Price: int64(rng.Intn(9900) + 100),
+			Data:  randomFiller(rng, cfg.FillerLen),
+		}.Encode())
+	}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		eng.LoadRow(TWarehouse, WKey(w), Warehouse{
+			Name: fmt.Sprintf("wh-%d", w),
+			Tax:  int64(rng.Intn(2000)),
+		}.Encode())
+		for i := 1; i <= cfg.Items; i++ {
+			eng.LoadRow(TStock, SKey(w, i), Stock{
+				Qty:  int64(rng.Intn(91) + 10),
+				Dist: randomFiller(rng, cfg.FillerLen),
+				Data: randomFiller(rng, cfg.FillerLen),
+			}.Encode())
+		}
+		for d := 1; d <= cfg.Districts; d++ {
+			eng.LoadRow(TDistrict, DKey(w, d), District{
+				Name:         fmt.Sprintf("dist-%d-%d", w, d),
+				Tax:          int64(rng.Intn(2000)),
+				NextOID:      1,
+				NextDelivery: 1,
+			}.Encode())
+			byName := map[string][]int64{}
+			for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+				nameNum := c - 1
+				if nameNum >= 1000 {
+					nameNum = nuRand(rng, 255, cLast, 0, 999)
+				}
+				last := LastName(nameNum)
+				credit := "GC"
+				if rng.Intn(10) == 0 {
+					credit = "BC"
+				}
+				eng.LoadRow(TCustomer, CKey(w, d, c), Customer{
+					First:    randomFiller(rng, cfg.FillerLen),
+					Last:     last,
+					Credit:   credit,
+					Discount: int64(rng.Intn(5000)),
+					Balance:  -1000,
+					Data:     randomFiller(rng, cfg.FillerLen),
+				}.Encode())
+				byName[last] = append(byName[last], int64(c))
+			}
+			for last, ids := range byName {
+				eng.LoadRow(TCustIdx, CIdxKey(w, d, last), encodeIDList(ids))
+			}
+		}
+	}
+}

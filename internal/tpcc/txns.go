@@ -1,0 +1,472 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+
+	"xssd/internal/db"
+	"xssd/internal/sim"
+)
+
+// TxType identifies a TPC-C transaction profile.
+type TxType int
+
+// The five profiles.
+const (
+	NewOrderTx TxType = iota
+	PaymentTx
+	OrderStatusTx
+	DeliveryTx
+	StockLevelTx
+	numTxTypes
+)
+
+// String implements fmt.Stringer.
+func (t TxType) String() string {
+	switch t {
+	case NewOrderTx:
+		return "NewOrder"
+	case PaymentTx:
+		return "Payment"
+	case OrderStatusTx:
+		return "OrderStatus"
+	case DeliveryTx:
+		return "Delivery"
+	case StockLevelTx:
+		return "StockLevel"
+	}
+	return "unknown"
+}
+
+// ErrRollback is the intentional 1% NewOrder rollback (clause 2.4.1.4).
+var ErrRollback = errors.New("tpcc: intentional user rollback")
+
+// Client executes the TPC-C mix against an engine from one home
+// warehouse terminal.
+type Client struct {
+	cfg  Config
+	eng  *db.Engine
+	rng  *rand.Rand
+	home int
+
+	counts  [numTxTypes]int64
+	aborts  int64
+	retries int64
+
+	// commitFn overrides the commit path (pipelined commit); nil means
+	// synchronous tx.Commit.
+	commitFn func(*sim.Proc, *db.Tx) error
+	lastLSN  int64
+}
+
+// NewClient creates a terminal bound to homeWID.
+func NewClient(eng *db.Engine, cfg Config, seed int64, homeWID int) *Client {
+	return &Client{cfg: cfg, eng: eng, rng: rand.New(rand.NewSource(seed)), home: homeWID}
+}
+
+// Counts returns per-type committed counts plus total aborts and retries.
+func (c *Client) Counts() (byType [5]int64, aborts, retries int64) {
+	return c.counts, c.aborts, c.retries
+}
+
+// PickType draws a transaction type from the standard mix
+// (45/43/4/4/4, clause 5.2.3).
+func (c *Client) PickType() TxType {
+	r := c.rng.Intn(100)
+	switch {
+	case r < 45:
+		return NewOrderTx
+	case r < 88:
+		return PaymentTx
+	case r < 92:
+		return OrderStatusTx
+	case r < 96:
+		return DeliveryTx
+	default:
+		return StockLevelTx
+	}
+}
+
+// RunOne executes one transaction of the given type, retrying OCC
+// conflicts up to three times. It returns the committed transaction's
+// type; intentional rollbacks count as completed NewOrders per the spec.
+func (c *Client) RunOne(p *sim.Proc, t TxType) error {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		switch t {
+		case NewOrderTx:
+			err = c.newOrder(p)
+		case PaymentTx:
+			err = c.payment(p)
+		case OrderStatusTx:
+			err = c.orderStatus(p)
+		case DeliveryTx:
+			err = c.delivery(p)
+		case StockLevelTx:
+			err = c.stockLevel(p)
+		}
+		if err == db.ErrConflict {
+			c.retries++
+			continue
+		}
+		break
+	}
+	switch err {
+	case nil, ErrRollback:
+		c.counts[t]++
+		return nil
+	default:
+		c.aborts++
+		return err
+	}
+}
+
+// RunMix draws from the mix and executes.
+func (c *Client) RunMix(p *sim.Proc) (TxType, error) {
+	t := c.PickType()
+	return t, c.RunOne(p, t)
+}
+
+// commit finishes a transaction through the configured commit path.
+func (c *Client) commit(p *sim.Proc, tx *db.Tx) error {
+	if c.commitFn != nil {
+		return c.commitFn(p, tx)
+	}
+	return tx.Commit(p)
+}
+
+// RunMixAsync executes one mixed transaction with pipelined commit: the
+// write set is applied and appended to the log, and the LSN to wait on is
+// returned instead of blocking (0 for read-only transactions and
+// intentional rollbacks). Conflicts are retried like RunOne.
+func (c *Client) RunMixAsync(p *sim.Proc) (int64, error) {
+	c.lastLSN = 0
+	c.commitFn = func(_ *sim.Proc, tx *db.Tx) error {
+		lsn, err := tx.CommitAsync()
+		if err == nil {
+			c.lastLSN = lsn
+		}
+		return err
+	}
+	defer func() { c.commitFn = nil }()
+	_, err := c.RunMix(p)
+	return c.lastLSN, err
+}
+
+func (c *Client) randCID() int {
+	return nuRand(c.rng, 1023, cCID, 1, c.cfg.CustomersPerDistrict)
+}
+
+func (c *Client) randIID() int {
+	return nuRand(c.rng, 8191, cIID, 1, c.cfg.Items)
+}
+
+// newOrder implements clause 2.4: insert an order of 5-15 lines, updating
+// district and stock.
+func (c *Client) newOrder(p *sim.Proc) error {
+	w := c.home
+	d := c.rng.Intn(c.cfg.Districts) + 1
+	cid := c.randCID()
+	olCnt := c.rng.Intn(11) + 5
+	rollback := c.rng.Intn(100) == 0 // 1% pick an unused item id
+
+	tx := c.eng.Begin()
+	wRow, ok := tx.Get(TWarehouse, WKey(w))
+	if !ok {
+		tx.Abort()
+		return errors.New("tpcc: missing warehouse")
+	}
+	wh := DecodeWarehouse(wRow)
+	dRow, ok := tx.Get(TDistrict, DKey(w, d))
+	if !ok {
+		tx.Abort()
+		return errors.New("tpcc: missing district")
+	}
+	dist := DecodeDistrict(dRow)
+	oid := int(dist.NextOID)
+	dist.NextOID++
+	tx.Put(TDistrict, DKey(w, d), dist.Encode())
+
+	cRow, ok := tx.Get(TCustomer, CKey(w, d, cid))
+	if !ok {
+		tx.Abort()
+		return errors.New("tpcc: missing customer")
+	}
+	cust := DecodeCustomer(cRow)
+
+	allLocal := true
+	var total int64
+	for ln := 1; ln <= olCnt; ln++ {
+		iid := c.randIID()
+		if rollback && ln == olCnt {
+			iid = c.cfg.Items + 1 // guaranteed miss
+		}
+		supplyW := w
+		if c.cfg.Warehouses > 1 && c.rng.Intn(100) == 0 { // 1% remote
+			for supplyW == w {
+				supplyW = c.rng.Intn(c.cfg.Warehouses) + 1
+			}
+			allLocal = false
+		}
+		iRow, ok := tx.Get(TItem, IKey(iid))
+		if !ok {
+			tx.Abort()
+			return ErrRollback // "unused item number" rollback
+		}
+		item := DecodeItem(iRow)
+		sRow, ok := tx.Get(TStock, SKey(supplyW, iid))
+		if !ok {
+			tx.Abort()
+			return errors.New("tpcc: missing stock")
+		}
+		stock := DecodeStock(sRow)
+		qty := int64(c.rng.Intn(10) + 1)
+		if stock.Qty >= qty+10 {
+			stock.Qty -= qty
+		} else {
+			stock.Qty += 91 - qty
+		}
+		stock.YTD += qty
+		stock.OrderCnt++
+		if supplyW != w {
+			stock.RemoteCnt++
+		}
+		tx.Put(TStock, SKey(supplyW, iid), stock.Encode())
+		amount := qty * item.Price
+		total += amount
+		tx.Put(TOrderLine, OLKey(w, d, oid, ln), OrderLine{
+			IID: int64(iid), SupplyW: int64(supplyW), Qty: qty,
+			Amount: amount, DistInfo: stock.Dist,
+		}.Encode())
+	}
+	_ = total * (10000 - cust.Discount) / 10000 * (10000 + wh.Tax + dist.Tax) / 10000
+
+	tx.Put(TOrder, OKey(w, d, oid), Order{
+		CID: int64(cid), EntryD: int64(p.Now()), OLCnt: int64(olCnt), AllLocal: allLocal,
+	}.Encode())
+	tx.Put(TNewOrder, NOKey(w, d, oid), []byte{1})
+	return c.commit(p, tx)
+}
+
+// payment implements clause 2.5: pay against warehouse/district/customer,
+// recording history. 60% select the customer by last name, 15% pay through
+// a remote warehouse.
+func (c *Client) payment(p *sim.Proc) error {
+	w := c.home
+	d := c.rng.Intn(c.cfg.Districts) + 1
+	cw, cd := w, d
+	if c.cfg.Warehouses > 1 && c.rng.Intn(100) < 15 {
+		for cw == w {
+			cw = c.rng.Intn(c.cfg.Warehouses) + 1
+		}
+		cd = c.rng.Intn(c.cfg.Districts) + 1
+	}
+	amount := int64(c.rng.Intn(499900) + 100)
+
+	tx := c.eng.Begin()
+	wRow, ok := tx.Get(TWarehouse, WKey(w))
+	if !ok {
+		tx.Abort()
+		return errors.New("tpcc: missing warehouse")
+	}
+	wh := DecodeWarehouse(wRow)
+	wh.YTD += amount
+	tx.Put(TWarehouse, WKey(w), wh.Encode())
+
+	dRow, ok := tx.Get(TDistrict, DKey(w, d))
+	if !ok {
+		tx.Abort()
+		return errors.New("tpcc: missing district")
+	}
+	dist := DecodeDistrict(dRow)
+	dist.YTD += amount
+	tx.Put(TDistrict, DKey(w, d), dist.Encode())
+
+	cid, err := c.selectCustomer(tx, cw, cd)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	cRow, ok := tx.Get(TCustomer, CKey(cw, cd, cid))
+	if !ok {
+		tx.Abort()
+		return errors.New("tpcc: missing customer")
+	}
+	cust := DecodeCustomer(cRow)
+	cust.Balance -= amount
+	cust.YTDPayment += amount
+	cust.PaymentCnt++
+	if cust.Credit == "BC" {
+		cust.Data = randomFiller(c.rng, c.cfg.FillerLen)
+	}
+	tx.Put(TCustomer, CKey(cw, cd, cid), cust.Encode())
+	tx.Put(THistory, HKey(w, d, tx.ID()), History{
+		CID: int64(cid), Amount: amount, Date: int64(p.Now()),
+		Data: wh.Name + " " + dist.Name,
+	}.Encode())
+	return c.commit(p, tx)
+}
+
+// selectCustomer picks by last name 60% of the time (middle match, clause
+// 2.5.2.2), by id otherwise.
+func (c *Client) selectCustomer(tx *db.Tx, w, d int) (int, error) {
+	if c.rng.Intn(100) < 60 {
+		last := LastName(nuRand(c.rng, 255, cLast, 0, 999))
+		idxRow, ok := tx.Get(TCustIdx, CIdxKey(w, d, last))
+		if !ok {
+			// Name not present at this scale: fall back to id selection.
+			return c.randCID(), nil
+		}
+		ids := decodeIDList(idxRow)
+		if len(ids) == 0 {
+			return c.randCID(), nil
+		}
+		return int(ids[len(ids)/2]), nil
+	}
+	return c.randCID(), nil
+}
+
+// orderStatus implements clause 2.6 (read only): a customer's most recent
+// order and its lines.
+func (c *Client) orderStatus(p *sim.Proc) error {
+	w := c.home
+	d := c.rng.Intn(c.cfg.Districts) + 1
+	tx := c.eng.Begin()
+	cid, err := c.selectCustomer(tx, w, d)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, ok := tx.Get(TCustomer, CKey(w, d, cid)); !ok {
+		tx.Abort()
+		return errors.New("tpcc: missing customer")
+	}
+	dRow, ok := tx.Get(TDistrict, DKey(w, d))
+	if !ok {
+		tx.Abort()
+		return errors.New("tpcc: missing district")
+	}
+	dist := DecodeDistrict(dRow)
+	// Scan backwards for this customer's latest order (bounded walk).
+	for oid := int(dist.NextOID) - 1; oid >= 1 && oid > int(dist.NextOID)-50; oid-- {
+		oRow, ok := tx.Get(TOrder, OKey(w, d, oid))
+		if !ok {
+			continue
+		}
+		order := DecodeOrder(oRow)
+		if order.CID != int64(cid) {
+			continue
+		}
+		for ln := 1; ln <= int(order.OLCnt); ln++ {
+			tx.Get(TOrderLine, OLKey(w, d, oid, ln))
+		}
+		break
+	}
+	return c.commit(p, tx)
+}
+
+// delivery implements clause 2.7: deliver the oldest undelivered order of
+// each district.
+func (c *Client) delivery(p *sim.Proc) error {
+	w := c.home
+	carrier := int64(c.rng.Intn(10) + 1)
+	tx := c.eng.Begin()
+	for d := 1; d <= c.cfg.Districts; d++ {
+		dRow, ok := tx.Get(TDistrict, DKey(w, d))
+		if !ok {
+			continue
+		}
+		dist := DecodeDistrict(dRow)
+		oid := int(dist.NextDelivery)
+		if int64(oid) >= dist.NextOID {
+			continue // nothing to deliver in this district
+		}
+		if _, ok := tx.Get(TNewOrder, NOKey(w, d, oid)); !ok {
+			// Order consumed by a concurrent delivery; advance anyway.
+			dist.NextDelivery++
+			tx.Put(TDistrict, DKey(w, d), dist.Encode())
+			continue
+		}
+		tx.Delete(TNewOrder, NOKey(w, d, oid))
+		dist.NextDelivery++
+		tx.Put(TDistrict, DKey(w, d), dist.Encode())
+
+		oRow, ok := tx.Get(TOrder, OKey(w, d, oid))
+		if !ok {
+			continue
+		}
+		order := DecodeOrder(oRow)
+		order.Carrier = carrier
+		tx.Put(TOrder, OKey(w, d, oid), order.Encode())
+		// DeliveryD == 0 means "undelivered", so a delivery at virtual
+		// time zero must still stamp a nonzero instant.
+		stamp := int64(p.Now())
+		if stamp == 0 {
+			stamp = 1
+		}
+		var total int64
+		for ln := 1; ln <= int(order.OLCnt); ln++ {
+			olRow, ok := tx.Get(TOrderLine, OLKey(w, d, oid, ln))
+			if !ok {
+				continue
+			}
+			ol := DecodeOrderLine(olRow)
+			ol.DeliveryD = stamp
+			total += ol.Amount
+			tx.Put(TOrderLine, OLKey(w, d, oid, ln), ol.Encode())
+		}
+		cRow, ok := tx.Get(TCustomer, CKey(w, d, int(order.CID)))
+		if !ok {
+			continue
+		}
+		cust := DecodeCustomer(cRow)
+		cust.Balance += total
+		cust.DeliveryCnt++
+		tx.Put(TCustomer, CKey(w, d, int(order.CID)), cust.Encode())
+	}
+	return c.commit(p, tx)
+}
+
+// stockLevel implements clause 2.8 (read only): count recent items with
+// stock below a threshold.
+func (c *Client) stockLevel(p *sim.Proc) error {
+	w := c.home
+	d := c.rng.Intn(c.cfg.Districts) + 1
+	threshold := int64(c.rng.Intn(11) + 10)
+	tx := c.eng.Begin()
+	dRow, ok := tx.Get(TDistrict, DKey(w, d))
+	if !ok {
+		tx.Abort()
+		return errors.New("tpcc: missing district")
+	}
+	dist := DecodeDistrict(dRow)
+	low := 0
+	seen := map[int64]bool{}
+	for oid := int(dist.NextOID) - 1; oid >= 1 && oid > int(dist.NextOID)-20; oid-- {
+		oRow, ok := tx.Get(TOrder, OKey(w, d, oid))
+		if !ok {
+			continue
+		}
+		order := DecodeOrder(oRow)
+		for ln := 1; ln <= int(order.OLCnt); ln++ {
+			olRow, ok := tx.Get(TOrderLine, OLKey(w, d, oid, ln))
+			if !ok {
+				continue
+			}
+			ol := DecodeOrderLine(olRow)
+			if seen[ol.IID] {
+				continue
+			}
+			seen[ol.IID] = true
+			sRow, ok := tx.Get(TStock, SKey(w, int(ol.IID)))
+			if !ok {
+				continue
+			}
+			if DecodeStock(sRow).Qty < threshold {
+				low++
+			}
+		}
+	}
+	_ = low
+	return c.commit(p, tx)
+}

@@ -1,0 +1,228 @@
+package villars
+
+import (
+	"time"
+
+	"xssd/internal/pm"
+	"xssd/internal/ring"
+	"xssd/internal/sim"
+	"xssd/internal/trace"
+)
+
+// cmbModule is the fast side's front end (paper §4.1, Fig 5): arriving TLP
+// payloads land on an SRAM intake queue of pre-negotiated size; a drain
+// process retires them into the PM backing ring; the credit counter — the
+// ring's contiguous frontier — advances only when gap-free data reaches the
+// backing memory.
+type cmbModule struct {
+	dev  *Device
+	fs   *fastSide
+	bank *pm.Bank
+	ring *ring.Ring
+
+	queue     []cmbChunk
+	queueUsed int
+
+	arrived       *sim.Signal // intake queue received data
+	CreditChanged *sim.Signal // frontier advanced
+
+	// advanced API (paper §5.2): active allocations pin the destage floor.
+	allocs      []Allocation
+	nextAllocID int64
+
+	headArrived  time.Duration // when the oldest undestaged byte arrived
+	supercapDead bool
+
+	// stats
+	overruns, rejected int64
+	bytesIn            int64
+}
+
+type cmbChunk struct {
+	off  int64
+	data []byte
+}
+
+// Allocation is an active fast-side region handed out by Alloc (paper
+// §5.2): the device will not destage past the start of the oldest active
+// allocation, so the area may be written in any order until freed.
+type Allocation struct {
+	ID         int64
+	Start, End int64
+}
+
+func newCMBModule(d *Device, fs *fastSide, bank *pm.Bank) *cmbModule {
+	m := &cmbModule{
+		dev:           d,
+		fs:            fs,
+		bank:          bank,
+		ring:          ring.New(int(fs.cmbSize)),
+		arrived:       d.env.NewSignal(),
+		CreditChanged: d.env.NewSignal(),
+	}
+	d.env.Go("cmb-drain-"+fs.name, m.drain)
+	return m
+}
+
+// MemWrite implements pcie.Target: a TLP payload arrived on the CMB
+// interface. Runs in scheduler context; must not block.
+func (m *cmbModule) MemWrite(off int64, data []byte) {
+	if m.dev.powerLost {
+		m.rejected++
+		return
+	}
+	// The Transport module receives a mirror of the arriving TLP stream
+	// (paper §4.2, Fig 6 step 1). Only the device's primary fast side
+	// replicates; virtual functions are local (their replication configs
+	// are future work per paper §7.2).
+	if m.fs.primary {
+		m.dev.transport.mirror(off, data)
+	}
+	if m.queueUsed+len(data) > m.fs.queueSize {
+		// The host overran the advisory flow-control protocol; the write
+		// is dropped and the guarantee void (paper §4.1).
+		m.overruns++
+		m.dev.tracer.Record(trace.QueueOverrun, m.fs.name, off, int64(len(data)))
+		return
+	}
+	buf := append([]byte(nil), data...)
+	m.queue = append(m.queue, cmbChunk{off: off, data: buf})
+	m.queueUsed += len(buf)
+	m.bytesIn += int64(len(buf))
+	m.dev.tracer.Record(trace.CMBWrite, m.fs.name, off, int64(len(buf)))
+	m.arrived.Broadcast()
+}
+
+// MemRead implements pcie.Target: loads from the CMB window read the
+// backing ring (the window is byte-addressable in both directions).
+func (m *cmbModule) MemRead(off int64, n int) []byte {
+	data, err := m.ring.Read(off, n)
+	if err != nil {
+		return make([]byte, n)
+	}
+	return data
+}
+
+// drain streams intake-queue entries onto the backing bus. Stores are
+// pipelined: each chunk occupies the bus for its serialization time only,
+// and commits to the ring one access latency later (bus FIFO keeps those
+// completions in order), so back-to-back chunks stream at full bus
+// bandwidth instead of serializing on the access latency.
+func (m *cmbModule) drain(p *sim.Proc) {
+	for {
+		if len(m.queue) == 0 {
+			if m.dev.powerLost {
+				// Crash protocol: the queue is empty; nothing more will
+				// arrive. The destage module finishes the job.
+				m.fs.destage.kick.Broadcast()
+			}
+			p.Wait(m.arrived)
+			continue
+		}
+		c := m.queue[0]
+		m.queue = m.queue[1:]
+		m.bank.WriteAsync(len(c.data), func() { m.persist(c) })
+		p.Sleep(m.bank.SerializationTime(len(c.data)))
+	}
+}
+
+// persist lands one chunk in the backing ring (scheduler context, in bus
+// completion order).
+func (m *cmbModule) persist(c cmbChunk) {
+	before := m.ring.Frontier()
+	if err := m.ring.Write(c.off, c.data); err != nil {
+		// Stale or overrunning write: drop it. The host's flow control
+		// should prevent this.
+		m.rejected++
+		m.queueUsed -= len(c.data)
+		return
+	}
+	m.queueUsed -= len(c.data)
+	if m.ring.Live() > 0 && before == m.ring.Head() {
+		m.headArrived = m.dev.env.Now()
+	}
+	if m.ring.Frontier() != before {
+		m.dev.tracer.Record(trace.CMBPersist, m.fs.name, c.off, m.ring.Frontier())
+		m.CreditChanged.Broadcast()
+		m.fs.destage.kick.Broadcast()
+	}
+}
+
+// Alloc reserves size bytes at the current high-water mark for random-order
+// writing (paper §5.2). The region is pinned — not destage-eligible — until
+// freed.
+func (m *cmbModule) Alloc(size int) (Allocation, error) {
+	if int64(size) > m.ring.Free() {
+		return Allocation{}, ring.ErrFull
+	}
+	start := m.allocTail()
+	m.nextAllocID++
+	a := Allocation{ID: m.nextAllocID, Start: start, End: start + int64(size)}
+	m.allocs = append(m.allocs, a)
+	return a, nil
+}
+
+// allocTail returns the first stream offset past every allocation and all
+// appended data.
+func (m *cmbModule) allocTail() int64 {
+	t := m.ring.Frontier()
+	for _, a := range m.allocs {
+		if a.End > t {
+			t = a.End
+		}
+	}
+	if gaps := m.ring.Gaps(); len(gaps) > 0 {
+		if e := gaps[len(gaps)-1].End; e > t {
+			t = e
+		}
+	}
+	return t
+}
+
+// Free releases an allocation; once every allocation below it is also
+// free, the region becomes destage-eligible.
+func (m *cmbModule) Free(id int64) bool {
+	for i, a := range m.allocs {
+		if a.ID == id {
+			m.allocs = append(m.allocs[:i], m.allocs[i+1:]...)
+			m.fs.destage.kick.Broadcast()
+			return true
+		}
+	}
+	return false
+}
+
+// FreeByStart releases the allocation beginning at the given stream
+// offset (the handle shape the NVMe vendor command can carry).
+func (m *cmbModule) FreeByStart(start int64) bool {
+	for _, a := range m.allocs {
+		if a.Start == start {
+			return m.Free(a.ID)
+		}
+	}
+	return false
+}
+
+// destageFloor returns the stream offset destaging must not cross: the
+// start of the oldest active allocation, or the frontier when none.
+func (m *cmbModule) destageFloor() int64 {
+	floor := m.ring.Frontier()
+	for _, a := range m.allocs {
+		if a.Start < floor {
+			floor = a.Start
+		}
+	}
+	return floor
+}
+
+// QueueUsed returns the bytes currently sitting in the intake queue.
+func (m *cmbModule) QueueUsed() int { return m.queueUsed }
+
+// Ring exposes the backing ring (tests and the destage module).
+func (m *cmbModule) Ring() *ring.Ring { return m.ring }
+
+// Overruns returns how many TLPs were dropped due to queue overrun.
+func (m *cmbModule) Overruns() int64 { return m.overruns }
+
+// BytesIn returns the total payload bytes accepted on the CMB interface.
+func (m *cmbModule) BytesIn() int64 { return m.bytesIn }

@@ -1,0 +1,246 @@
+package villars
+
+import (
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/ntb"
+	"xssd/internal/sim"
+	"xssd/internal/trace"
+)
+
+// transportModule mirrors the fast-side write stream to peer devices over
+// NTB and maintains shadow counters (paper §4.2, Fig 6). It is optional:
+// in Standalone mode only CMB and Destage operate.
+type transportModule struct {
+	dev    *Device
+	mode   core.TransportMode
+	scheme core.ReplicationScheme
+
+	// primary state: one mirror flow per secondary (the paper forgoes NTB
+	// multicast so each secondary receives at its own pace).
+	peers []*peerLink
+
+	// secondary state
+	reportTo     *ntb.Window // counter-update path back to the primary
+	reportPeerID int
+	reporting    bool
+	lastReported int64
+
+	// ShadowAdvanced broadcasts whenever any shadow counter moves; the
+	// benchmark harness and x_fsync-over-replication wait on it.
+	ShadowAdvanced *sim.Signal
+
+	// stats
+	mirroredBytes, counterUpdates int64
+	updatesSent                   int64
+}
+
+// peerLink is the primary's view of one secondary.
+type peerLink struct {
+	id       int
+	dev      *Device
+	window   *ntb.Window // primary -> secondary CMB data
+	shadow   int64       // last reported secondary credit counter
+	lastSeen time.Duration
+}
+
+func newTransportModule(d *Device) *transportModule {
+	return &transportModule{
+		dev:            d,
+		mode:           core.Standalone,
+		scheme:         core.Eager,
+		ShadowAdvanced: d.env.NewSignal(),
+	}
+}
+
+// Mode returns the current transport mode.
+func (t *transportModule) Mode() core.TransportMode { return t.mode }
+
+// Scheme returns the active replication scheme.
+func (t *transportModule) Scheme() core.ReplicationScheme { return t.scheme }
+
+// SetScheme selects which counter combination the device reports.
+func (t *transportModule) SetScheme(s core.ReplicationScheme) { t.scheme = s }
+
+// setMode switches the transport role (vendor admin command; paper §7.1
+// describes promotion/demotion as the database's responsibility).
+func (t *transportModule) setMode(m core.TransportMode) {
+	if t.mode == m {
+		return
+	}
+	t.mode = m
+	if m == core.Secondary && t.reportTo != nil && !t.reporting {
+		t.startReporting()
+	}
+}
+
+// AddPeer attaches a secondary behind bridge: the primary gets a mirror
+// window onto the secondary's CMB, and the secondary gets a counter-report
+// window back. Returns the peer id.
+func (t *transportModule) AddPeer(sec *Device, toSec, toPrim *ntb.Bridge) int {
+	id := len(t.peers)
+	pl := &peerLink{
+		id:     id,
+		dev:    sec,
+		window: toSec.NewWindow(sec.fs.cmb, 0),
+	}
+	t.peers = append(t.peers, pl)
+	sec.transport.reportTo = toPrim.NewWindow(counterPort{t}, 0)
+	sec.transport.reportPeerID = id
+	if sec.transport.mode == core.Secondary && !sec.transport.reporting {
+		sec.transport.startReporting()
+	}
+	return id
+}
+
+// ClearPeers detaches every secondary (used when re-wiring roles after a
+// promotion). The secondaries' report windows are left in place; they stop
+// reporting when their mode changes.
+func (t *transportModule) ClearPeers() {
+	t.peers = nil
+}
+
+// Peers returns the number of attached secondaries.
+func (t *transportModule) Peers() int { return len(t.peers) }
+
+// mirror forwards an arriving CMB TLP to every peer. Primaries always
+// mirror; a Secondary with downstream peers relays — the chain-replication
+// topology of §4.2, where each server forwards to the next in the chain.
+func (t *transportModule) mirror(off int64, data []byte) {
+	if t.mode == core.Standalone || len(t.peers) == 0 {
+		return
+	}
+	for _, pl := range t.peers {
+		pl.window.Write(off, data, nil)
+	}
+	t.dev.tracer.Record(trace.Mirror, t.dev.cfg.Name, off, int64(len(data)))
+	t.mirroredBytes += int64(len(data)) * int64(len(t.peers))
+}
+
+// counterPort receives shadow-counter update messages on the primary.
+type counterPort struct{ t *transportModule }
+
+// MemWrite decodes a counter update: the peer id rides in the address, the
+// counter value in the first 8 payload bytes.
+func (c counterPort) MemWrite(off int64, data []byte) {
+	id := int(off)
+	if id < 0 || id >= len(c.t.peers) || len(data) < 8 {
+		return
+	}
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(data[i]) << (8 * i)
+	}
+	pl := c.t.peers[id]
+	pl.lastSeen = c.t.dev.env.Now()
+	if v > pl.shadow {
+		pl.shadow = v
+		c.t.counterUpdates++
+		c.t.dev.tracer.Record(trace.ShadowUpdate, c.t.dev.cfg.Name, int64(id), v)
+		c.t.ShadowAdvanced.Broadcast()
+	}
+}
+
+// MemRead is unused on the counter port.
+func (c counterPort) MemRead(off int64, n int) []byte { return make([]byte, n) }
+
+// startReporting launches the secondary's periodic shadow-counter update
+// process (paper §4.2: "the frequency with which it does so is
+// adjustable").
+func (t *transportModule) startReporting() {
+	t.reporting = true
+	t.dev.env.Go("shadow-report-"+t.dev.cfg.Name, func(p *sim.Proc) {
+		for {
+			if t.mode != core.Secondary || t.reportTo == nil {
+				t.reporting = false
+				return
+			}
+			// The update fires every period unconditionally — the paper's
+			// Fig 13 measures exactly this fixed-rate traffic (2.35% of
+			// the fabric at 0.4 µs).
+			v := t.reportValue()
+			t.lastReported = v
+			payload := make([]byte, core.CounterUpdateBytes)
+			for i := 0; i < 8; i++ {
+				payload[i] = byte(v >> (8 * i))
+			}
+			t.reportTo.WriteRaw(int64(t.reportPeerID), payload[:8], core.CounterUpdateBytes, nil)
+			t.updatesSent++
+			p.Sleep(t.dev.cfg.ShadowUpdatePeriod)
+		}
+	})
+}
+
+// reportValue is what a secondary reports upstream: its local persist
+// frontier, or — when it relays to downstream chain peers — the minimum
+// of its own frontier and theirs, so the head of the chain learns
+// whole-chain persistence from a single shadow counter (paper §4.2:
+// "all but the last server would have a single shadow counter from the
+// server in the chain").
+func (t *transportModule) reportValue() int64 {
+	v := t.dev.fs.cmb.ring.Frontier()
+	for _, pl := range t.peers {
+		if pl.shadow < v {
+			v = pl.shadow
+		}
+	}
+	return v
+}
+
+// effectiveCredit combines local and shadow counters per the active
+// scheme. local is the device's own persist frontier.
+func (t *transportModule) effectiveCredit(local int64) int64 {
+	if t.mode != core.Primary || len(t.peers) == 0 {
+		return local
+	}
+	switch t.scheme {
+	case Lazy:
+		return local
+	case Chain:
+		return t.peers[len(t.peers)-1].shadow
+	default: // Eager
+		min := local
+		for _, pl := range t.peers {
+			if pl.shadow < min {
+				min = pl.shadow
+			}
+		}
+		return min
+	}
+}
+
+// UpdatesSent returns how many shadow-counter update messages this
+// device's secondary role has emitted.
+func (t *transportModule) UpdatesSent() int64 { return t.updatesSent }
+
+// Shadow returns the primary's shadow counter for a peer.
+func (t *transportModule) Shadow(id int) int64 {
+	if id < 0 || id >= len(t.peers) {
+		return 0
+	}
+	return t.peers[id].shadow
+}
+
+// stalled reports whether any peer's shadow counter lags while data is
+// outstanding and its last update is older than the stall timeout.
+func (t *transportModule) stalled() bool {
+	if t.mode != core.Primary {
+		return false
+	}
+	now := t.dev.env.Now()
+	local := t.dev.fs.cmb.ring.Frontier()
+	for _, pl := range t.peers {
+		if pl.shadow < local && now-pl.lastSeen > t.dev.cfg.StallTimeout {
+			return true
+		}
+	}
+	return false
+}
+
+// Convenient aliases so the package reads like the paper.
+const (
+	Lazy  = core.Lazy
+	Chain = core.Chain
+	Eager = core.Eager
+)

@@ -1,0 +1,439 @@
+package villars
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/nand"
+	"xssd/internal/ntb"
+	"xssd/internal/nvme"
+	"xssd/internal/pcie"
+	"xssd/internal/pm"
+	"xssd/internal/sched"
+	"xssd/internal/sim"
+)
+
+// testConfig returns a small, fast device configuration.
+func testConfig(name string) Config {
+	cfg := DefaultConfig(name)
+	cfg.Geometry = nand.Geometry{Channels: 2, WaysPerChan: 2, BlocksPerDie: 32, PagesPerBlock: 32, PageSize: 2048}
+	cfg.Timing = nand.Timing{TRead: 5 * time.Microsecond, TProg: 20 * time.Microsecond, TErase: 100 * time.Microsecond, BusRate: 1e9}
+	cfg.QueueSize = 4096
+	cfg.CMBSize = 64 << 10
+	cfg.DestageLatencyBound = 200 * time.Microsecond
+	return cfg
+}
+
+func newDevice(env *sim.Env, name string) *Device {
+	return New(env, testConfig(name), pcie.NewHostMemory(1<<20))
+}
+
+// hostWrite pushes data to the device's CMB window at a stream offset via
+// write-combining MMIO and fences.
+func hostWrite(p *sim.Proc, mm *pcie.MMIO, off int64, data []byte) {
+	mm.Store(p, off, data)
+	mm.Fence(p)
+}
+
+func readReg(p *sim.Proc, ctl *pcie.MMIO, reg int64) int64 {
+	b := ctl.Load(p, reg, 8)
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func TestFastWriteAdvancesCredit(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	mm := pcie.NewMMIO(d.DataRegion(), pcie.WriteCombining)
+	ctl := pcie.NewMMIO(d.ControlRegion(), pcie.Uncached)
+	env.Go("host", func(p *sim.Proc) {
+		hostWrite(p, mm, 0, []byte("transaction log record #1"))
+		p.WaitFor(d.CMB().CreditChanged, func() bool { return d.CMB().Ring().Frontier() == 25 })
+		// Check ring content now, before the destage module releases it.
+		got, err := d.CMB().Ring().Read(0, 25)
+		if err != nil || string(got) != "transaction log record #1" {
+			t.Errorf("ring content %q err=%v", got, err)
+		}
+		if got := readReg(p, ctl, core.RegCredit); got != 25 {
+			t.Errorf("credit register = %d, want 25", got)
+		}
+		if got := readReg(p, ctl, core.RegQueueSize); got != 4096 {
+			t.Errorf("queue size register = %d", got)
+		}
+	})
+	env.RunUntil(50 * time.Millisecond)
+}
+
+func TestOutOfOrderArrivalWithholdsCredit(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	env.Go("host", func(p *sim.Proc) {
+		// Deliver [100,108) before [0,100): credit must stay at 0 until
+		// the prefix arrives.
+		d.CMB().MemWrite(100, []byte("deferred"))
+		p.Sleep(10 * time.Microsecond)
+		if d.CMB().Ring().Frontier() != 0 {
+			t.Errorf("credit advanced over a gap: %d", d.CMB().Ring().Frontier())
+		}
+		d.CMB().MemWrite(0, make([]byte, 100))
+		p.Sleep(10 * time.Microsecond)
+		if d.CMB().Ring().Frontier() != 108 {
+			t.Errorf("credit = %d after gap fill, want 108", d.CMB().Ring().Frontier())
+		}
+	})
+	env.RunUntil(time.Millisecond)
+}
+
+func TestQueueOverrunDropsWrites(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	env.Go("host", func(p *sim.Proc) {
+		// Blast 3x the queue size in one scheduler instant: the drain
+		// cannot keep up, so later TLPs find the queue full.
+		for i := 0; i < 3; i++ {
+			d.CMB().MemWrite(int64(i*4096), make([]byte, 4096))
+		}
+	})
+	env.RunUntil(10 * time.Millisecond)
+	if d.CMB().Overruns() == 0 {
+		t.Fatal("no overruns recorded despite 3x queue burst")
+	}
+}
+
+func TestDestageMovesRingToFlash(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	payloadLen := d.cfg.Geometry.PageSize - PageHeaderLen
+	want := make([]byte, payloadLen)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+	env.Go("host", func(p *sim.Proc) {
+		d.CMB().MemWrite(0, want) // full page worth: destages immediately
+	})
+	env.RunUntil(50 * time.Millisecond)
+	if d.Destage().DestagedStream() != int64(payloadLen) {
+		t.Fatalf("destaged %d bytes, want %d", d.Destage().DestagedStream(), payloadLen)
+	}
+	// Read back LBA 0 and parse the destage header.
+	var page []byte
+	env.Go("verify", func(p *sim.Proc) {
+		var err error
+		page, err = d.FTL().Read(p, 0)
+		if err != nil {
+			t.Errorf("read destaged page: %v", err)
+		}
+	})
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	off, n, ok := DecodePageHeader(page)
+	if !ok || off != 0 || n != payloadLen {
+		t.Fatalf("header = (%d,%d,%v)", off, n, ok)
+	}
+	if !bytes.Equal(page[PageHeaderLen:PageHeaderLen+n], want) {
+		t.Fatal("destaged payload corrupted")
+	}
+	// The PM ring must have been released.
+	if d.CMB().Ring().Live() != 0 {
+		t.Fatalf("ring still holds %d live bytes", d.CMB().Ring().Live())
+	}
+}
+
+func TestLatencyBoundDestagesPartialPage(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	env.Go("host", func(p *sim.Proc) {
+		d.CMB().MemWrite(0, []byte("tiny record"))
+	})
+	env.RunUntil(50 * time.Millisecond)
+	total, partial := d.Destage().Pages()
+	if total != 1 || partial != 1 {
+		t.Fatalf("pages = (%d,%d), want one padded page", total, partial)
+	}
+	if d.Destage().DestagedStream() != 11 {
+		t.Fatalf("destaged stream = %d", d.Destage().DestagedStream())
+	}
+}
+
+func TestCrashConsistencyDestagesPrefixDropsGap(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	env.Go("host", func(p *sim.Proc) {
+		d.CMB().MemWrite(0, bytes.Repeat([]byte{0xAA}, 300))  // contiguous
+		d.CMB().MemWrite(500, bytes.Repeat([]byte{0xBB}, 80)) // beyond a gap
+		p.Sleep(20 * time.Microsecond)
+		d.InjectPowerLoss()
+	})
+	env.RunUntil(200 * time.Millisecond)
+	if !d.Drained() {
+		t.Fatal("crash protocol did not finish draining")
+	}
+	if got := d.Destage().DestagedStream(); got != 300 {
+		t.Fatalf("destaged %d bytes after crash, want exactly the 300-byte prefix", got)
+	}
+	var page []byte
+	env.Go("verify", func(p *sim.Proc) {
+		var err error
+		page, err = d.FTL().Read(p, 0)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	off, n, ok := DecodePageHeader(page)
+	if !ok || off != 0 || n != 300 {
+		t.Fatalf("post-crash page header = (%d,%d,%v)", off, n, ok)
+	}
+	for _, b := range page[PageHeaderLen : PageHeaderLen+n] {
+		if b != 0xAA {
+			t.Fatal("post-crash payload corrupted")
+		}
+	}
+}
+
+func TestWritesRejectedAfterPowerLoss(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	env.Go("host", func(p *sim.Proc) {
+		d.InjectPowerLoss()
+		d.CMB().MemWrite(0, []byte("too late"))
+	})
+	env.RunUntil(10 * time.Millisecond)
+	if d.CMB().BytesIn() != 0 {
+		t.Fatal("write accepted after power loss")
+	}
+}
+
+// cluster wires a primary with one secondary over NTB.
+func cluster(env *sim.Env) (*Device, *Device) {
+	prim := newDevice(env, "prim")
+	sec := newDevice(env, "sec")
+	toSec := ntb.NewDefaultBridge(env, "p->s")
+	toPrim := ntb.NewDefaultBridge(env, "s->p")
+	sec.Transport().setMode(core.Secondary)
+	prim.Transport().AddPeer(sec, toSec, toPrim)
+	prim.Transport().setMode(core.Primary)
+	return prim, sec
+}
+
+func TestReplicationMirrorsStreamToSecondary(t *testing.T) {
+	env := sim.NewEnv(1)
+	prim, sec := cluster(env)
+	msg := []byte("replicate me, exactly once, in order")
+	env.Go("host", func(p *sim.Proc) {
+		prim.CMB().MemWrite(0, msg)
+	})
+	env.RunUntil(50 * time.Millisecond)
+	if sec.CMB().Ring().Frontier() != int64(len(msg)) {
+		t.Fatalf("secondary frontier = %d, want %d", sec.CMB().Ring().Frontier(), len(msg))
+	}
+	// Secondary destages too (its ring drains), so check the destaged page.
+	var page []byte
+	env.Go("verify", func(p *sim.Proc) {
+		page, _ = sec.FTL().Read(p, 0)
+	})
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	_, n, ok := DecodePageHeader(page)
+	if !ok || !bytes.Equal(page[PageHeaderLen:PageHeaderLen+n], msg) {
+		t.Fatal("secondary destaged data wrong")
+	}
+}
+
+func TestShadowCounterReachesPrimary(t *testing.T) {
+	env := sim.NewEnv(1)
+	prim, _ := cluster(env)
+	env.Go("host", func(p *sim.Proc) {
+		prim.CMB().MemWrite(0, make([]byte, 256))
+	})
+	env.RunUntil(50 * time.Millisecond)
+	if prim.Transport().Shadow(0) != 256 {
+		t.Fatalf("shadow counter = %d, want 256", prim.Transport().Shadow(0))
+	}
+}
+
+func TestEffectiveCreditPerScheme(t *testing.T) {
+	env := sim.NewEnv(1)
+	prim, sec := cluster(env)
+	env.Go("host", func(p *sim.Proc) {
+		prim.CMB().MemWrite(0, make([]byte, 128))
+	})
+	// Run just long enough for the local persist but before NTB delivery:
+	// local=128, shadow=0.
+	env.RunUntil(800 * time.Nanosecond)
+	if prim.CMB().Ring().Frontier() != 128 {
+		t.Skipf("timing assumption broken: local frontier %d", prim.CMB().Ring().Frontier())
+	}
+	prim.Transport().SetScheme(core.Eager)
+	if got := prim.EffectiveCredit(); got != 0 {
+		t.Errorf("eager credit = %d before replication, want 0", got)
+	}
+	prim.Transport().SetScheme(core.Lazy)
+	if got := prim.EffectiveCredit(); got != 128 {
+		t.Errorf("lazy credit = %d, want 128 (local)", got)
+	}
+	env.RunUntil(50 * time.Millisecond)
+	prim.Transport().SetScheme(core.Eager)
+	if got := prim.EffectiveCredit(); got != 128 {
+		t.Errorf("eager credit = %d after replication, want 128", got)
+	}
+	prim.Transport().SetScheme(core.Chain)
+	if got := prim.EffectiveCredit(); got != 128 {
+		t.Errorf("chain credit = %d, want tail shadow 128", got)
+	}
+	_ = sec
+}
+
+func TestAdminCommands(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	driver := nvme.NewDriver(env, d.Queues())
+	env.Go("host", func(p *sim.Proc) {
+		c := driver.Submit(p, nvme.Command{Opcode: nvme.OpXSetDestagePolicy, CDW: int64(sched.ConventionalPriority)})
+		if c.Status != nvme.StatusSuccess {
+			t.Errorf("set policy: %v", c.Status)
+		}
+		if d.Scheduler().Policy() != sched.ConventionalPriority {
+			t.Error("policy not applied")
+		}
+		c = driver.Submit(p, nvme.Command{Opcode: nvme.OpXSetTransportMode, CDW: int64(core.Primary)})
+		if c.Status != nvme.StatusSuccess {
+			t.Errorf("set mode: %v", c.Status)
+		}
+		c = driver.Submit(p, nvme.Command{Opcode: nvme.OpXQueryStatus})
+		if c.Status != nvme.StatusSuccess || c.Value&core.StatusTransportUp == 0 {
+			t.Errorf("query status = %+v", c)
+		}
+		c = driver.Submit(p, nvme.Command{Opcode: nvme.OpXSetTransportMode, CDW: 99})
+		if c.Status != nvme.StatusInvalid {
+			t.Errorf("bogus mode accepted: %v", c.Status)
+		}
+		c = driver.Submit(p, nvme.Command{Opcode: nvme.OpXConfigureRing, CDW: 8<<32 | 64})
+		if c.Status != nvme.StatusSuccess {
+			t.Errorf("configure ring: %v", c.Status)
+		}
+		if d.Destage().baseLBA != 8 || d.Destage().lbaCount != 64 {
+			t.Error("ring not reconfigured")
+		}
+	})
+	env.RunUntil(100 * time.Millisecond)
+}
+
+func TestConfigureRingRejectedWhenLive(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	driver := nvme.NewDriver(env, d.Queues())
+	env.Go("host", func(p *sim.Proc) {
+		d.CMB().MemWrite(0, make([]byte, 64))
+		p.Sleep(5 * time.Microsecond)
+		c := driver.Submit(p, nvme.Command{Opcode: nvme.OpXConfigureRing, CDW: 0<<32 | 64})
+		if c.Status != nvme.StatusError {
+			t.Errorf("reconfigure with live data: %v, want error", c.Status)
+		}
+	})
+	env.RunUntil(100 * time.Millisecond)
+}
+
+func TestAdvancedAllocPinsDestaging(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := newDevice(env, "a")
+	var a Allocation
+	env.Go("host", func(p *sim.Proc) {
+		var err error
+		a, err = d.CMB().Alloc(256)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		// Fill the allocation out of order: second half first.
+		d.CMB().MemWrite(a.Start+128, make([]byte, 128))
+		d.CMB().MemWrite(a.Start, make([]byte, 128))
+	})
+	env.RunUntil(50 * time.Millisecond)
+	if d.Destage().DestagedStream() != 0 {
+		t.Fatalf("destaged %d bytes while allocation active", d.Destage().DestagedStream())
+	}
+	if d.CMB().Ring().Frontier() != 256 {
+		t.Fatalf("frontier = %d, want 256", d.CMB().Ring().Frontier())
+	}
+	env.Go("free", func(p *sim.Proc) {
+		if !d.CMB().Free(a.ID) {
+			t.Error("free failed")
+		}
+	})
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	if d.Destage().DestagedStream() != 256 {
+		t.Fatalf("destaged %d after free, want 256", d.Destage().DestagedStream())
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	env := sim.NewEnv(1)
+	prim := newDevice(env, "prim")
+	sec := newDevice(env, "sec")
+	toSec := ntb.NewDefaultBridge(env, "p->s")
+	toPrim := ntb.NewDefaultBridge(env, "s->p")
+	// Peer added but the secondary never enters Secondary mode: it will
+	// receive data but never report its counter.
+	prim.Transport().AddPeer(sec, toSec, toPrim)
+	prim.Transport().setMode(core.Primary)
+	env.Go("host", func(p *sim.Proc) {
+		prim.CMB().MemWrite(0, make([]byte, 64))
+	})
+	env.RunUntil(50 * time.Millisecond) // > StallTimeout of 10ms
+	if prim.statusRegister()&core.StatusReplicaStalled == 0 {
+		t.Fatal("stalled replica not flagged in status register")
+	}
+	if prim.Transport().stalled() != true {
+		t.Fatal("stalled() = false")
+	}
+}
+
+func TestLBARingWrapsAround(t *testing.T) {
+	env := sim.NewEnv(1)
+	cfg := testConfig("a")
+	cfg.DestageLBAs = 4 // tiny ring: wraps quickly
+	d := New(env, cfg, pcie.NewHostMemory(1<<20))
+	payload := d.cfg.Geometry.PageSize - PageHeaderLen
+	env.Go("host", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ { // 6 pages through a 4-slot ring
+			d.CMB().MemWrite(int64(i*payload), make([]byte, payload))
+			p.Sleep(2 * time.Millisecond)
+		}
+	})
+	env.RunUntil(time.Second)
+	if total, _ := d.Destage().Pages(); total != 6 {
+		t.Fatalf("pages destaged = %d, want 6", total)
+	}
+	if d.Destage().TailLBA() != 6 {
+		t.Fatalf("tail slot = %d", d.Destage().TailLBA())
+	}
+	// Slot 0 and 1 were overwritten by pages 4 and 5.
+	var page []byte
+	env.Go("verify", func(p *sim.Proc) { page, _ = d.FTL().Read(p, 0) })
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	off, _, ok := DecodePageHeader(page)
+	if !ok || off != int64(4*payload) {
+		t.Fatalf("wrapped slot 0 holds stream offset %d, want %d", off, 4*payload)
+	}
+}
+
+func TestBackingClassesBothWork(t *testing.T) {
+	for _, spec := range []pm.Spec{pm.SRAMSpec, pm.DRAMSpec} {
+		env := sim.NewEnv(1)
+		cfg := testConfig("x")
+		cfg.Backing = spec
+		cfg.CMBSize = 64 << 10
+		d := New(env, cfg, pcie.NewHostMemory(1<<20))
+		env.Go("host", func(p *sim.Proc) {
+			d.CMB().MemWrite(0, make([]byte, 1024))
+		})
+		env.RunUntil(50 * time.Millisecond)
+		if d.CMB().Ring().Frontier() != 1024 {
+			t.Fatalf("%v backing: frontier %d", spec.Class, d.CMB().Ring().Frontier())
+		}
+	}
+}

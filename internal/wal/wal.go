@@ -1,0 +1,229 @@
+// Package wal implements the database logging substrate: write-ahead log
+// records with binary encoding, a group-commit pipeline (the paper's
+// evaluation commits in 16 KB batches, §6.1), and pluggable durability
+// sinks — the Villars fast side, host NVDIMM (the "Memory" baseline), the
+// conventional NVMe path, and a null sink ("No Log").
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"xssd/internal/sim"
+)
+
+// Record is one WAL entry: a transaction's redo payload.
+type Record struct {
+	LSN     int64 // byte offset of the record in the log stream (set on append)
+	TxID    int64
+	Payload []byte
+}
+
+// recordHeaderLen is the encoded header: magic(2) | txid(8) | len(4).
+const recordHeaderLen = 14
+
+const recordMagic = 0x5741 // "WA"
+
+// EncodedLen returns the on-log size of a record with an n-byte payload.
+func EncodedLen(n int) int { return recordHeaderLen + n }
+
+// Encode appends the record's wire form to dst and returns the result.
+func (r Record) Encode(dst []byte) []byte {
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], recordMagic)
+	binary.LittleEndian.PutUint64(hdr[2:10], uint64(r.TxID))
+	binary.LittleEndian.PutUint32(hdr[10:14], uint32(len(r.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, r.Payload...)
+}
+
+// Decode parses one record from buf, returning it and the bytes consumed.
+func Decode(buf []byte) (Record, int, error) {
+	if len(buf) < recordHeaderLen {
+		return Record{}, 0, errors.New("wal: short record header")
+	}
+	if binary.LittleEndian.Uint16(buf[0:2]) != recordMagic {
+		return Record{}, 0, errors.New("wal: bad record magic")
+	}
+	txid := int64(binary.LittleEndian.Uint64(buf[2:10]))
+	n := int(binary.LittleEndian.Uint32(buf[10:14]))
+	if len(buf) < recordHeaderLen+n {
+		return Record{}, 0, errors.New("wal: truncated record payload")
+	}
+	payload := append([]byte(nil), buf[recordHeaderLen:recordHeaderLen+n]...)
+	return Record{TxID: txid, Payload: payload}, recordHeaderLen + n, nil
+}
+
+// DecodeAll parses a stream of records, stopping at the first short or
+// invalid record (a crash may truncate the tail).
+func DecodeAll(buf []byte) []Record {
+	var out []Record
+	off := 0
+	for off < len(buf) {
+		r, n, err := Decode(buf[off:])
+		if err != nil {
+			break
+		}
+		r.LSN = int64(off)
+		out = append(out, r)
+		off += n
+	}
+	return out
+}
+
+// Sink is where the group-commit pipeline persists batches. Write must
+// block the calling process until the batch is durable (under whatever
+// replication scheme the sink's device enforces).
+type Sink interface {
+	// Write persists data appended at the sink's current tail.
+	Write(p *sim.Proc, data []byte) error
+	// Name identifies the sink in experiment output.
+	Name() string
+}
+
+// Config tunes the group-commit pipeline.
+type Config struct {
+	// GroupBytes: flush when this many bytes have accumulated (paper
+	// §6.1: "the system waits until it has 16 KB worth of log records").
+	GroupBytes int
+	// GroupTimeout: flush a smaller batch after this long (bounds commit
+	// latency at low load).
+	GroupTimeout time.Duration
+}
+
+// DefaultConfig matches the paper's evaluation.
+var DefaultConfig = Config{GroupBytes: 16 << 10, GroupTimeout: 5 * time.Millisecond}
+
+// Log is the group-commit pipeline: transactions append records and block
+// until their LSN is durable; a flusher process writes batches to the
+// sink.
+type Log struct {
+	env  *sim.Env
+	sink Sink
+	cfg  Config
+
+	buf        []byte // accumulating batch
+	bufStart   int64  // LSN of buf[0]
+	durableLSN int64  // everything below is persisted
+	oldestWait time.Duration
+
+	appended *sim.Signal // record arrived
+	flushed  *sim.Signal // durableLSN advanced
+
+	// stats
+	records, flushes int64
+	flushBytes       int64
+}
+
+// NewLog starts a group-commit pipeline over sink.
+func NewLog(env *sim.Env, sink Sink, cfg Config) *Log {
+	if cfg.GroupBytes <= 0 {
+		cfg.GroupBytes = DefaultConfig.GroupBytes
+	}
+	if cfg.GroupTimeout <= 0 {
+		cfg.GroupTimeout = DefaultConfig.GroupTimeout
+	}
+	l := &Log{
+		env:      env,
+		sink:     sink,
+		cfg:      cfg,
+		appended: env.NewSignal(),
+		flushed:  env.NewSignal(),
+	}
+	env.Go("wal-flusher", l.flusher)
+	return l
+}
+
+// Sink returns the durability sink.
+func (l *Log) Sink() Sink { return l.sink }
+
+// DurableLSN returns the persisted prefix length of the log stream.
+func (l *Log) DurableLSN() int64 { return l.durableLSN }
+
+// Append adds a record to the current batch and returns the LSN just past
+// it (the value Commit waits on). It never blocks.
+func (l *Log) Append(r Record) int64 {
+	if len(l.buf) == 0 {
+		l.oldestWait = l.env.Now()
+	}
+	l.buf = r.Encode(l.buf)
+	l.records++
+	end := l.bufStart + int64(len(l.buf))
+	l.appended.Broadcast()
+	return end
+}
+
+// WaitDurable blocks the calling process until the log is durable up to
+// lsn.
+func (l *Log) WaitDurable(p *sim.Proc, lsn int64) {
+	p.WaitFor(l.flushed, func() bool { return l.durableLSN >= lsn })
+}
+
+// Commit appends a record and blocks until it is durable: the transaction
+// commit path.
+func (l *Log) Commit(p *sim.Proc, r Record) int64 {
+	lsn := l.Append(r)
+	l.WaitDurable(p, lsn)
+	return lsn
+}
+
+// Backlog returns the number of appended-but-not-yet-durable bytes (the
+// fill level of the in-memory log buffer).
+func (l *Log) Backlog() int64 { return l.bufStart + int64(len(l.buf)) - l.durableLSN }
+
+// WaitBacklog blocks while the backlog exceeds max — the pipelined-commit
+// back-pressure: a worker may run ahead of durability only by a bounded
+// log-buffer amount (ERMIA-style asynchronous commit).
+func (l *Log) WaitBacklog(p *sim.Proc, max int64) {
+	p.WaitFor(l.flushed, func() bool { return l.Backlog() <= max })
+}
+
+// flusher batches appends and writes them through the sink.
+func (l *Log) flusher(p *sim.Proc) {
+	for {
+		if len(l.buf) == 0 {
+			p.Wait(l.appended)
+			continue
+		}
+		if len(l.buf) < l.cfg.GroupBytes {
+			// Not a full group yet: wait for more appends, with a timer so
+			// the group timeout still bounds latency on a quiet log.
+			age := p.Now() - l.oldestWait
+			if age < l.cfg.GroupTimeout {
+				l.env.After(l.cfg.GroupTimeout-age, l.appended.Broadcast)
+				p.Wait(l.appended)
+				continue
+			}
+		}
+		// Flush at most one group per sink write (the paper's unit: the
+		// system commits 16 KB worth of log records at a time); a backlog
+		// drains as a sequence of group-sized writes, queue depth 1.
+		n := len(l.buf)
+		if n > l.cfg.GroupBytes {
+			n = l.cfg.GroupBytes
+		}
+		batch := l.buf[:n:n]
+		l.buf = l.buf[n:]
+		if len(l.buf) > 0 {
+			l.oldestWait = p.Now()
+		}
+		start := l.bufStart
+		l.bufStart = start + int64(len(batch))
+		if err := l.sink.Write(p, batch); err != nil {
+			// A failed flush would corrupt the durability horizon; halt
+			// the pipeline loudly rather than acking lost data.
+			panic(fmt.Sprintf("wal: sink %s failed: %v", l.sink.Name(), err))
+		}
+		l.durableLSN = start + int64(len(batch))
+		l.flushes++
+		l.flushBytes += int64(len(batch))
+		l.flushed.Broadcast()
+	}
+}
+
+// Stats returns (records appended, flushes, bytes flushed).
+func (l *Log) Stats() (records, flushes, bytes int64) {
+	return l.records, l.flushes, l.flushBytes
+}

@@ -1,0 +1,277 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xssd/internal/nand"
+	"xssd/internal/pcie"
+	"xssd/internal/pm"
+	"xssd/internal/sim"
+	"xssd/internal/villars"
+)
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	r := Record{TxID: 42, Payload: []byte("update stock set qty=qty-1")}
+	buf := r.Encode(nil)
+	if len(buf) != EncodedLen(len(r.Payload)) {
+		t.Fatalf("encoded length %d", len(buf))
+	}
+	got, n, err := Decode(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: %v, n=%d", err, n)
+	}
+	if got.TxID != 42 || !bytes.Equal(got.Payload, r.Payload) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, _, err := Decode(make([]byte, 32)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	r := Record{TxID: 1, Payload: make([]byte, 100)}
+	buf := r.Encode(nil)
+	if _, _, err := Decode(buf[:20]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestDecodeAllStopsAtTruncation(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		buf = Record{TxID: int64(i), Payload: []byte{byte(i)}}.Encode(buf)
+	}
+	full := DecodeAll(buf)
+	if len(full) != 5 {
+		t.Fatalf("decoded %d records", len(full))
+	}
+	for i, r := range full {
+		if r.TxID != int64(i) {
+			t.Fatalf("record %d txid %d", i, r.TxID)
+		}
+	}
+	cut := DecodeAll(buf[:len(buf)-3]) // chop the tail record
+	if len(cut) != 4 {
+		t.Fatalf("truncated stream decoded %d records, want 4", len(cut))
+	}
+}
+
+// property: any record sequence survives encode/DecodeAll with LSNs that
+// are strictly increasing and match encoded offsets.
+func TestQuickStreamRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%20) + 1
+		var buf []byte
+		var want []Record
+		for i := 0; i < count; i++ {
+			p := make([]byte, rng.Intn(200))
+			rng.Read(p)
+			r := Record{TxID: rng.Int63(), Payload: p}
+			want = append(want, r)
+			buf = r.Encode(buf)
+		}
+		got := DecodeAll(buf)
+		if len(got) != count {
+			return false
+		}
+		lsn := int64(-1)
+		for i := range got {
+			if got[i].TxID != want[i].TxID || !bytes.Equal(got[i].Payload, want[i].Payload) {
+				return false
+			}
+			if got[i].LSN <= lsn {
+				return false
+			}
+			lsn = got[i].LSN
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countingSink records batches and simulates a fixed write latency.
+type countingSink struct {
+	batches [][]byte
+	delay   time.Duration
+}
+
+func (s *countingSink) Write(p *sim.Proc, data []byte) error {
+	p.Sleep(s.delay)
+	s.batches = append(s.batches, append([]byte(nil), data...))
+	return nil
+}
+
+func (s *countingSink) Name() string { return "counting" }
+
+func TestGroupCommitBatchesBySize(t *testing.T) {
+	env := sim.NewEnv(1)
+	sink := &countingSink{delay: 10 * time.Microsecond}
+	log := NewLog(env, sink, Config{GroupBytes: 1024, GroupTimeout: time.Millisecond})
+	const workers = 8
+	committed := 0
+	for w := 0; w < workers; w++ {
+		w := w
+		env.Go("worker", func(p *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				log.Commit(p, Record{TxID: int64(w*100 + i), Payload: make([]byte, 100)})
+				committed++
+			}
+		})
+	}
+	env.RunUntil(time.Second)
+	if committed != workers*10 {
+		t.Fatalf("committed = %d", committed)
+	}
+	// 80 records x 114 bytes = 9120 bytes; with 1 KB groups there should
+	// be far fewer flushes than records.
+	if len(sink.batches) >= 80 || len(sink.batches) == 0 {
+		t.Fatalf("flushes = %d, expected batching", len(sink.batches))
+	}
+	var total int
+	for _, b := range sink.batches {
+		total += len(b)
+	}
+	if total != 80*EncodedLen(100) {
+		t.Fatalf("flushed bytes = %d", total)
+	}
+}
+
+func TestGroupCommitTimeoutBoundsLatency(t *testing.T) {
+	env := sim.NewEnv(1)
+	sink := &countingSink{}
+	log := NewLog(env, sink, Config{GroupBytes: 1 << 20, GroupTimeout: time.Millisecond})
+	var commitAt time.Duration
+	env.Go("worker", func(p *sim.Proc) {
+		log.Commit(p, Record{TxID: 1, Payload: []byte("lonely")})
+		commitAt = p.Now()
+	})
+	env.RunUntil(time.Second)
+	if commitAt == 0 {
+		t.Fatal("commit never returned")
+	}
+	if commitAt < time.Millisecond || commitAt > 2*time.Millisecond {
+		t.Fatalf("lone commit at %v, want ~1ms (timeout-bounded)", commitAt)
+	}
+}
+
+func TestCommitWaitsForDurability(t *testing.T) {
+	env := sim.NewEnv(1)
+	sink := &countingSink{delay: 500 * time.Microsecond}
+	log := NewLog(env, sink, Config{GroupBytes: 1, GroupTimeout: time.Millisecond})
+	var commitAt time.Duration
+	env.Go("worker", func(p *sim.Proc) {
+		log.Commit(p, Record{TxID: 1, Payload: []byte("x")})
+		commitAt = p.Now()
+	})
+	env.RunUntil(time.Second)
+	if commitAt < 500*time.Microsecond {
+		t.Fatalf("commit acked at %v, before sink delay", commitAt)
+	}
+	if log.DurableLSN() != int64(EncodedLen(1)) {
+		t.Fatalf("durable LSN = %d", log.DurableLSN())
+	}
+}
+
+func testDevice(env *sim.Env, name string) (*villars.Device, *pcie.HostMemory) {
+	cfg := villars.DefaultConfig(name)
+	cfg.Geometry = nand.Geometry{Channels: 2, WaysPerChan: 2, BlocksPerDie: 32, PagesPerBlock: 32, PageSize: 2048}
+	cfg.Timing = nand.Timing{TRead: 5 * time.Microsecond, TProg: 20 * time.Microsecond, TErase: 100 * time.Microsecond, BusRate: 1e9}
+	cfg.QueueSize = 4096
+	cfg.CMBSize = 64 << 10
+	host := pcie.NewHostMemory(1 << 20)
+	return villars.New(env, cfg, host), host
+}
+
+func TestVillarsSinkEndToEnd(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, _ := testDevice(env, "a")
+	done := false
+	env.Go("db", func(p *sim.Proc) {
+		sink := NewVillarsSink(p, dev, "Villars-SRAM")
+		log := NewLog(env, sink, Config{GroupBytes: 512, GroupTimeout: time.Millisecond})
+		for i := 0; i < 20; i++ {
+			log.Commit(p, Record{TxID: int64(i), Payload: make([]byte, 64)})
+		}
+		done = true
+	})
+	env.RunUntil(time.Second)
+	if !done {
+		t.Fatal("commits did not finish")
+	}
+	if dev.CMB().BytesIn() != 20*int64(EncodedLen(64)) {
+		t.Fatalf("device saw %d bytes", dev.CMB().BytesIn())
+	}
+}
+
+func TestNVMeSinkEndToEnd(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	done := false
+	env.Go("db", func(p *sim.Proc) {
+		sink := NewNVMeSink(dev, host, 1<<18, 0, 64)
+		log := NewLog(env, sink, Config{GroupBytes: 2048, GroupTimeout: time.Millisecond})
+		for i := 0; i < 10; i++ {
+			log.Commit(p, Record{TxID: int64(i), Payload: make([]byte, 512)})
+		}
+		done = true
+	})
+	env.RunUntil(time.Second)
+	if !done {
+		t.Fatal("commits did not finish")
+	}
+	// The conventional side must have received the block writes.
+	if _, progs, _ := dev.Array().Stats(); progs == 0 {
+		t.Fatal("no flash programs from the NVMe log path")
+	}
+}
+
+func TestMemorySinkFasterThanNVMeSink(t *testing.T) {
+	latency := func(mk func(env *sim.Env, p *sim.Proc) Sink) time.Duration {
+		env := sim.NewEnv(1)
+		var total time.Duration
+		env.Go("db", func(p *sim.Proc) {
+			sink := mk(env, p)
+			log := NewLog(env, sink, Config{GroupBytes: 2048, GroupTimeout: 100 * time.Microsecond})
+			for i := 0; i < 20; i++ {
+				t0 := p.Now()
+				log.Commit(p, Record{TxID: int64(i), Payload: make([]byte, 256)})
+				total += p.Now() - t0
+			}
+		})
+		env.RunUntil(5 * time.Second)
+		return total
+	}
+	mem := latency(func(env *sim.Env, p *sim.Proc) Sink { return NewMemorySink(env, pm.NVDIMMSpec) })
+	nvme := latency(func(env *sim.Env, p *sim.Proc) Sink {
+		dev, host := testDevice(env, "a")
+		return NewNVMeSink(dev, host, 1<<18, 0, 256)
+	})
+	if mem >= nvme {
+		t.Fatalf("Memory sink (%v) not faster than NVMe sink (%v)", mem, nvme)
+	}
+}
+
+func TestNullSink(t *testing.T) {
+	env := sim.NewEnv(1)
+	log := NewLog(env, NullSink{}, Config{GroupBytes: 64, GroupTimeout: time.Millisecond})
+	env.Go("db", func(p *sim.Proc) {
+		log.Commit(p, Record{TxID: 1, Payload: []byte("vanishes")})
+	})
+	env.RunUntil(time.Second)
+	if log.DurableLSN() == 0 {
+		t.Fatal("null sink never acked")
+	}
+	if (NullSink{}).Name() != "NoLog" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,272 @@
+// Package xapi is the host-side drop-in replacement API of the Villars
+// device (paper §5): XPwrite/XFsync/XPread substitute pwrite/fsync/pread
+// for the transaction-log file, and XAlloc/XFree expose the fast side as
+// memory (§5.2). None of these are system calls — they operate on mapped
+// MMIO windows and therefore avoid the context-switch penalty the paper
+// highlights.
+package xapi
+
+import (
+	"errors"
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/nvme"
+	"xssd/internal/pcie"
+	"xssd/internal/sim"
+	"xssd/internal/villars"
+)
+
+// CreditStrategy selects how XPwrite paces itself against the credit
+// counter (paper §5.1 tried several; "use all the credits available
+// without intermediate checks, then pause to read the credit anew" won).
+type CreditStrategy int
+
+// Credit-check strategies.
+const (
+	// UseAllCredits writes the full known budget before re-reading the
+	// counter (the paper's best performer, and the default).
+	UseAllCredits CreditStrategy = iota
+	// CheckEveryChunk re-reads the credit counter before every chunk
+	// (the slow alternative, kept for the ablation benchmark).
+	CheckEveryChunk
+)
+
+// ErrPowerLoss is returned when the device reports a power-loss state.
+var ErrPowerLoss = errors.New("xapi: device in power-loss state")
+
+// Endpoint is anything a Logger can bind to: a whole Villars device or
+// one of its virtual functions (paper §7.2). Both expose a CMB data
+// window, a register file, and the conventional-side NVMe driver.
+type Endpoint interface {
+	DataRegion() *pcie.Region
+	ControlRegion() *pcie.Region
+	HostDriver() *nvme.Driver
+	BlockSize() int
+	PowerLost() bool
+}
+
+// Logger is one writer context bound to an endpoint's fast side. It is
+// the moral equivalent of an open file descriptor for the transaction
+// log. A Logger is single-threaded by construction (one simulated core);
+// use XAlloc areas or per-writer virtual functions for multi-writer
+// schemes (§5.2, §7.1).
+type Logger struct {
+	env    *sim.Env
+	dev    Endpoint
+	data   *pcie.MMIO // CMB window, write-combining
+	ctl    *pcie.MMIO // control registers, uncached
+	driver *nvme.Driver
+	fc     *core.FlowControl
+	strat  CreditStrategy
+
+	// tail-read cursor (§5.1 pread substitution)
+	readStream int64 // next stream offset to hand to the application
+	readSlot   int64 // destage-ring slot expected to contain readStream
+	scratch    int64 // host-memory address used for NVMe read DMA
+	hostMem    *pcie.HostMemory
+
+	// stats
+	creditReads int64
+	stallTime   time.Duration
+}
+
+// Options tune Open.
+type Options struct {
+	Strategy CreditStrategy
+	// Uncached maps the CMB window UC instead of write-combining (the
+	// Fig 10 comparison).
+	Uncached bool
+	// Scratch is the host-memory offset XPread DMAs pages into.
+	Scratch int64
+	// HostMem is the host memory XPread uses; required for XPread.
+	HostMem *pcie.HostMemory
+}
+
+// Open binds a logger to an endpoint: maps the CMB window write-combining
+// (or uncached), the control window uncached, and reads the negotiated
+// queue size from the device (paper §4.1: "a pre-negotiated size").
+func Open(p *sim.Proc, dev Endpoint, opts Options) *Logger {
+	mode := pcie.WriteCombining
+	if opts.Uncached {
+		mode = pcie.Uncached
+	}
+	l := &Logger{
+		env:     p.Env(),
+		dev:     dev,
+		data:    pcie.NewMMIO(dev.DataRegion(), mode),
+		ctl:     pcie.NewMMIO(dev.ControlRegion(), pcie.Uncached),
+		driver:  dev.HostDriver(),
+		strat:   opts.Strategy,
+		scratch: opts.Scratch,
+		hostMem: opts.HostMem,
+	}
+	qs := l.readReg(p, core.RegQueueSize)
+	l.fc = core.NewFlowControl(qs)
+	return l
+}
+
+func (l *Logger) readReg(p *sim.Proc, reg int64) int64 {
+	b := l.ctl.Load(p, reg, 8)
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// refreshCredit reads the credit counter register and updates flow
+// control, returning the new budget.
+func (l *Logger) refreshCredit(p *sim.Proc) int64 {
+	l.creditReads++
+	return l.fc.Observe(l.readReg(p, core.RegCredit))
+}
+
+// XPwrite appends buf to the fast side and returns its stream offset. It
+// copies the buffer into CMB in credit-sized chunks, pausing to re-read
+// the counter when the budget runs out (paper §5.1, Fig 8 top). The call
+// returns when the last byte is on the wire; durability is checked with
+// XFsync.
+func (l *Logger) XPwrite(p *sim.Proc, buf []byte) int64 {
+	start := l.fc.Written()
+	off := start
+	for len(buf) > 0 {
+		budget := l.fc.Budget()
+		if l.strat == CheckEveryChunk {
+			budget = l.refreshCredit(p)
+		}
+		for budget <= 0 {
+			t0 := p.Now()
+			budget = l.refreshCredit(p)
+			if budget <= 0 && l.dev.PowerLost() {
+				return start
+			}
+			l.stallTime += p.Now() - t0
+		}
+		n := int(budget)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		l.data.Store(p, off, buf[:n])
+		l.fc.Note(int64(n))
+		off += int64(n)
+		buf = buf[n:]
+	}
+	l.data.Fence(p)
+	return start
+}
+
+// XFsync blocks until every byte issued by prior XPwrite calls is
+// persistent under the device's active replication scheme (paper §5.1,
+// Fig 8 bottom: read the counter until it covers the written total).
+func (l *Logger) XFsync(p *sim.Proc) error {
+	l.data.Fence(p)
+	for !l.fc.Durable() {
+		l.refreshCredit(p)
+		if l.fc.Durable() {
+			break
+		}
+		if l.dev.PowerLost() {
+			return ErrPowerLoss
+		}
+		// The register read itself paces the loop (a PCIe round trip);
+		// checking the status register on suspicion of staleness is the
+		// paper's §7.1 recommendation.
+		if st := l.readReg(p, core.RegStatus); st&core.StatusReplicaStalled != 0 {
+			p.Sleep(time.Microsecond) // back off; replica recovering
+		}
+	}
+	return nil
+}
+
+// Written returns the total stream bytes issued through this logger.
+func (l *Logger) Written() int64 { return l.fc.Written() }
+
+// CreditReads returns how many credit-register reads were issued (the
+// ablation metric for CreditStrategy).
+func (l *Logger) CreditReads() int64 { return l.creditReads }
+
+// StallTime returns cumulative time spent blocked on back-pressure.
+func (l *Logger) StallTime() time.Duration { return l.stallTime }
+
+// XPread implements tail-read semantics (paper §5.1): it fills buf with
+// the next adjacent bytes of the destaged log, blocking until the
+// conventional side holds enough data. It returns the stream offset of
+// buf[0].
+func (l *Logger) XPread(p *sim.Proc, buf []byte) (int64, error) {
+	if l.hostMem == nil {
+		return 0, errors.New("xapi: XPread requires Options.HostMem")
+	}
+	startOff := l.readStream
+	need := len(buf)
+	filled := 0
+	base := l.readReg(p, core.RegDestageBaseLBA)
+	count := l.readReg(p, core.RegDestageLBACount)
+	bs := l.dev.BlockSize()
+	for filled < need {
+		// Block until the destage module has moved past our cursor.
+		for l.readReg(p, core.RegDestagedStream) <= l.readStream {
+			p.Sleep(5 * time.Microsecond)
+		}
+		lba := base + l.readSlot%count
+		c := l.driver.Submit(p, nvme.Command{Opcode: nvme.OpRead, LBA: lba, Blocks: 1, PRP: l.scratch})
+		if c.Status != nvme.StatusSuccess {
+			return startOff, errors.New("xapi: destage ring read failed")
+		}
+		page := l.hostMem.Bytes()[l.scratch : l.scratch+int64(bs)]
+		pageOff, payloadLen, ok := villars.DecodePageHeader(page)
+		if !ok {
+			return startOff, errors.New("xapi: malformed destage page")
+		}
+		if l.readStream >= pageOff+int64(payloadLen) {
+			// Cursor already past this page: advance to the next slot.
+			l.readSlot++
+			continue
+		}
+		if l.readStream < pageOff {
+			// The ring lapped us: data between readStream and pageOff is
+			// gone from the ring (still on the PM side or overwritten).
+			return startOff, errors.New("xapi: tail reader fell behind the destage ring")
+		}
+		from := int(l.readStream - pageOff)
+		n := payloadLen - from
+		if n > need-filled {
+			n = need - filled
+		}
+		copy(buf[filled:], page[villars.PageHeaderLen+from:villars.PageHeaderLen+from+n])
+		filled += n
+		l.readStream += int64(n)
+		if from+n == payloadLen {
+			l.readSlot++
+		}
+	}
+	return startOff, nil
+}
+
+// XAlloc reserves a fast-side area for random-order writing (paper §5.2).
+// It issues the vendor-specific allocation command and returns the area's
+// stream offset.
+func (l *Logger) XAlloc(p *sim.Proc, size int) (int64, error) {
+	c := l.driver.Submit(p, nvme.Command{Opcode: nvme.OpXAlloc, CDW: int64(size)})
+	if c.Status != nvme.StatusSuccess {
+		return 0, errors.New("xapi: alloc failed")
+	}
+	return c.Value, nil
+}
+
+// XWriteAt stores data inside an allocated area at the given stream
+// offset, in any order. The caller owns pacing (allocated areas are pinned
+// on the ring, so the intake queue is the only limit).
+func (l *Logger) XWriteAt(p *sim.Proc, off int64, data []byte) {
+	l.data.Store(p, off, data)
+	l.data.Fence(p)
+}
+
+// XFree releases an allocated area, making it destage-eligible.
+func (l *Logger) XFree(p *sim.Proc, start int64) error {
+	c := l.driver.Submit(p, nvme.Command{Opcode: nvme.OpXFree, CDW: start})
+	if c.Status != nvme.StatusSuccess {
+		return errors.New("xapi: free failed")
+	}
+	return nil
+}

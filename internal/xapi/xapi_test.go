@@ -1,0 +1,248 @@
+package xapi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/nand"
+	"xssd/internal/ntb"
+	"xssd/internal/nvme"
+	"xssd/internal/pcie"
+	"xssd/internal/sim"
+	"xssd/internal/villars"
+)
+
+func testDevice(env *sim.Env, name string) (*villars.Device, *pcie.HostMemory) {
+	cfg := villars.DefaultConfig(name)
+	cfg.Geometry = nand.Geometry{Channels: 2, WaysPerChan: 2, BlocksPerDie: 32, PagesPerBlock: 32, PageSize: 2048}
+	cfg.Timing = nand.Timing{TRead: 5 * time.Microsecond, TProg: 20 * time.Microsecond, TErase: 100 * time.Microsecond, BusRate: 1e9}
+	cfg.QueueSize = 4096
+	cfg.CMBSize = 64 << 10
+	cfg.DestageLatencyBound = 100 * time.Microsecond
+	host := pcie.NewHostMemory(1 << 20)
+	return villars.New(env, cfg, host), host
+}
+
+func TestXPwriteXFsyncRoundTrip(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	var synced bool
+	env.Go("db", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 19})
+		off := l.XPwrite(p, []byte("commit record"))
+		if off != 0 {
+			t.Errorf("first write offset = %d", off)
+		}
+		if err := l.XFsync(p); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		synced = true
+		if dev.CMB().Ring().Frontier() != 13 {
+			t.Errorf("frontier = %d after fsync", dev.CMB().Ring().Frontier())
+		}
+	})
+	env.RunUntil(50 * time.Millisecond)
+	if !synced {
+		t.Fatal("fsync never returned")
+	}
+}
+
+func TestXPwriteLargerThanQueuePaced(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	payload := make([]byte, 20000) // 5x the 4 KB queue
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	env.Go("db", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host})
+		l.XPwrite(p, payload)
+		if err := l.XFsync(p); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		if l.CreditReads() == 0 {
+			t.Error("large write never consulted the credit counter")
+		}
+	})
+	env.RunUntil(500 * time.Millisecond)
+	if dev.CMB().Overruns() != 0 {
+		t.Fatalf("flow control failed: %d overruns", dev.CMB().Overruns())
+	}
+	if dev.CMB().BytesIn() != 20000 {
+		t.Fatalf("device received %d bytes, want 20000", dev.CMB().BytesIn())
+	}
+}
+
+func TestCheckEveryChunkReadsMoreCredits(t *testing.T) {
+	run := func(s CreditStrategy) int64 {
+		env := sim.NewEnv(1)
+		dev, host := testDevice(env, "a")
+		var reads int64
+		env.Go("db", func(p *sim.Proc) {
+			l := Open(p, dev, Options{Strategy: s, HostMem: host})
+			for i := 0; i < 20; i++ {
+				l.XPwrite(p, make([]byte, 512))
+			}
+			l.XFsync(p)
+			reads = l.CreditReads()
+		})
+		env.RunUntil(500 * time.Millisecond)
+		return reads
+	}
+	lazy, eager := run(UseAllCredits), run(CheckEveryChunk)
+	if eager <= lazy {
+		t.Fatalf("CheckEveryChunk reads (%d) should exceed UseAllCredits (%d)", eager, lazy)
+	}
+}
+
+func TestXPreadTailFollowsDestagedLog(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	msg := []byte("0123456789abcdefghijklmnopqrstuvwxyz")
+	var got []byte
+	env.Go("writer", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 18})
+		l.XPwrite(p, msg)
+		l.XFsync(p)
+	})
+	env.Go("reader", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 19})
+		buf := make([]byte, len(msg))
+		off, err := l.XPread(p, buf)
+		if err != nil {
+			t.Errorf("pread: %v", err)
+			return
+		}
+		if off != 0 {
+			t.Errorf("pread offset = %d", off)
+		}
+		got = buf
+	})
+	env.RunUntil(time.Second)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("tail read %q, want %q", got, msg)
+	}
+}
+
+func TestXPreadSpansMultiplePages(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	pageLoad := 2048 - villars.PageHeaderLen
+	msg := make([]byte, pageLoad*2+100) // will destage as 3 pages
+	for i := range msg {
+		msg[i] = byte(i * 31)
+	}
+	var got []byte
+	env.Go("writer", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 18})
+		l.XPwrite(p, msg)
+		l.XFsync(p)
+	})
+	env.Go("reader", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 19})
+		buf := make([]byte, len(msg))
+		if _, err := l.XPread(p, buf); err != nil {
+			t.Errorf("pread: %v", err)
+			return
+		}
+		got = buf
+	})
+	env.RunUntil(time.Second)
+	if !bytes.Equal(got, msg) {
+		t.Fatal("multi-page tail read corrupted")
+	}
+}
+
+func TestXPreadBlocksUntilDataDestages(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	var readDone time.Duration
+	env.Go("reader", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 19})
+		buf := make([]byte, 8)
+		if _, err := l.XPread(p, buf); err != nil {
+			t.Errorf("pread: %v", err)
+		}
+		readDone = p.Now()
+	})
+	env.Go("writer", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond) // reader must wait at least this long
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 18})
+		l.XPwrite(p, []byte("deferred"))
+		l.XFsync(p)
+	})
+	env.RunUntil(time.Second)
+	if readDone < 5*time.Millisecond {
+		t.Fatalf("reader returned at %v, before the data existed", readDone)
+	}
+}
+
+func TestAllocWriteFreeDestages(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	env.Go("db", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 19})
+		start, err := l.XAlloc(p, 300)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		// Fill back to front, as parallel log writers would.
+		l.XWriteAt(p, start+200, bytes.Repeat([]byte{3}, 100))
+		l.XWriteAt(p, start+100, bytes.Repeat([]byte{2}, 100))
+		l.XWriteAt(p, start, bytes.Repeat([]byte{1}, 100))
+		p.Sleep(time.Millisecond)
+		if dev.Destage().DestagedStream() != 0 {
+			t.Error("destaged before free")
+		}
+		if err := l.XFree(p, start); err != nil {
+			t.Errorf("free: %v", err)
+		}
+	})
+	env.RunUntil(time.Second)
+	if dev.Destage().DestagedStream() != 300 {
+		t.Fatalf("destaged %d bytes after free, want 300", dev.Destage().DestagedStream())
+	}
+}
+
+func TestFsyncUnderEagerReplicationWaitsForSecondary(t *testing.T) {
+	env := sim.NewEnv(1)
+	prim, hostP := testDevice(env, "prim")
+	sec, _ := testDevice(env, "sec")
+	toSec := ntb.NewDefaultBridge(env, "p-s")
+	toPrim := ntb.NewDefaultBridge(env, "s-p")
+	prim.Transport().AddPeer(sec, toSec, toPrim)
+	prim.Transport().SetScheme(core.Eager)
+	// Set transport roles through the vendor admin command path.
+	setRole := func(d *villars.Device, mode core.TransportMode) {
+		env.Go("role", func(p *sim.Proc) {
+			l := Open(p, d, Options{})
+			c := l.driver.Submit(p, nvme.Command{Opcode: nvme.OpXSetTransportMode, CDW: int64(mode)})
+			if c.Status != nvme.StatusSuccess {
+				t.Errorf("set mode failed: %+v", c)
+			}
+		})
+	}
+	setRole(sec, core.Secondary)
+	setRole(prim, core.Primary)
+	env.RunUntil(time.Millisecond)
+
+	var fsyncAt time.Duration
+	env.Go("db", func(p *sim.Proc) {
+		l := Open(p, prim, Options{HostMem: hostP})
+		l.XPwrite(p, make([]byte, 1024))
+		if err := l.XFsync(p); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		fsyncAt = p.Now()
+	})
+	env.RunUntil(time.Second)
+	if fsyncAt == 0 {
+		t.Fatal("fsync never completed")
+	}
+	if prim.Transport().Shadow(0) < 1024 {
+		t.Fatalf("fsync returned but shadow counter = %d", prim.Transport().Shadow(0))
+	}
+}

@@ -1,0 +1,305 @@
+// Package xssd is the public API of this repository: a simulated
+// implementation of the X-SSD storage architecture and its Villars
+// reference device, from the SIGMOD 2022 paper "X-SSD: A Storage System
+// with Native Support for Database Logging and Replication".
+//
+// An X-SSD couples a conventional NVMe flash SSD with a persistent-memory
+// "fast side" reachable through the NVMe Controller Memory Buffer. The
+// fast side is an append-only ring with three data-propagation services:
+// in-order destaging to flash, mirroring to peer devices over NTB, and a
+// credit counter for flow control and durability tracking. Databases use
+// it through drop-in replacements for pwrite/fsync/pread.
+//
+// Everything runs inside a deterministic discrete-event simulation
+// (virtual time); see DESIGN.md for the substitution map from the paper's
+// hardware to the simulated components.
+//
+// A minimal session:
+//
+//	sys := xssd.NewSystem(1)
+//	dev := sys.NewDevice(xssd.DeviceOptions{Name: "log0"})
+//	sys.Run(func(p *xssd.Proc) {
+//	    log := dev.OpenLog(p)
+//	    log.Pwrite(p, []byte("commit record"))
+//	    log.Fsync(p)
+//	})
+package xssd
+
+import (
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/nand"
+	"xssd/internal/pcie"
+	"xssd/internal/pm"
+	"xssd/internal/repl"
+	"xssd/internal/sched"
+	"xssd/internal/sim"
+	"xssd/internal/trace"
+	"xssd/internal/villars"
+	"xssd/internal/xapi"
+)
+
+// Proc is a simulated process handle; all blocking API calls take one.
+type Proc = sim.Proc
+
+// Backing selects the fast side's persistent-memory class.
+type Backing int
+
+// Fast-side backing memories (paper §4.1 / §6).
+const (
+	// SRAM: small and fastest (FPGA BlockRAM class, 128 KB @ 4 GB/s).
+	SRAM Backing = iota
+	// DRAM: large, bandwidth shared with the device's data buffer
+	// (DDR3 class, 128 MB @ 2 GB/s).
+	DRAM
+)
+
+// DestagePolicy selects the storage-controller scheduling mode (§4.3).
+type DestagePolicy = sched.Policy
+
+// Destage scheduling policies.
+const (
+	Neutral              = sched.Neutral
+	DestagePriority      = sched.DestagePriority
+	ConventionalPriority = sched.ConventionalPriority
+)
+
+// ReplicationScheme selects how the credit counter combines replica
+// progress (§4.2).
+type ReplicationScheme = core.ReplicationScheme
+
+// Replication schemes.
+const (
+	Eager = core.Eager
+	Lazy  = core.Lazy
+	Chain = core.Chain
+)
+
+// System is a simulation universe: a virtual clock plus any number of
+// hosts and devices. All devices in one System can be clustered.
+type System struct {
+	env     *sim.Env
+	hostMem *pcie.HostMemory
+	devices []*Device
+	scratch int64
+}
+
+// NewSystem creates an empty system with a deterministic seed.
+func NewSystem(seed int64) *System {
+	return &System{
+		env:     sim.NewEnv(seed),
+		hostMem: pcie.NewHostMemory(16 << 20),
+	}
+}
+
+// Env exposes the underlying simulation environment for advanced use
+// (custom processes, time control).
+func (s *System) Env() *sim.Env { return s.env }
+
+// Now returns the current virtual time.
+func (s *System) Now() time.Duration { return s.env.Now() }
+
+// Go starts fn as a simulated process.
+func (s *System) Go(name string, fn func(p *Proc)) { s.env.Go(name, fn) }
+
+// Run starts fn as a process and drives the simulation until fn returns
+// (device background processes keep running and do not hold Run open).
+func (s *System) Run(fn func(p *Proc)) {
+	done := false
+	s.env.Go("main", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	for !done {
+		s.env.RunFor(time.Millisecond)
+	}
+}
+
+// RunFor drives the simulation for a span of virtual time.
+func (s *System) RunFor(d time.Duration) { s.env.RunFor(d) }
+
+// DeviceOptions configure a new Villars device. Zero values select the
+// paper's defaults.
+type DeviceOptions struct {
+	Name    string
+	Backing Backing
+	// QueueSize is the CMB intake queue (default 32 KB, §6.3's best).
+	QueueSize int
+	// Policy is the initial destage scheduling policy.
+	Policy DestagePolicy
+	// Geometry overrides the NAND array shape (default: 8×8 dies of
+	// 16 KB pages).
+	Geometry *nand.Geometry
+	// ShadowUpdatePeriod is the replica counter-report interval
+	// (default 0.4 µs).
+	ShadowUpdatePeriod time.Duration
+}
+
+// Device is one simulated Villars X-SSD attached to the system's host.
+type Device struct {
+	sys *System
+	dev *villars.Device
+}
+
+// NewDevice creates and attaches a device.
+func (s *System) NewDevice(opts DeviceOptions) *Device {
+	cfg := villars.DefaultConfig(opts.Name)
+	if opts.Backing == DRAM {
+		cfg.Backing = pm.DRAMSpec
+	} else {
+		cfg.Backing = pm.SRAMSpec
+	}
+	if opts.QueueSize > 0 {
+		cfg.QueueSize = opts.QueueSize
+	}
+	cfg.Policy = opts.Policy
+	if opts.Geometry != nil {
+		cfg.Geometry = *opts.Geometry
+	} else {
+		cfg.Geometry = nand.Geometry{Channels: 8, WaysPerChan: 8, BlocksPerDie: 64, PagesPerBlock: 64, PageSize: 16 << 10}
+	}
+	if opts.ShadowUpdatePeriod > 0 {
+		cfg.ShadowUpdatePeriod = opts.ShadowUpdatePeriod
+	}
+	d := &Device{sys: s, dev: villars.New(s.env, cfg, s.hostMem)}
+	s.devices = append(s.devices, d)
+	return d
+}
+
+// Raw exposes the underlying device model (stats, fault injection).
+func (d *Device) Raw() *villars.Device { return d.dev }
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.dev.Name() }
+
+// InjectPowerLoss simulates a sudden power interruption; the device
+// drains its fast side on supercapacitor energy (crash protocol, §4.1).
+func (d *Device) InjectPowerLoss() { d.dev.InjectPowerLoss() }
+
+// Drained reports whether the post-power-loss drain has finished.
+func (d *Device) Drained() bool { return d.dev.Drained() }
+
+// SetReplicationScheme selects the counter combination reported to hosts.
+func (d *Device) SetReplicationScheme(s ReplicationScheme) {
+	d.dev.Transport().SetScheme(s)
+}
+
+// VF is a virtual function: an independent fast side on a shared device
+// (paper §7.2). Each VF has its own ring, credit counter, and destage
+// range — one device can serve several databases, or give each log-writer
+// thread a private flow-control domain (§7.1).
+type VF struct {
+	sys *System
+	vf  *villars.VirtualFunction
+}
+
+// NewVF carves a virtual fast side out of the device.
+func (d *Device) NewVF(name string, cmbSize int64, queueSize int, destageLBAs int64) (*VF, error) {
+	vf, err := d.dev.CreateVF(name, cmbSize, queueSize, destageLBAs)
+	if err != nil {
+		return nil, err
+	}
+	return &VF{sys: d.sys, vf: vf}, nil
+}
+
+// Name returns the VF's qualified name.
+func (v *VF) Name() string { return v.vf.Name() }
+
+// OpenLog maps the VF's fast side for this process.
+func (v *VF) OpenLog(p *Proc) *Log {
+	v.sys.scratch += 64 << 10
+	return &Log{l: xapi.Open(p, v.vf, xapi.Options{
+		HostMem: v.sys.hostMem,
+		Scratch: v.sys.scratch,
+	})}
+}
+
+// EnableTracing attaches an event tracer to the device, retaining the
+// last capacity events.
+func (d *Device) EnableTracing(capacity int) *trace.Tracer {
+	return d.dev.EnableTracing(capacity)
+}
+
+// Log is the drop-in logging handle (paper §5.1): Pwrite/Fsync/Pread plus
+// the §5.2 Alloc/Free advanced API. One Log models one mapped writer
+// context (a core); open one per simulated worker.
+type Log struct {
+	l *xapi.Logger
+}
+
+// OpenLog maps the device's fast side for this process.
+func (d *Device) OpenLog(p *Proc) *Log {
+	d.sys.scratch += 64 << 10
+	return &Log{l: xapi.Open(p, d.dev, xapi.Options{
+		HostMem: d.sys.hostMem,
+		Scratch: d.sys.scratch,
+	})}
+}
+
+// Pwrite appends buf to the log (x_pwrite): the copy is paced by the
+// device's credit counter and returns once the data is on the wire.
+// The returned offset is the byte position in the log stream.
+func (g *Log) Pwrite(p *Proc, buf []byte) int64 { return g.l.XPwrite(p, buf) }
+
+// Fsync blocks until everything written through this handle is durable
+// under the device's replication scheme (x_fsync).
+func (g *Log) Fsync(p *Proc) error { return g.l.XFsync(p) }
+
+// Pread fills buf with the next adjacent bytes of the destaged log tail
+// (x_pread's tail-read semantics), blocking until enough data reaches the
+// conventional side. Returns the stream offset of buf[0].
+func (g *Log) Pread(p *Proc, buf []byte) (int64, error) { return g.l.XPread(p, buf) }
+
+// Alloc reserves a fast-side area for random-order writes (x_alloc).
+func (g *Log) Alloc(p *Proc, size int) (int64, error) { return g.l.XAlloc(p, size) }
+
+// WriteAt stores into an allocated area at the given stream offset.
+func (g *Log) WriteAt(p *Proc, off int64, data []byte) { g.l.XWriteAt(p, off, data) }
+
+// Free releases an allocated area, making it destage-eligible (x_free).
+func (g *Log) Free(p *Proc, start int64) error { return g.l.XFree(p, start) }
+
+// Written returns total bytes issued through this handle.
+func (g *Log) Written() int64 { return g.l.Written() }
+
+// Cluster is a replication group of devices (§4.2): one primary mirrors
+// its fast-side stream to the secondaries over NTB.
+type Cluster struct {
+	c *repl.Cluster
+}
+
+// NewCluster wires the given devices with a full NTB mesh.
+func (s *System) NewCluster(devices ...*Device) (*Cluster, error) {
+	raw := make([]*villars.Device, len(devices))
+	for i, d := range devices {
+		raw[i] = d.dev
+	}
+	c, err := repl.New(s.env, raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c}, nil
+}
+
+// Setup elects a primary and replication scheme; the rest become
+// secondaries.
+func (c *Cluster) Setup(p *Proc, primary int, scheme ReplicationScheme) error {
+	return c.c.Setup(p, primary, scheme)
+}
+
+// Promote fails over to another member (§7.1).
+func (c *Cluster) Promote(p *Proc, newPrimary int) error {
+	return c.c.Promote(p, newPrimary)
+}
+
+// Lag returns each secondary's shadow-counter lag in bytes.
+func (c *Cluster) Lag() []int64 { return c.c.Lag() }
+
+// PrimaryName returns the current primary's device name.
+func (c *Cluster) PrimaryName() string {
+	if d := c.c.Primary(); d != nil {
+		return d.Name()
+	}
+	return ""
+}

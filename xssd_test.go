@@ -1,0 +1,223 @@
+package xssd
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestPublicQuickstartPath(t *testing.T) {
+	sys := NewSystem(1)
+	dev := sys.NewDevice(DeviceOptions{Name: "q", Backing: SRAM})
+	msg := []byte("public API commit record")
+	var got []byte
+	sys.Run(func(p *Proc) {
+		log := dev.OpenLog(p)
+		off := log.Pwrite(p, msg)
+		if off != 0 {
+			t.Errorf("first write at offset %d", off)
+		}
+		if err := log.Fsync(p); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		if log.Written() != int64(len(msg)) {
+			t.Errorf("written = %d", log.Written())
+		}
+		reader := dev.OpenLog(p)
+		buf := make([]byte, len(msg))
+		if _, err := reader.Pread(p, buf); err != nil {
+			t.Errorf("pread: %v", err)
+		}
+		got = buf
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("tail read %q, want %q", got, msg)
+	}
+}
+
+func TestPublicClusterReplication(t *testing.T) {
+	sys := NewSystem(2)
+	a := sys.NewDevice(DeviceOptions{Name: "a"})
+	b := sys.NewDevice(DeviceOptions{Name: "b"})
+	cluster, err := sys.NewCluster(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(func(p *Proc) {
+		if err := cluster.Setup(p, 0, Eager); err != nil {
+			t.Fatalf("setup: %v", err)
+		}
+		log := a.OpenLog(p)
+		log.Pwrite(p, make([]byte, 2048))
+		if err := log.Fsync(p); err != nil {
+			t.Fatalf("fsync: %v", err)
+		}
+		// Eager fsync returned: the secondary must be caught up.
+		for i, lag := range cluster.Lag() {
+			if lag != 0 {
+				t.Errorf("secondary %d lag = %d after eager fsync", i, lag)
+			}
+		}
+	})
+	if cluster.PrimaryName() != "a" {
+		t.Fatalf("primary = %q", cluster.PrimaryName())
+	}
+}
+
+func TestPublicFailover(t *testing.T) {
+	sys := NewSystem(3)
+	a := sys.NewDevice(DeviceOptions{Name: "a"})
+	b := sys.NewDevice(DeviceOptions{Name: "b"})
+	cluster, err := sys.NewCluster(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(func(p *Proc) {
+		if err := cluster.Setup(p, 0, Eager); err != nil {
+			t.Fatalf("setup: %v", err)
+		}
+		log := a.OpenLog(p)
+		log.Pwrite(p, make([]byte, 512))
+		log.Fsync(p)
+		a.InjectPowerLoss()
+		if err := cluster.Promote(p, 1); err != nil {
+			t.Fatalf("promote: %v", err)
+		}
+	})
+	if cluster.PrimaryName() != "b" {
+		t.Fatalf("primary after failover = %q", cluster.PrimaryName())
+	}
+	sys.RunFor(200 * time.Millisecond)
+	if !a.Drained() {
+		t.Fatal("dead primary did not drain")
+	}
+}
+
+func TestPublicAdvancedAPI(t *testing.T) {
+	sys := NewSystem(4)
+	dev := sys.NewDevice(DeviceOptions{Name: "adv"})
+	sys.Run(func(p *Proc) {
+		log := dev.OpenLog(p)
+		start, err := log.Alloc(p, 128)
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		log.WriteAt(p, start+64, bytes.Repeat([]byte{2}, 64))
+		log.WriteAt(p, start, bytes.Repeat([]byte{1}, 64))
+		if err := log.Free(p, start); err != nil {
+			t.Fatalf("free: %v", err)
+		}
+		// After free, the data destages; the tail reader sees it in order.
+		reader := dev.OpenLog(p)
+		buf := make([]byte, 128)
+		if _, err := reader.Pread(p, buf); err != nil {
+			t.Fatalf("pread: %v", err)
+		}
+		if buf[0] != 1 || buf[64] != 2 {
+			t.Fatal("allocation contents out of order")
+		}
+	})
+}
+
+func TestPublicCrashConsistency(t *testing.T) {
+	sys := NewSystem(5)
+	dev := sys.NewDevice(DeviceOptions{Name: "crash"})
+	var written int64
+	sys.Run(func(p *Proc) {
+		log := dev.OpenLog(p)
+		log.Pwrite(p, make([]byte, 3000))
+		if err := log.Fsync(p); err != nil {
+			t.Fatalf("fsync: %v", err)
+		}
+		written = log.Written()
+		dev.InjectPowerLoss()
+	})
+	sys.RunFor(200 * time.Millisecond)
+	if !dev.Drained() {
+		t.Fatal("device did not drain after power loss")
+	}
+	if got := dev.Raw().Destage().DestagedStream(); got < written {
+		t.Fatalf("destaged %d < acked %d: durability violated", got, written)
+	}
+}
+
+func TestPublicDestagePolicyOption(t *testing.T) {
+	sys := NewSystem(6)
+	dev := sys.NewDevice(DeviceOptions{Name: "pol", Policy: ConventionalPriority})
+	if dev.Raw().Scheduler().Policy() != ConventionalPriority {
+		t.Fatal("policy option not applied")
+	}
+}
+
+func TestPublicDRAMBacking(t *testing.T) {
+	sys := NewSystem(7)
+	dev := sys.NewDevice(DeviceOptions{Name: "dram", Backing: DRAM})
+	sys.Run(func(p *Proc) {
+		log := dev.OpenLog(p)
+		log.Pwrite(p, make([]byte, 4096))
+		if err := log.Fsync(p); err != nil {
+			t.Fatalf("fsync on DRAM backing: %v", err)
+		}
+	})
+}
+
+func TestSystemClockAdvances(t *testing.T) {
+	sys := NewSystem(8)
+	if sys.Now() != 0 {
+		t.Fatal("clock not at zero")
+	}
+	sys.RunFor(5 * time.Millisecond)
+	if sys.Now() != 5*time.Millisecond {
+		t.Fatalf("Now = %v", sys.Now())
+	}
+}
+
+func TestPublicVirtualFunctions(t *testing.T) {
+	sys := NewSystem(9)
+	dev := sys.NewDevice(DeviceOptions{Name: "shared"})
+	vf1, err := dev.NewVF("tenant1", 32<<10, 4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf2, err := dev.NewVF("tenant2", 32<<10, 4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(func(p *Proc) {
+		l1 := vf1.OpenLog(p)
+		l2 := vf2.OpenLog(p)
+		l1.Pwrite(p, []byte("tenant one data"))
+		l2.Pwrite(p, []byte("tenant two")) // independent stream offsets
+		if err := l1.Fsync(p); err != nil {
+			t.Errorf("vf1 fsync: %v", err)
+		}
+		if err := l2.Fsync(p); err != nil {
+			t.Errorf("vf2 fsync: %v", err)
+		}
+		buf := make([]byte, 15)
+		r := vf1.OpenLog(p)
+		if _, err := r.Pread(p, buf); err != nil {
+			t.Errorf("vf1 pread: %v", err)
+		}
+		if string(buf) != "tenant one data" {
+			t.Errorf("vf1 read %q", buf)
+		}
+	})
+	if vf1.Name() != "shared/tenant1" {
+		t.Fatalf("vf name = %q", vf1.Name())
+	}
+}
+
+func TestPublicTracing(t *testing.T) {
+	sys := NewSystem(10)
+	dev := sys.NewDevice(DeviceOptions{Name: "tr"})
+	tr := dev.EnableTracing(128)
+	sys.Run(func(p *Proc) {
+		log := dev.OpenLog(p)
+		log.Pwrite(p, []byte("traced write"))
+		log.Fsync(p)
+	})
+	if tr.Total() == 0 {
+		t.Fatal("no events traced")
+	}
+}

@@ -1,0 +1,96 @@
+// Package analysis is a minimal, self-contained reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// plus a module-aware package loader built on `go list -export` and the
+// standard library's gc importer.
+//
+// The build environment for this repository has no module proxy access, so
+// the real x/tools module cannot be pulled in. The subset here keeps the
+// same shape (an Analyzer owns a Run func that receives a Pass and calls
+// Report), so the checkers in the sibling packages can migrate to the real
+// framework later by swapping imports; until then `cmd/xvet` is the
+// multichecker-style driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. It is the unit the xvet driver and
+// the analysistest harness operate on.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and driver flags.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+// Pass presents one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer // filled by the driver
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Callee resolves the function or method a call expression invokes, or nil
+// when the call is not a static function call (conversions, calls of
+// function-typed values, built-ins).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj() // method or field selection
+		} else {
+			obj = info.Uses[fun.Sel] // qualified identifier (pkg.Func)
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// Unparen strips any enclosing parentheses from e.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// NewInfo returns a types.Info with every map the analyzers need.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,210 @@
+// Package analysistest runs an analyzer over small testdata packages and
+// checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: testdata/src/<importpath>/*.go forms one package per directory.
+// A line expecting diagnostics carries a trailing comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// with exactly one quoted regexp per diagnostic expected on that line.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xssd/internal/analysis"
+)
+
+// Run analyzes each testdata/src/<path> package with a and reports
+// mismatches between diagnostics and // want expectations on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		runOne(t, testdata, a, path)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("%s: no Go files in %s (%v)", path, dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+
+	scrubWants(files)
+
+	var importPaths []string
+	for p := range imports {
+		importPaths = append(importPaths, p)
+	}
+	sort.Strings(importPaths)
+	exports, err := analysis.LoadExports(".", importPaths...)
+	if err != nil {
+		t.Fatalf("%s: resolving imports: %v", path, err)
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: analysis.NewImporter(fset, exports)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: type-checking testdata: %v", path, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", path, a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if matchWant(wants[key], d.Message) {
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s: %s", a.Name, key, d.Message)
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s: expected diagnostic matching %q at %s, got none", a.Name, re.String(), key)
+			}
+		}
+	}
+}
+
+// matchWant consumes (nils out) the first unused expectation matching msg.
+func matchWant(res []*regexp.Regexp, msg string) bool {
+	for i, re := range res {
+		if re != nil && re.MatchString(msg) {
+			res[i] = nil
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// scrubWants detaches pure-expectation comment groups from AST doc
+// positions so a trailing "// want ..." does not read as documentation to
+// comment-sensitive analyzers (paramdoc). The groups stay in File.Comments
+// for collectWants.
+func scrubWants(files []*ast.File) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			field, ok := n.(*ast.Field)
+			if !ok {
+				return true
+			}
+			if isWantGroup(field.Doc) {
+				field.Doc = nil
+			}
+			if isWantGroup(field.Comment) {
+				field.Comment = nil
+			}
+			return true
+		})
+	}
+}
+
+func isWantGroup(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if !wantRE.MatchString(c.Text) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectWants maps "file:line" to the expectations declared on that line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of space-separated double-quoted or
+// backquoted strings.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want clause near %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: cannot unquote %s: %v", pos, raw, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package errdiscipline enforces the repo's error-handling rules: errors
+// composed into larger errors must be wrapped with %w (so callers can use
+// errors.Is / errors.As), and error results from the storage-facing APIs
+// (villars, wal, ring, xapi) must not be silently discarded.
+package errdiscipline
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"xssd/internal/analysis"
+)
+
+// Analyzer is the errdiscipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdiscipline",
+	Doc: `require %w wrapping and explicit handling of storage API errors
+
+fmt.Errorf("...: %v", err) flattens err to text: errors.Is/errors.As can no
+longer see sentinel errors like ring.ErrFull through it. Use %w. Separately,
+calling an error-returning method of the villars/wal/ring/xapi packages as
+a bare statement drops a durability signal on the floor; handle the error
+or assign it to _ explicitly to document the decision.`,
+	Run: run,
+}
+
+// disciplinedPkgs are the packages whose error returns carry durability /
+// corruption signals that must never be dropped implicitly.
+var disciplinedPkgs = map[string]bool{
+	"xssd/internal/villars": true,
+	"xssd/internal/wal":     true,
+	"xssd/internal/ring":    true,
+	"xssd/internal/xapi":    true,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := analysis.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscard(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error value with %v or
+// %s instead of wrapping it with %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%[") {
+		return // explicit argument indexes: too clever to track, skip
+	}
+	args := call.Args[1:]
+	argIdx := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				argIdx++
+			}
+			i++
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					argIdx++
+				}
+				i++
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if verb == '%' {
+			continue
+		}
+		if (verb == 'v' || verb == 's') && argIdx < len(args) {
+			if tv, ok := pass.TypesInfo.Types[args[argIdx]]; ok && tv.Type != nil && types.Implements(tv.Type, errorIface) {
+				pass.Reportf(call.Pos(), "error formatted with %%%c loses its identity; wrap it with %%w so callers can errors.Is/errors.As through it", verb)
+			}
+		}
+		argIdx++
+	}
+}
+
+// checkDiscard flags bare statement calls that drop the error result of a
+// disciplined storage API.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !disciplinedPkgs[fn.Pkg().Path()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Implements(last, errorIface) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s.%s discarded; handle it or assign it to _ to record the decision", fn.Pkg().Name(), fn.Name())
+}

@@ -1,0 +1,12 @@
+package errdiscipline_test
+
+import (
+	"testing"
+
+	"xssd/internal/analysis/analysistest"
+	"xssd/internal/analysis/errdiscipline"
+)
+
+func TestErrDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", errdiscipline.Analyzer, "a")
+}

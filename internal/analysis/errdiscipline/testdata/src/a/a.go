@@ -1,0 +1,49 @@
+// Package a exercises the errdiscipline analyzer: %v/%s-formatted errors
+// and silently discarded storage-API errors are reported; %w wrapping,
+// non-error formatting and explicit discards are not.
+package a
+
+import (
+	"fmt"
+
+	"xssd/internal/ring"
+)
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("load config: %v", err) // want "wrap it with %w"
+}
+
+func wrapWithS(op string, err error) error {
+	return fmt.Errorf("%s failed: %s", op, err) // want "wrap it with %w"
+}
+
+// wrapWithW is the sanctioned form: errors.Is can see through it.
+func wrapWithW(err error) error {
+	return fmt.Errorf("load config: %w", err)
+}
+
+// formatNonError is fine: %v over plain values loses nothing.
+func formatNonError(n int, s string) error {
+	return fmt.Errorf("bad row %d (%v)", n, s)
+}
+
+func discardRelease(r *ring.Ring) {
+	r.Release(8) // want "error result of ring.Release discarded"
+}
+
+func discardWrite(r *ring.Ring, data []byte) {
+	r.Write(0, data) // want "error result of ring.Write discarded"
+}
+
+// explicitDiscard records the decision to ignore; deliberately no report.
+func explicitDiscard(r *ring.Ring) {
+	_ = r.Release(8)
+}
+
+// handled is the normal path; no report.
+func handled(r *ring.Ring, data []byte) error {
+	if err := r.Write(0, data); err != nil {
+		return fmt.Errorf("stage batch: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed and type-checked package ready for
+// analysis. Only non-test sources are loaded: the determinism and error
+// discipline invariants apply to production code, and tests legitimately
+// use wall-clock timeouts and discard errors on purpose-built failures.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg mirrors the fields of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` for patterns in dir and
+// decodes the package stream. The -export flag makes the go tool compile
+// (or reuse from the build cache) every package and report the path of its
+// export data, which is what lets us type-check one package at a time
+// without re-checking its dependencies from source.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,GoFiles,Standard,DepOnly,Error"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewImporter returns a types.Importer that resolves import paths through
+// the export-data files in exports (import path -> file). The importer
+// caches, so sharing one across packages keeps imported types identical.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// LoadExports resolves importPaths (and everything they depend on) to
+// export-data files, for type-checking loose source files such as the
+// analysistest testdata packages. dir must lie inside the module.
+func LoadExports(dir string, importPaths ...string) (map[string]string, error) {
+	if len(importPaths) == 0 {
+		return map[string]string{}, nil
+	}
+	list, err := goList(dir, importPaths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range list {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (resolved relative to dir, typically the module root). Test files are
+// excluded; see Package.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	list, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listPkg
+	for _, p := range list {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v", patterns)
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports)
+	var out []*Package
+	for _, lp := range targets {
+		if lp.Error != nil {
+			return nil, errors.New(lp.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// diagnostics sorted by file position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(diags, func(i, j int) bool {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return diags[i].Analyzer.Name < diags[j].Analyzer.Name
+		})
+	}
+	return diags, nil
+}

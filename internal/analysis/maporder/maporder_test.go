@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"xssd/internal/analysis/analysistest"
+	"xssd/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
+}

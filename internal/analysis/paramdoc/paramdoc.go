@@ -1,0 +1,68 @@
+// Package paramdoc requires a doc comment on every exported field of the
+// exported *Config structs. The Config structs are the repository's
+// experiment surface — each field is a knob someone will sweep in a paper
+// figure — so an undocumented knob is an unreproducible experiment.
+package paramdoc
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"xssd/internal/analysis"
+)
+
+// Analyzer is the paramdoc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "paramdoc",
+	Doc: `require doc comments on exported fields of exported Config structs
+
+Every exported field of an exported struct named Config (or *Config) must
+carry a doc comment or an inline trailing comment stating its meaning,
+unit, and zero-value default. Unexported fields and embedded fields are
+not checked.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				name := ts.Name.Name
+				if !ast.IsExported(name) || !strings.HasSuffix(name, "Config") {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				checkFields(pass, name, st)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFields(pass *analysis.Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded field
+		}
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, id := range field.Names {
+			if ast.IsExported(id.Name) {
+				pass.Reportf(id.Pos(), "exported config field %s.%s has no doc comment; document the knob (meaning, unit, zero default)", typeName, id.Name)
+			}
+		}
+	}
+}

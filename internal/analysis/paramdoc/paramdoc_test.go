@@ -1,0 +1,12 @@
+package paramdoc_test
+
+import (
+	"testing"
+
+	"xssd/internal/analysis/analysistest"
+	"xssd/internal/analysis/paramdoc"
+)
+
+func TestParamDoc(t *testing.T) {
+	analysistest.Run(t, "testdata", paramdoc.Analyzer, "a")
+}

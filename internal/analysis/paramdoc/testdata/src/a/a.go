@@ -1,0 +1,29 @@
+// Package a exercises the paramdoc analyzer: undocumented exported fields
+// of exported Config structs are reported; documented, inline-commented,
+// unexported and non-Config fields are not.
+package a
+
+// Config tunes the widget.
+type Config struct {
+	// Documented is a properly documented knob.
+	Documented int
+	Workers    int // want "exported config field Config.Workers has no doc comment"
+	BatchBytes int // want "exported config field Config.BatchBytes has no doc comment"
+	Inline     int // inline trailing comments count as documentation
+	internal   int
+}
+
+// TuningConfig shows the *Config suffix is matched too.
+type TuningConfig struct {
+	Depth int // want "exported config field TuningConfig.Depth has no doc comment"
+}
+
+// options is unexported: not an experiment surface, not checked.
+type options struct {
+	Whatever int
+}
+
+// Stats is not a Config struct: undocumented fields are fine here.
+type Stats struct {
+	Count int
+}

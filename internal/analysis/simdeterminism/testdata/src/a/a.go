@@ -1,0 +1,34 @@
+// Package a exercises the simdeterminism analyzer: wall-clock reads,
+// global math/rand use, and raw goroutines are reported; explicitly
+// seeded sources, virtual-time arithmetic and *rand.Rand methods are not.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()       // want "time.Now reads the wall clock"
+	time.Sleep(time.Second) // want "time.Sleep reads the wall clock"
+	return time.Since(t0)  // want "time.Since reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global rand.Intn is nondeterministically seeded"
+}
+
+func rawGoroutine(fn func()) {
+	go fn() // want "raw go statement bypasses the sim scheduler"
+}
+
+// seededRand is fine: the generator's stream is a pure function of seed.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // methods on an explicit *rand.Rand are not reported
+}
+
+// virtualTime is fine: conversions and constants don't read the clock.
+func virtualTime(ns int64) time.Duration {
+	return time.Duration(ns) * time.Microsecond
+}

@@ -1,0 +1,14 @@
+// Package demo sits under the xssd/cmd/ allowlist: entry points may read
+// the wall clock (progress output, CLI timeouts) without breaking the
+// simulation, so nothing here is reported.
+package demo
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // deliberately no report: cmd/ packages are exempt
+}
+
+func Spawn(fn func()) {
+	go fn() // deliberately no report: cmd/ packages are exempt
+}

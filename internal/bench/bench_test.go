@@ -47,6 +47,9 @@ func TestExperimentNamesRoundTrip(t *testing.T) {
 // Directional smoke checks on single experiment cells (fast parameters).
 
 func TestFig10CellWCBeatsUCDirectionally(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short mode")
+	}
 	wc := Fig10Cell(pm.SRAMSpec, false, 64)
 	uc := Fig10Cell(pm.SRAMSpec, true, 64)
 	if wc <= uc {
@@ -55,6 +58,9 @@ func TestFig10CellWCBeatsUCDirectionally(t *testing.T) {
 }
 
 func TestFig11CellQueueEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short mode")
+	}
 	latSmall, thrSmall := Fig11Cell(4<<10, 64<<10)
 	latBig, thrBig := Fig11Cell(32<<10, 64<<10)
 	if latBig >= latSmall {

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"xssd/internal/sim"
 	"xssd/internal/wal"
@@ -53,12 +54,14 @@ func (e *Engine) CreateTable(name string) {
 	}
 }
 
-// Tables returns the table names (unordered).
+// Tables returns the table names in sorted order, so callers that iterate
+// them (recovery checks, fingerprints, dumps) stay deterministic.
 func (e *Engine) Tables() []string {
 	out := make([]string, 0, len(e.tables))
 	for n := range e.tables {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -386,9 +389,7 @@ func (e *Engine) Fingerprint() uint64 {
 			h *= prime
 		}
 	}
-	names := e.Tables()
-	sortStrings(names)
-	for _, n := range names {
+	for _, n := range e.Tables() {
 		tab := e.tables[n]
 		keys := make([]string, 0, len(tab.rows))
 		for k := range tab.rows {
@@ -396,7 +397,7 @@ func (e *Engine) Fingerprint() uint64 {
 				keys = append(keys, k)
 			}
 		}
-		sortStrings(keys)
+		sort.Strings(keys)
 		mix([]byte(n))
 		for _, k := range keys {
 			mix([]byte(k))
@@ -404,12 +405,4 @@ func (e *Engine) Fingerprint() uint64 {
 		}
 	}
 	return h
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

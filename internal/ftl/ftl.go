@@ -19,6 +19,7 @@ var (
 	ErrUnmapped = errors.New("ftl: logical page not mapped")
 	ErrNoSpace  = errors.New("ftl: no free blocks and nothing to collect")
 	ErrRange    = errors.New("ftl: logical page out of range")
+	ErrPageSize = errors.New("ftl: payload must be exactly one page")
 )
 
 // Config tunes the FTL.
@@ -207,7 +208,7 @@ func (f *FTL) Write(p *sim.Proc, lpn int64, data []byte, src sched.Source) error
 		return ErrRange
 	}
 	if len(data) != f.geo.PageSize {
-		return fmt.Errorf("ftl: payload %d bytes, want one page of %d", len(data), f.geo.PageSize)
+		return fmt.Errorf("%w: got %d bytes, page is %d", ErrPageSize, len(data), f.geo.PageSize)
 	}
 	for {
 		ppn, err := f.allocate(p, src)

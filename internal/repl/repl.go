@@ -16,6 +16,19 @@ import (
 	"xssd/internal/villars"
 )
 
+// Sentinel errors. Concrete failures wrap these with device context, so
+// callers match with errors.Is.
+var (
+	// ErrNoDevices reports a cluster constructed over zero devices.
+	ErrNoDevices = errors.New("repl: cluster needs at least one device")
+	// ErrIndexRange reports a primary/promote index outside the device set.
+	ErrIndexRange = errors.New("repl: device index out of range")
+	// ErrChainTooShort reports a chain setup over fewer than two devices.
+	ErrChainTooShort = errors.New("repl: a chain needs at least two devices")
+	// ErrModeRejected reports a device refusing a transport-mode command.
+	ErrModeRejected = errors.New("repl: device rejected transport-mode command")
+)
+
 // Cluster is a replication group. Exactly one member is primary; the rest
 // are secondaries receiving the mirrored fast-side stream.
 type Cluster struct {
@@ -34,7 +47,7 @@ type Cluster struct {
 // NTB bridges, so any member can later be promoted without re-cabling.
 func New(env *sim.Env, devices []*villars.Device) (*Cluster, error) {
 	if len(devices) == 0 {
-		return nil, errors.New("repl: cluster needs at least one device")
+		return nil, ErrNoDevices
 	}
 	c := &Cluster{env: env, devices: devices, primary: -1}
 	c.bridges = make([][]*ntb.Bridge, len(devices))
@@ -82,7 +95,7 @@ func setMode(p *sim.Proc, d *villars.Device, mode core.TransportMode) error {
 		CDW:    int64(mode),
 	})
 	if comp.Status != nvme.StatusSuccess {
-		return fmt.Errorf("repl: set %s mode on %s: status %d", mode, d.Name(), comp.Status)
+		return fmt.Errorf("%w: set %s on %s (status %d)", ErrModeRejected, mode, d.Name(), comp.Status)
 	}
 	return nil
 }
@@ -91,7 +104,7 @@ func setMode(p *sim.Proc, d *villars.Device, mode core.TransportMode) error {
 // the rest into secondaries. Must run in process context.
 func (c *Cluster) Setup(p *sim.Proc, primaryIdx int, scheme core.ReplicationScheme) error {
 	if primaryIdx < 0 || primaryIdx >= len(c.devices) {
-		return errors.New("repl: primary index out of range")
+		return fmt.Errorf("%w: primary %d of %d devices", ErrIndexRange, primaryIdx, len(c.devices))
 	}
 	c.primary = primaryIdx
 	c.scheme = scheme
@@ -116,7 +129,7 @@ func (c *Cluster) Setup(p *sim.Proc, primaryIdx int, scheme core.ReplicationSche
 // chain-combined counter to the database.
 func (c *Cluster) SetupChain(p *sim.Proc) error {
 	if len(c.devices) < 2 {
-		return errors.New("repl: a chain needs at least two devices")
+		return fmt.Errorf("%w: have %d", ErrChainTooShort, len(c.devices))
 	}
 	c.primary = 0
 	c.scheme = core.Chain
@@ -144,7 +157,7 @@ func (c *Cluster) SetupChain(p *sim.Proc) error {
 // only performs the role changes.
 func (c *Cluster) Promote(p *sim.Proc, newPrimary int) error {
 	if newPrimary < 0 || newPrimary >= len(c.devices) {
-		return errors.New("repl: promote index out of range")
+		return fmt.Errorf("%w: promote %d of %d devices", ErrIndexRange, newPrimary, len(c.devices))
 	}
 	if newPrimary == c.primary {
 		return nil

@@ -15,11 +15,13 @@ import (
 	"fmt"
 )
 
-// Common errors returned by Ring operations.
+// Common errors returned by Ring operations. Errors carrying extra
+// context wrap these sentinels; match with errors.Is.
 var (
 	ErrFull       = errors.New("ring: write would overwrite unconsumed data")
 	ErrStale      = errors.New("ring: write below consumed head")
 	ErrOutOfRange = errors.New("ring: read outside persisted region")
+	ErrRelease    = errors.New("ring: release exceeds live window")
 )
 
 // Interval is a half-open [Start, End) range of stream offsets.
@@ -169,7 +171,7 @@ func (r *Ring) Read(off int64, n int) ([]byte, error) {
 // replicated onward) and frees their space for rewriting.
 func (r *Ring) Release(n int64) error {
 	if n < 0 || r.head+n > r.frontier {
-		return fmt.Errorf("ring: release %d exceeds live window %d", n, r.Live())
+		return fmt.Errorf("%w: release %d, live %d", ErrRelease, n, r.Live())
 	}
 	r.head += n
 	return nil

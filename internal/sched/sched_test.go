@@ -155,6 +155,9 @@ func TestReadAndEraseThroughScheduler(t *testing.T) {
 }
 
 func TestConventionalPriorityProtectsConventional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short mode")
+	}
 	env := sim.NewEnv(7)
 	geo := testGeo()
 	arr := nand.New(env, geo, nand.DefaultTiming)
@@ -186,6 +189,9 @@ func TestConventionalPriorityProtectsConventional(t *testing.T) {
 }
 
 func TestNeutralOversubscriptionHurtsBoth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short mode")
+	}
 	env := sim.NewEnv(7)
 	geo := testGeo()
 	arr := nand.New(env, geo, nand.DefaultTiming)
@@ -215,6 +221,9 @@ func TestNeutralOversubscriptionHurtsBoth(t *testing.T) {
 }
 
 func TestDestagePriorityProtectsDestage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short mode")
+	}
 	env := sim.NewEnv(7)
 	geo := testGeo()
 	arr := nand.New(env, geo, nand.DefaultTiming)

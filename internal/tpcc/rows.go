@@ -32,10 +32,15 @@ const (
 // and items down so simulations stay light while preserving the log
 // traffic shape (record sizes are governed by FillerLen).
 type Config struct {
-	Warehouses           int
-	Districts            int
+	// Warehouses is the warehouse count W — the TPC-C scale factor.
+	Warehouses int
+	// Districts is the number of districts per warehouse (spec: 10).
+	Districts int
+	// CustomersPerDistrict sizes each district's customer table
+	// (spec: 3000; the default shrinks it to keep simulations light).
 	CustomersPerDistrict int
-	Items                int
+	// Items is the size of the shared item catalog (spec: 100000).
+	Items int
 	// FillerLen sizes the free-text fields (spec uses 24-50 chars); it is
 	// the main knob for WAL record size.
 	FillerLen int

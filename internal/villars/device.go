@@ -45,9 +45,10 @@ type Config struct {
 	CMBSize int64
 	// QueueSize is the CMB intake queue; 0 means core.DefaultQueueSize.
 	QueueSize int
-	// Geometry and Timing shape the NAND array.
+	// Geometry shapes the NAND array (channels, dies, blocks, pages).
 	Geometry nand.Geometry
-	Timing   nand.Timing
+	// Timing sets the NAND operation latencies (tPROG, tR, tBERS).
+	Timing nand.Timing
 	// FTL tunes the flash translation layer.
 	FTL ftl.Config
 	// Policy is the initial destage scheduling policy.
@@ -58,10 +59,11 @@ type Config struct {
 	// DestageLatencyBound destages a partial page when data has waited
 	// this long; 0 means core.DefaultDestageLatencyBound.
 	DestageLatencyBound time.Duration
-	// PCIeLanes and PCIeGen size the host link; zero values mean ×4 Gen2,
-	// the constrained configuration of the paper's experiments.
+	// PCIeLanes is the host link width; 0 means ×4 (with PCIeGen's zero
+	// value this is the paper's constrained ×4 Gen2 configuration).
 	PCIeLanes int
-	PCIeGen   pcie.Generation
+	// PCIeGen is the host link generation; the zero value means Gen2.
+	PCIeGen pcie.Generation
 	// LinkLatency is the host-device propagation delay.
 	LinkLatency time.Duration
 	// SupercapBudget is how long the device can run after power loss to

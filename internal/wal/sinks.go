@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 
 	"xssd/internal/nvme"
 	"xssd/internal/pcie"
@@ -10,6 +11,10 @@ import (
 	"xssd/internal/villars"
 	"xssd/internal/xapi"
 )
+
+// ErrSinkWrite reports a failed sink write; concrete failures wrap it
+// with command context. Match with errors.Is.
+var ErrSinkWrite = errors.New("wal: sink write failed")
 
 // VillarsSink persists batches through the Villars fast side: XPwrite to
 // the CMB window, XFsync on the credit counter (paper Fig 9's
@@ -96,10 +101,11 @@ func (s *NVMeSink) Write(p *sim.Proc, data []byte) error {
 	if s.nextLBA+int64(blocks) > s.lbaEnd {
 		s.nextLBA = s.startLBA // recycle the log range
 	}
-	c := s.driver.Submit(p, nvme.Command{Opcode: nvme.OpWrite, LBA: s.nextLBA, Blocks: blocks, PRP: s.scratch})
+	lba := s.nextLBA
+	c := s.driver.Submit(p, nvme.Command{Opcode: nvme.OpWrite, LBA: lba, Blocks: blocks, PRP: s.scratch})
 	s.nextLBA += int64(blocks)
 	if c.Status != nvme.StatusSuccess {
-		return errors.New("wal: NVMe log write failed")
+		return fmt.Errorf("%w: NVMe write of %d blocks at lba %d, status %d", ErrSinkWrite, blocks, lba, c.Status)
 	}
 	return nil
 }

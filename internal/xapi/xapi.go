@@ -8,6 +8,7 @@ package xapi
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"xssd/internal/core"
@@ -32,8 +33,24 @@ const (
 	CheckEveryChunk
 )
 
-// ErrPowerLoss is returned when the device reports a power-loss state.
-var ErrPowerLoss = errors.New("xapi: device in power-loss state")
+// Sentinel errors. Concrete failures wrap these with cursor/command
+// context, so callers match with errors.Is.
+var (
+	// ErrPowerLoss is returned when the device reports a power-loss state.
+	ErrPowerLoss = errors.New("xapi: device in power-loss state")
+	// ErrNoHostMem reports an XPread without Options.HostMem configured.
+	ErrNoHostMem = errors.New("xapi: XPread requires Options.HostMem")
+	// ErrReadFailed reports a failed NVMe read of the destage ring.
+	ErrReadFailed = errors.New("xapi: destage ring read failed")
+	// ErrBadPage reports a destage-ring page with an invalid header.
+	ErrBadPage = errors.New("xapi: malformed destage page")
+	// ErrLapped reports a tail reader overtaken by the destage ring.
+	ErrLapped = errors.New("xapi: tail reader fell behind the destage ring")
+	// ErrAllocFailed reports a rejected XAlloc command.
+	ErrAllocFailed = errors.New("xapi: alloc failed")
+	// ErrFreeFailed reports a rejected XFree command.
+	ErrFreeFailed = errors.New("xapi: free failed")
+)
 
 // Endpoint is anything a Logger can bind to: a whole Villars device or
 // one of its virtual functions (paper §7.2). Both expose a CMB data
@@ -195,7 +212,7 @@ func (l *Logger) StallTime() time.Duration { return l.stallTime }
 // buf[0].
 func (l *Logger) XPread(p *sim.Proc, buf []byte) (int64, error) {
 	if l.hostMem == nil {
-		return 0, errors.New("xapi: XPread requires Options.HostMem")
+		return 0, ErrNoHostMem
 	}
 	startOff := l.readStream
 	need := len(buf)
@@ -211,12 +228,12 @@ func (l *Logger) XPread(p *sim.Proc, buf []byte) (int64, error) {
 		lba := base + l.readSlot%count
 		c := l.driver.Submit(p, nvme.Command{Opcode: nvme.OpRead, LBA: lba, Blocks: 1, PRP: l.scratch})
 		if c.Status != nvme.StatusSuccess {
-			return startOff, errors.New("xapi: destage ring read failed")
+			return startOff, fmt.Errorf("%w: slot %d (lba %d), status %d", ErrReadFailed, l.readSlot, lba, c.Status)
 		}
 		page := l.hostMem.Bytes()[l.scratch : l.scratch+int64(bs)]
 		pageOff, payloadLen, ok := villars.DecodePageHeader(page)
 		if !ok {
-			return startOff, errors.New("xapi: malformed destage page")
+			return startOff, fmt.Errorf("%w: slot %d (lba %d)", ErrBadPage, l.readSlot, lba)
 		}
 		if l.readStream >= pageOff+int64(payloadLen) {
 			// Cursor already past this page: advance to the next slot.
@@ -226,7 +243,7 @@ func (l *Logger) XPread(p *sim.Proc, buf []byte) (int64, error) {
 		if l.readStream < pageOff {
 			// The ring lapped us: data between readStream and pageOff is
 			// gone from the ring (still on the PM side or overwritten).
-			return startOff, errors.New("xapi: tail reader fell behind the destage ring")
+			return startOff, fmt.Errorf("%w: cursor %d, oldest ring data %d", ErrLapped, l.readStream, pageOff)
 		}
 		from := int(l.readStream - pageOff)
 		n := payloadLen - from
@@ -249,7 +266,7 @@ func (l *Logger) XPread(p *sim.Proc, buf []byte) (int64, error) {
 func (l *Logger) XAlloc(p *sim.Proc, size int) (int64, error) {
 	c := l.driver.Submit(p, nvme.Command{Opcode: nvme.OpXAlloc, CDW: int64(size)})
 	if c.Status != nvme.StatusSuccess {
-		return 0, errors.New("xapi: alloc failed")
+		return 0, fmt.Errorf("%w: %d bytes, status %d", ErrAllocFailed, size, c.Status)
 	}
 	return c.Value, nil
 }
@@ -266,7 +283,7 @@ func (l *Logger) XWriteAt(p *sim.Proc, off int64, data []byte) {
 func (l *Logger) XFree(p *sim.Proc, start int64) error {
 	c := l.driver.Submit(p, nvme.Command{Opcode: nvme.OpXFree, CDW: start})
 	if c.Status != nvme.StatusSuccess {
-		return errors.New("xapi: free failed")
+		return fmt.Errorf("%w: area %d, status %d", ErrFreeFailed, start, c.Status)
 	}
 	return nil
 }

@@ -208,6 +208,9 @@ func TestAllocWriteFreeDestages(t *testing.T) {
 }
 
 func TestFsyncUnderEagerReplicationWaitsForSecondary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short mode")
+	}
 	env := sim.NewEnv(1)
 	prim, hostP := testDevice(env, "prim")
 	sec, _ := testDevice(env, "sec")

@@ -7,6 +7,7 @@
 //	xbench -fig 9            # one figure
 //	xbench -exp fig12        # by name
 //	xbench -all              # everything
+//	xbench -chaos -seeds 20  # chaos sweep: fault plans vs invariants
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"xssd/internal/bench"
+	"xssd/internal/chaos"
 )
 
 func main() {
@@ -22,9 +24,16 @@ func main() {
 	exp := flag.String("exp", "", "experiment name (see -list)")
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list experiment names")
+	chaosRun := flag.Bool("chaos", false, "run the chaos sweep (randomized fault plans, invariants I1-I5)")
+	seeds := flag.Int("seeds", 20, "number of seeds for -chaos")
 	flag.Parse()
 
 	switch {
+	case *chaosRun:
+		if err := chaos.Sweep(os.Stdout, *seeds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case *list:
 		for _, name := range bench.Experiments {
 			fmt.Println(name)

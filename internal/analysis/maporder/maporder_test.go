@@ -8,5 +8,5 @@ import (
 )
 
 func TestMapOrder(t *testing.T) {
-	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
+	analysistest.Run(t, "testdata", maporder.Analyzer, "a", "faulthook")
 }

@@ -1,0 +1,60 @@
+// Package faulthook exercises the maporder analyzer on the fault
+// hook-site pattern: a registry of named fault points must not arm
+// scheduled events or report firings in map-iteration order.
+package faulthook
+
+import (
+	"sort"
+
+	"xssd/internal/sim"
+)
+
+type rule struct {
+	at int64
+	fn func()
+}
+
+// badArm schedules each registered rule while ranging over the registry:
+// the event creation order (and hence tie-breaking) becomes map order.
+func badArm(env *sim.Env, rules map[string]rule) {
+	for _, r := range rules {
+		env.At(0, r.fn) // want "call to sim.At inside map iteration"
+	}
+}
+
+// badReport returns the fired point names in map order.
+func badReport(fired map[string]int) []string {
+	var points []string
+	for p := range fired {
+		points = append(points, p) // want "points accumulates elements in map-iteration order"
+	}
+	return points
+}
+
+// goodArm is the sanctioned pattern: fix the order first, then arm.
+func goodArm(env *sim.Env, rules map[string]rule) {
+	var names []string
+	for n := range rules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		env.At(0, rules[n].fn)
+	}
+}
+
+// goodReport sorts before returning.
+func goodReport(fired map[string]int) []string {
+	points := badReportSorted(fired)
+	sort.Strings(points)
+	return points
+}
+
+func badReportSorted(fired map[string]int) []string {
+	out := make([]string, 0, len(fired))
+	for p := range fired {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,61 @@
+// Package faulthook exercises the simdeterminism analyzer on the fault
+// hook-site pattern: injector checks inside device code must draw
+// randomness from a seeded source, stamp firings with virtual time, and
+// spawn repair work through the sim scheduler.
+package faulthook
+
+import (
+	"math/rand"
+	"time"
+
+	"xssd/internal/sim"
+)
+
+type firing struct {
+	at time.Duration
+}
+
+type injector struct {
+	env *sim.Env
+	rng *rand.Rand
+
+	firings []firing
+}
+
+// badProbCheck draws the probabilistic trigger from the global source:
+// a different fault schedule every run, which breaks replayability.
+func (i *injector) badProbCheck(p float64) bool {
+	return rand.Float64() < p // want "global rand.Float64 is nondeterministically seeded"
+}
+
+// badStamp records the firing against the wall clock instead of the
+// simulation clock.
+func (i *injector) badStamp() {
+	_ = time.Now() // want "time.Now reads the wall clock"
+}
+
+// badRepair spawns the resend loop as a raw goroutine, so its
+// interleaving with device processes is up to the Go runtime.
+func (i *injector) badRepair(resend func()) {
+	go resend() // want "raw go statement bypasses the sim scheduler"
+}
+
+// goodProbCheck is the sanctioned hook: the injector owns a *rand.Rand
+// seeded once from the environment, so (seed, plan) determines firings.
+func (i *injector) goodProbCheck(p float64) bool {
+	return i.rng.Float64() < p
+}
+
+// goodStamp records virtual time.
+func (i *injector) goodStamp() {
+	i.firings = append(i.firings, firing{at: i.env.Now()})
+}
+
+// goodRepair runs the resend loop as a scheduled process.
+func (i *injector) goodRepair(resend func(*sim.Proc)) {
+	i.env.Go("fault-repair", resend)
+}
+
+func newInjector(env *sim.Env) *injector {
+	return &injector{env: env, rng: rand.New(rand.NewSource(env.Rand().Int63()))}
+}

@@ -1,0 +1,517 @@
+// Package chaos runs randomized fault-injection scenarios against the
+// full stack — TPC-C transactions committing through the WAL into a
+// Villars device (optionally replicated over NTB) while a fault.Plan
+// injects bad blocks, destage failures, dropped mirror traffic, frozen
+// shadow counters, sink errors, and power loss — and then checks the
+// crash/replication invariants the paper promises:
+//
+//	I1  the conventional side holds a gap-free prefix of the acknowledged
+//	    log stream, covering at least the durable horizon (§4.1, §4.3);
+//	I2  recovering a database from that prefix reproduces exactly the
+//	    state a replay of the host-side stream yields (and the live
+//	    engine's state when there was no crash);
+//	I3  every secondary's ring is a prefix of the primary's stream, and
+//	    catch-up converges once faults clear (§4.2);
+//	I4  a replica whose shadow counter goes stale while data is
+//	    outstanding is surfaced in the status register (§4.2);
+//	I5  re-running the same (seed, plan) reproduces the run bit for bit
+//	    (identical trace fingerprints).
+//
+// A Scenario is fully deterministic: (Seed, Plan) and the cluster shape
+// determine every event, so any violation replays exactly.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/db"
+	"xssd/internal/fault"
+	"xssd/internal/nand"
+	"xssd/internal/pcie"
+	"xssd/internal/repl"
+	"xssd/internal/sim"
+	"xssd/internal/tpcc"
+	"xssd/internal/villars"
+	"xssd/internal/wal"
+)
+
+// PrimaryName is the primary device's component name — the scope to use
+// for device.power rules that crash the primary.
+const PrimaryName = "p"
+
+// loadSeed seeds the initial TPC-C table load (the same rows on every
+// run, so recovery oracles can rebuild the starting state).
+const loadSeed = 7
+
+// chaosStallTimeout is the devices' replica stall timeout; the I4 oracle
+// demands the stall bit once suppression exceeds twice this.
+const chaosStallTimeout = 2 * time.Millisecond
+
+// Scenario describes one chaos run. (Seed, Plan) plus the shape fields
+// fully determine the execution; Run on an identical Scenario replays
+// identically (invariant I5).
+type Scenario struct {
+	// Seed seeds the simulation environment (and hence the workload and
+	// every prob-triggered fault decision).
+	Seed int64
+	// Plan is the fault schedule; nil means no faults.
+	Plan *fault.Plan
+	// Secondaries is how many replica devices to attach (0 = standalone).
+	Secondaries int
+	// Scheme selects the replication scheme when Secondaries > 0.
+	Scheme core.ReplicationScheme
+	// Workers is the number of TPC-C worker processes; 0 means 2.
+	Workers int
+	// Window is how long the workload runs before it is stopped; 0 means
+	// 30 ms. At-triggered fault rules should fire inside the window.
+	Window time.Duration
+	// Settle is how long the stack gets to quiesce after the workload
+	// stops (flush, destage, repair, catch-up); 0 means 20 ms.
+	Settle time.Duration
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Plan == nil {
+		s.Plan = &fault.Plan{}
+	}
+	if s.Workers <= 0 {
+		s.Workers = 2
+	}
+	if s.Window <= 0 {
+		s.Window = 30 * time.Millisecond
+	}
+	if s.Settle <= 0 {
+		s.Settle = 20 * time.Millisecond
+	}
+	return s
+}
+
+// DefaultScenario derives a randomized scenario from a seed: cluster
+// shape, replication scheme, and a fault.RandomPlan all follow from the
+// seed, so a sweep over seeds explores the space reproducibly.
+func DefaultScenario(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	s := Scenario{Seed: seed, Secondaries: rng.Intn(3)}.withDefaults()
+	if s.Secondaries > 0 {
+		switch rng.Intn(3) {
+		case 0:
+			s.Scheme = core.Eager
+		case 1:
+			s.Scheme = core.Lazy
+		default:
+			s.Scheme = core.Chain
+		}
+	}
+	s.Plan = fault.RandomPlan(rng, s.Window, s.Secondaries > 0, PrimaryName)
+	return s
+}
+
+// Result summarizes one run. Violations lists every invariant breach
+// observed (empty on a clean run); Fingerprint digests the full event
+// history for the determinism check.
+type Result struct {
+	Seed        int64
+	Secondaries int
+	Scheme      core.ReplicationScheme
+	PowerLost   bool
+
+	Commits  int64 // committed transactions (live engine)
+	Written  int64 // bytes the host handed to the sink
+	Destaged int64 // bytes the primary moved to the conventional side
+	Durable  int64 // final durable horizon of the WAL
+	Firings  int   // fault rules that fired
+
+	StallSeen     bool          // status register showed StatusReplicaStalled
+	MaxSuppressed time.Duration // longest observed shadow-suppression stretch
+
+	Fingerprint uint64
+	Violations  []string
+}
+
+// FNV-1a, for folding the per-device trace fingerprints into one digest.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// recordingSink wraps a sink and keeps the exact byte stream the host
+// handed down — the oracle every prefix invariant is checked against.
+// Bytes are recorded before the inner write so a power loss mid-write
+// leaves the device with a prefix of the recording, never the reverse.
+type recordingSink struct {
+	inner wal.Sink
+	buf   *[]byte
+}
+
+// Write implements wal.Sink.
+func (s *recordingSink) Write(p *sim.Proc, data []byte) error {
+	*s.buf = append(*s.buf, data...)
+	return s.inner.Write(p, data)
+}
+
+// Name implements wal.Sink.
+func (s *recordingSink) Name() string { return s.inner.Name() }
+
+// chaosDevice builds a small-geometry device so a run stays light: the
+// xapi crash tests' configuration plus tightened transport timeouts so
+// stall, repair, and catch-up all play out inside the window.
+func chaosDevice(env *sim.Env, name string) *villars.Device {
+	cfg := villars.DefaultConfig(name)
+	cfg.Geometry = nand.Geometry{Channels: 2, WaysPerChan: 2, BlocksPerDie: 32, PagesPerBlock: 32, PageSize: 2048}
+	cfg.Timing = nand.Timing{TRead: 5 * time.Microsecond, TProg: 20 * time.Microsecond, TErase: 100 * time.Microsecond, BusRate: 1e9}
+	cfg.QueueSize = 4096
+	cfg.CMBSize = 64 << 10
+	cfg.DestageLatencyBound = 100 * time.Microsecond
+	cfg.ShadowUpdatePeriod = 2 * time.Microsecond
+	cfg.StallTimeout = chaosStallTimeout
+	cfg.RepairTimeout = time.Millisecond
+	d := villars.New(env, cfg, pcie.NewHostMemory(1<<20))
+	d.EnableTracing(4096)
+	return d
+}
+
+// stallMonitor is the I4 oracle: it polls the primary's status register
+// and, independently, watches for stretches where a direct peer's shadow
+// reporting is being suppressed while data is outstanding — exactly the
+// condition under which the register must eventually show
+// StatusReplicaStalled.
+type stallMonitor struct {
+	seen          bool
+	maxSuppressed time.Duration
+}
+
+// Run executes one scenario and checks invariants I1-I4 (I5 is checked
+// by the caller across two runs, via Result.Fingerprint). The returned
+// error reports harness failures; invariant breaches land in
+// Result.Violations.
+func Run(s Scenario) (*Result, error) {
+	s = s.withDefaults()
+	if err := s.Plan.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+
+	env := sim.NewEnv(s.Seed)
+	// Attach before building devices so at-time power-loss rules arm.
+	inj := fault.New(env, s.Plan)
+	fault.Attach(env, inj)
+	defer fault.Detach(env)
+
+	prim := chaosDevice(env, PrimaryName)
+	devices := []*villars.Device{prim}
+	for i := 0; i < s.Secondaries; i++ {
+		devices = append(devices, chaosDevice(env, fmt.Sprintf("s%d", i)))
+	}
+	var cluster *repl.Cluster
+	if len(devices) > 1 {
+		var err error
+		cluster, err = repl.New(env, devices)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	tcfg := tpcc.Config{Warehouses: 2, Districts: 2, CustomersPerDistrict: 8, Items: 40, FillerLen: 10}
+	var (
+		written []byte
+		lg      *wal.Log
+		eng     *db.Engine
+		bootErr error
+		stop    bool
+	)
+	env.Go("chaos-boot", func(p *sim.Proc) {
+		if cluster != nil {
+			if s.Scheme == core.Chain {
+				bootErr = cluster.SetupChain(p)
+			} else {
+				bootErr = cluster.Setup(p, 0, s.Scheme)
+			}
+			if bootErr != nil {
+				return
+			}
+		}
+		sink := &recordingSink{inner: wal.NewVillarsSink(p, prim, "chaos"), buf: &written}
+		lg = wal.NewLog(env, sink, wal.Config{GroupBytes: 4 << 10, GroupTimeout: 500 * time.Microsecond})
+		eng = db.New(env, lg)
+		tpcc.Load(eng, tcfg, loadSeed)
+		for w := 0; w < s.Workers; w++ {
+			w := w
+			env.Go(fmt.Sprintf("chaos-worker-%d", w), func(p *sim.Proc) {
+				client := tpcc.NewClient(eng, tcfg, s.Seed*97+int64(w)+1, w%tcfg.Warehouses+1)
+				for !stop && !lg.Dead() {
+					lg.WaitBacklog(p, 32<<10)
+					if stop || lg.Dead() {
+						return
+					}
+					// Think time sized so a window's worth of log traffic
+					// stays well inside the destage LBA ring — the flash
+					// verifier needs the whole stream still resident.
+					p.Sleep(100 * time.Microsecond)
+					client.RunMixAsync(p)
+				}
+			})
+		}
+	})
+
+	mon := &stallMonitor{}
+	if cluster != nil {
+		// Direct peers of the primary: the replicas whose staleness the
+		// primary's own status register is responsible for surfacing. In
+		// a chain the primary only watches its successor.
+		direct := devices[1:]
+		if s.Scheme == core.Chain {
+			direct = devices[1:2]
+		}
+		env.Go("chaos-monitor", func(p *sim.Proc) {
+			mm := pcie.NewMMIO(prim.ControlRegion(), pcie.Uncached)
+			lastSupp := make([]int64, len(direct))
+			since := make([]time.Duration, len(direct))
+			active := make([]bool, len(direct))
+			for {
+				b := mm.Load(p, core.RegStatus, 8)
+				var st int64
+				for i := 0; i < 8; i++ {
+					st |= int64(b[i]) << (8 * i)
+				}
+				if st&core.StatusReplicaStalled != 0 {
+					mon.seen = true
+				}
+				for i, sec := range direct {
+					_, _, _, supp := sec.Transport().FaultStats()
+					outstanding := prim.CMB().Ring().Frontier() > prim.Transport().Shadow(i)
+					if supp > lastSupp[i] && outstanding {
+						if !active[i] {
+							active[i] = true
+							since[i] = p.Now()
+						}
+						if d := p.Now() - since[i]; d > mon.maxSuppressed {
+							mon.maxSuppressed = d
+						}
+					} else {
+						active[i] = false
+					}
+					lastSupp[i] = supp
+				}
+				p.Sleep(50 * time.Microsecond)
+			}
+		})
+	}
+
+	env.RunUntil(s.Window)
+	if bootErr != nil {
+		return nil, fmt.Errorf("chaos: boot: %w", bootErr)
+	}
+	stop = true
+	env.RunUntil(s.Window + s.Settle)
+
+	r := &Result{Seed: s.Seed, Secondaries: s.Secondaries, Scheme: s.Scheme}
+	r.PowerLost = prim.PowerLost()
+	if r.PowerLost && !prim.Drained() {
+		env.RunUntil(env.Now() + 300*time.Millisecond)
+	}
+	violate := func(format string, args ...any) {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+
+	r.Written = int64(len(written))
+	r.Destaged = prim.Destage().DestagedStream()
+	if lg != nil {
+		r.Durable = lg.DurableLSN()
+	}
+	if eng != nil {
+		r.Commits, _ = eng.Stats()
+	}
+	r.Firings = len(inj.Firings())
+	r.StallSeen = mon.seen
+	r.MaxSuppressed = mon.maxSuppressed
+
+	// ---- I3: secondaries hold a prefix of the primary's stream --------
+	primFr := prim.CMB().Ring().Frontier()
+	for i, sec := range devices[1:] {
+		ring := sec.CMB().Ring()
+		head, fr := ring.Head(), ring.Frontier()
+		if fr > r.Written {
+			violate("I3: %s frontier %d beyond host stream %d", sec.Name(), fr, r.Written)
+			continue
+		}
+		if fr > primFr {
+			violate("I3: %s frontier %d ran ahead of primary %d", sec.Name(), fr, primFr)
+			continue
+		}
+		if fr > head {
+			data, err := ring.Read(head, int(fr-head))
+			if err != nil {
+				violate("I3: %s ring read [%d,%d): %v", sec.Name(), head, fr, err)
+			} else if !bytes.Equal(data, written[head:fr]) {
+				violate("I3: %s ring bytes diverge from primary stream in [%d,%d)", sec.Name(), head, fr)
+			}
+		}
+		if !r.PowerLost && fr != primFr {
+			violate("I3: %s did not converge: frontier %d, primary %d (peer %d)", sec.Name(), fr, primFr, i)
+		}
+	}
+
+	// ---- I4: a stale replica must be surfaced in the status register --
+	// One-directional: a long suppression stretch with data outstanding
+	// must raise the bit; the bit may also show for shorter transients.
+	if mon.maxSuppressed > 2*chaosStallTimeout && !mon.seen {
+		violate("I4: shadow suppressed for %v with data outstanding, stall bit never set", mon.maxSuppressed)
+	}
+
+	// ---- I1: gap-free conventional prefix -----------------------------
+	if r.PowerLost {
+		if !prim.Drained() {
+			violate("I1: primary not drained after power loss")
+		}
+		if lg != nil && r.Destaged < r.Durable {
+			violate("I1: destaged %d < durable horizon %d", r.Destaged, r.Durable)
+		}
+	} else if lg != nil {
+		if bl := lg.Backlog(); bl != 0 {
+			violate("I1: WAL backlog %d after settle with no crash", bl)
+		}
+		if r.Destaged != r.Written {
+			violate("I1: destaged %d != written %d with no crash", r.Destaged, r.Written)
+		}
+		if primFr != r.Written {
+			violate("I1: primary ring frontier %d != written %d with no crash", primFr, r.Written)
+		}
+	}
+	_, slots := prim.Destage().LBARing()
+	if prim.Destage().TailLBA() > slots {
+		// The workload outran the destage LBA ring and early slots were
+		// recycled; the whole-stream verifier below would read garbage.
+		// Scenario parameters are sized to keep this from happening.
+		return nil, fmt.Errorf("chaos: stream wrapped the destage ring (%d slots): shrink the window or workload", slots)
+	}
+	prefix, err := flashPrefix(env, prim)
+	if err != nil {
+		violate("I1: %v", err)
+	} else {
+		if int64(len(prefix)) != r.Destaged {
+			violate("I1: flash prefix %d bytes, destage counter %d", len(prefix), r.Destaged)
+		}
+		if int64(len(prefix)) > r.Written {
+			violate("I1: flash prefix %d beyond host stream %d", len(prefix), r.Written)
+		} else if !bytes.Equal(prefix, written[:len(prefix)]) {
+			violate("I1: flash prefix diverges from host stream (first %d bytes)", len(prefix))
+		}
+	}
+
+	// ---- I2: crash-recovery equality ----------------------------------
+	if lg != nil && err == nil && int64(len(prefix)) <= r.Written {
+		recovered := db.New(env, nil)
+		tpcc.Load(recovered, tcfg, loadSeed)
+		if rerr := recovered.Recover(wal.DecodeAll(prefix)); rerr != nil {
+			violate("I2: recover from flash prefix: %v", rerr)
+		} else {
+			oracle := db.New(env, nil)
+			tpcc.Load(oracle, tcfg, loadSeed)
+			if oerr := oracle.Recover(wal.DecodeAll(written[:len(prefix)])); oerr != nil {
+				violate("I2: replay host stream: %v", oerr)
+			}
+			if recovered.Fingerprint() != oracle.Fingerprint() {
+				violate("I2: recovered state diverges from host-stream replay")
+			}
+			if !r.PowerLost && eng != nil && recovered.Fingerprint() != eng.Fingerprint() {
+				violate("I2: recovered state != live engine with no crash")
+			}
+		}
+	}
+
+	// ---- I5 ingredient: event-history fingerprint ---------------------
+	fp := uint64(fnvOffset)
+	for _, d := range devices {
+		fp = mix64(fp, d.Tracer().Fingerprint())
+	}
+	if eng != nil {
+		fp = mix64(fp, eng.Fingerprint())
+	}
+	fp = mix64(fp, uint64(r.Commits))
+	fp = mix64(fp, uint64(r.Written))
+	fp = mix64(fp, uint64(r.Destaged))
+	fp = mix64(fp, uint64(r.Firings))
+	r.Fingerprint = fp
+	return r, nil
+}
+
+// flashPrefix reads the destage ring back through the FTL and reassembles
+// the stream prefix the conventional side holds, failing on any gap or
+// malformed page (the read itself runs in virtual time).
+func flashPrefix(env *sim.Env, d *villars.Device) ([]byte, error) {
+	base, count := d.Destage().LBARing()
+	var got []byte
+	var rerr error
+	env.Go("chaos-flash-verify", func(p *sim.Proc) {
+		for slot := int64(0); slot < d.Destage().TailLBA(); slot++ {
+			page, err := d.FTL().Read(p, base+slot%count)
+			if err != nil {
+				rerr = fmt.Errorf("flash prefix: read slot %d: %w", slot, err)
+				return
+			}
+			off, n, ok := villars.DecodePageHeader(page)
+			if !ok {
+				rerr = fmt.Errorf("flash prefix: slot %d is not a destage page", slot)
+				return
+			}
+			if off != int64(len(got)) {
+				rerr = fmt.Errorf("flash prefix: slot %d at stream offset %d, want %d (gap)", slot, off, len(got))
+				return
+			}
+			got = append(got, page[villars.PageHeaderLen:villars.PageHeaderLen+n]...)
+		}
+	})
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	return got, rerr
+}
+
+// Sweep runs DefaultScenario for each seed twice — checking invariants
+// I1-I4 inside each run and I5 (bitwise reproducibility) across the pair
+// — and writes one summary line per seed. It returns an error listing
+// every violation, or nil when all seeds hold.
+func Sweep(w io.Writer, seeds int) error {
+	total := 0
+	for seed := 0; seed < seeds; seed++ {
+		sc := DefaultScenario(int64(seed))
+		r1, err := Run(sc)
+		if err != nil {
+			return err
+		}
+		r2, err := Run(sc)
+		if err != nil {
+			return err
+		}
+		viol := append([]string(nil), r1.Violations...)
+		if r2.Fingerprint != r1.Fingerprint {
+			viol = append(viol, fmt.Sprintf("I5: re-run fingerprint %016x != %016x", r2.Fingerprint, r1.Fingerprint))
+		}
+		scheme := "-"
+		if r1.Secondaries > 0 {
+			scheme = r1.Scheme.String()
+		}
+		fmt.Fprintf(w, "seed %3d  sec=%d scheme=%-5s crash=%-5v commits=%-5d written=%-7d destaged=%-7d faults=%-2d fp=%016x\n",
+			seed, r1.Secondaries, scheme, r1.PowerLost, r1.Commits, r1.Written, r1.Destaged, r1.Firings, r1.Fingerprint)
+		for _, v := range viol {
+			fmt.Fprintf(w, "          VIOLATION %s\n", v)
+		}
+		total += len(viol)
+	}
+	if total > 0 {
+		return fmt.Errorf("chaos: %d invariant violations across %d seeds", total, seeds)
+	}
+	fmt.Fprintf(w, "chaos: %d seeds × 2 runs, invariants I1-I5 hold\n", seeds)
+	return nil
+}

@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"xssd/internal/fault"
+)
+
+// Determinism regression (invariant I5): the same (seed, plan) must
+// reproduce the run bit for bit, and different seeds must diverge.
+func TestSameSeedAndPlanReproduceExactly(t *testing.T) {
+	sc := DefaultScenario(3) // replicated, 21 fault firings: a busy run
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Fatalf("same (seed, plan) diverged: %016x vs %016x", r1.Fingerprint, r2.Fingerprint)
+	}
+	if r1.Commits != r2.Commits || r1.Written != r2.Written || r1.Destaged != r2.Destaged || r1.Firings != r2.Firings {
+		t.Fatalf("same (seed, plan) diverged in stats: %+v vs %+v", r1, r2)
+	}
+	r3, err := Run(DefaultScenario(4))
+	if err != nil {
+		t.Fatalf("run 3: %v", err)
+	}
+	if r3.Fingerprint == r1.Fingerprint {
+		t.Fatalf("different seeds produced identical fingerprint %016x (suspicious)", r1.Fingerprint)
+	}
+}
+
+// A fixed plan (not a RandomPlan) must drive the same machinery: parse a
+// textual schedule, run it, and hold the invariants.
+func TestParsedPlanRuns(t *testing.T) {
+	plan, err := fault.Parse(`
+# mixed transients, then a crash
+prob 0.05 transport.mirror drop x 6
+on 20 wal.sink fail x 2
+at 6ms transport.shadow freeze 3ms
+at 14ms device.power@p fail
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := Run(Scenario{Seed: 11, Plan: plan, Secondaries: 1, Window: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !r.PowerLost {
+		t.Fatal("scheduled power loss did not happen")
+	}
+	if r.Firings == 0 {
+		t.Fatal("no fault rules fired")
+	}
+	for _, v := range r.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// Sweep is the xbench -chaos entry point; keep a small always-on run so
+// the end-to-end path (two runs per seed, I5 cross-check, reporting)
+// stays exercised in CI.
+func TestSweepSmall(t *testing.T) {
+	seeds := 3
+	if testing.Short() {
+		seeds = 2
+	}
+	if err := Sweep(io.Discard, seeds); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/fault"
+)
+
+// quickWindow keeps the property-test scenarios short: enough traffic to
+// stress flush/destage/mirror, small enough that dozens of runs fit in a
+// test budget.
+const quickWindow = 8 * time.Millisecond
+
+func quickConfig(t *testing.T) *quick.Config {
+	n := 10
+	if testing.Short() {
+		n = 4
+	}
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(99))}
+}
+
+// Property: for a random workload and a power loss at a random instant,
+// the conventional side afterwards holds a gap-free prefix of the
+// acknowledged stream covering the durable horizon, and recovery from it
+// matches the host-stream replay (invariants I1 + I2 under crash).
+func TestQuickRandomCrashYieldsGapFreePrefix(t *testing.T) {
+	prop := func(seed int64, frac uint8) bool {
+		// Crash somewhere in the middle half of the window.
+		at := quickWindow/4 + time.Duration(frac)*quickWindow/(2*256)
+		plan := &fault.Plan{Rules: []fault.Rule{{
+			Point: fault.DevicePower + "@" + PrimaryName, Trigger: fault.TriggerAt,
+			At: at, Action: fault.ActionFail,
+		}}}
+		r, err := Run(Scenario{Seed: seed, Plan: plan, Window: quickWindow})
+		if err != nil {
+			t.Logf("seed %d crash %v: %v", seed, at, err)
+			return false
+		}
+		if !r.PowerLost {
+			t.Logf("seed %d: power loss at %v did not happen", seed, at)
+			return false
+		}
+		for _, v := range r.Violations {
+			t.Logf("seed %d crash %v: %s", seed, at, v)
+		}
+		return len(r.Violations) == 0
+	}
+	if err := quick.Check(prop, quickConfig(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under random mirror drops and delivery delays, every
+// secondary stays a byte-exact prefix of the primary's stream and
+// catch-up converges once the workload stops (invariant I3).
+func TestQuickTransportFaultsKeepSecondaryPrefix(t *testing.T) {
+	prop := func(seed int64, dropByte, delayByte uint8) bool {
+		plan := &fault.Plan{Rules: []fault.Rule{
+			{Point: fault.TransportMirror, Trigger: fault.TriggerProb,
+				Prob: 0.01 + float64(dropByte)/256*0.25, Action: fault.ActionDrop, Times: 20},
+			{Point: fault.NTBDeliver, Trigger: fault.TriggerProb,
+				Prob: 0.01 + float64(delayByte)/256*0.10, Action: fault.ActionDelay,
+				Dur: 50*time.Microsecond + time.Duration(delayByte)*time.Microsecond, Times: 20},
+		}}
+		sc := Scenario{
+			Seed: seed, Plan: plan, Window: quickWindow,
+			Secondaries: 1 + int(seed&1), Scheme: lazyOrEager(seed),
+		}
+		r, err := Run(sc)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, v := range r.Violations {
+			t.Logf("seed %d drop=%d delay=%d: %s", seed, dropByte, delayByte, v)
+		}
+		return len(r.Violations) == 0
+	}
+	if err := quick.Check(prop, quickConfig(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lazyOrEager(seed int64) (s core.ReplicationScheme) {
+	if seed&2 != 0 {
+		return core.Eager
+	}
+	return core.Lazy
+}

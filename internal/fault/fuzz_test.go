@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFaultPlan feeds arbitrary text through the plan codec: whatever
+// Parse accepts must encode canonically (Parse∘Encode is the identity on
+// parsed plans and Encode is a fixed point), and whatever it rejects must
+// fail with an error, never a panic. Every rule of an accepted plan must
+// satisfy the validator, so malformed schedules cannot sneak in through
+// parsing quirks.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add("at 5ms device.power@p fail\n")
+	f.Add("on 40000 nand.program fail x 3\nprob 0.05 transport.mirror drop x 10\n")
+	f.Add("prob 0.02 ntb.deliver delay 300µs x 5\n# comment\n\nat 8ms transport.shadow freeze 4ms\n")
+	f.Add("on 1 wal.sink fail\non 2 destage.write fail x 2\n")
+	f.Add("at 1h30m5s a.b.c9@A-Z_0./x delay 1ns x 9999\n")
+	f.Add("prob 0.9999999999 x drop\n")
+	f.Add("at 5ms nand..program fail\n")
+	f.Add("on 99999999999999999999 nand.program fail\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid plan: %v\ninput: %q", err, text)
+		}
+		enc := p.Encode()
+		p2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-parse: %v\n%q", err, enc)
+		}
+		if got := p2.Encode(); got != enc {
+			t.Fatalf("Encode not a fixed point:\n%q\nvs\n%q\ninput: %q", enc, got, text)
+		}
+		if len(p2.Rules) != len(p.Rules) {
+			t.Fatalf("round trip changed rule count %d -> %d", len(p.Rules), len(p2.Rules))
+		}
+		for i := range p.Rules {
+			if p.Rules[i] != p2.Rules[i] {
+				t.Fatalf("rule %d changed in round trip:\n%+v\nvs\n%+v", i, p.Rules[i], p2.Rules[i])
+			}
+		}
+		// Encoded plans contain no comments or blank lines: one rule per line.
+		if enc != "" && strings.Count(enc, "\n") != len(p.Rules) {
+			t.Fatalf("encoding has %d lines for %d rules:\n%q", strings.Count(enc, "\n"), len(p.Rules), enc)
+		}
+	})
+}

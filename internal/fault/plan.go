@@ -1,0 +1,356 @@
+// Package fault is a seeded, virtual-time fault-plan engine. Components
+// register named fault points at their hook sites (nand.program,
+// destage.write, transport.mirror, wal.sink, device.power, ...) and ask
+// the environment's Injector for a Decision each time the point is
+// reached. A Plan is a declarative schedule of Rules — "at t=...",
+// "on op #N", "with prob p" — so a (seed, plan) pair fully determines a
+// run: the simulator's determinism contract extends to its failures.
+//
+// Plans have a one-rule-per-line text form:
+//
+//	# trigger        point                 action        repeat
+//	at 5ms           device.power@p        fail
+//	on 40000         nand.program          fail          x 3
+//	prob 0.05        transport.mirror      drop          x 10
+//	prob 0.02        ntb.deliver           delay 300µs   x 5
+//	at 8ms           transport.shadow@s0   freeze 4ms
+//
+// Triggers: "at <duration>" (virtual time), "on <N>" (every Nth unit of
+// the point's cumulative count), "prob <p>" (each check, from the
+// injector's seeded source). A point may carry an "@component" scope so a
+// rule hits one device. Actions: fail, drop, delay <d>, freeze <d>.
+// "x <times>" bounds firings: at/on rules default to once, prob rules to
+// unlimited. Parse and Encode round-trip the canonical form.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault point names registered by the simulator's hook sites. The
+// component scope each site passes is noted on the right.
+const (
+	// NANDProgram fails a NAND page program and marks the block bad —
+	// the late-manifesting bad block of the FTL's retry path. No scope.
+	NANDProgram = "nand.program"
+	// NANDErase fails a block erase and marks the block bad. No scope.
+	NANDErase = "nand.erase"
+	// DestageWrite fails one destage page write before it reaches the
+	// FTL; the destage module retries with backoff. Scope: fast side name.
+	DestageWrite = "destage.write"
+	// TransportMirror drops or delays one mirrored chunk to one peer;
+	// the repair process retransmits. Scope: primary device name.
+	TransportMirror = "transport.mirror"
+	// TransportShadow drops (fail/drop), delays, or freezes the
+	// secondary's shadow-counter reporting. Scope: secondary device name.
+	TransportShadow = "transport.shadow"
+	// NTBDeliver drops or delays one TLP chunk on an NTB window write.
+	// Scope: bridge name.
+	NTBDeliver = "ntb.deliver"
+	// WALSink fails one group-commit sink write; the flusher retries.
+	// Scope: sink name.
+	WALSink = "wal.sink"
+	// DevicePower cuts device power. Counted hooks weigh by CMB payload
+	// bytes, so "on N" means the Nth accepted byte; "at t" rules are
+	// armed as exact-time events. Scope: device name.
+	DevicePower = "device.power"
+)
+
+// ErrBadPlan is wrapped by every Parse and validation error.
+var ErrBadPlan = errors.New("fault: bad plan")
+
+// ErrInjected marks an error produced by a fired fault rule rather than a
+// modelled hardware condition. Match with errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// TriggerKind says when a rule fires.
+type TriggerKind int
+
+// Trigger kinds.
+const (
+	// TriggerAt fires once virtual time reaches Rule.At.
+	TriggerAt TriggerKind = iota
+	// TriggerOn fires when the point's cumulative count crosses each
+	// multiple of Rule.Count.
+	TriggerOn
+	// TriggerProb fires each check with probability Rule.Prob.
+	TriggerProb
+)
+
+// ActionKind says what a fired rule does at the hook site.
+type ActionKind int
+
+// Action kinds. Hook sites ignore actions that make no sense for them
+// (e.g. Freeze at a NAND program).
+const (
+	// ActionNone is the zero Decision: no fault.
+	ActionNone ActionKind = iota
+	// ActionFail makes the operation return an error.
+	ActionFail
+	// ActionDrop silently discards the operation (messages, chunks).
+	ActionDrop
+	// ActionDelay postpones the operation by Rule.Dur.
+	ActionDelay
+	// ActionFreeze suspends the point's activity for Rule.Dur.
+	ActionFreeze
+)
+
+// String implements fmt.Stringer.
+func (a ActionKind) String() string {
+	switch a {
+	case ActionFail:
+		return "fail"
+	case ActionDrop:
+		return "drop"
+	case ActionDelay:
+		return "delay"
+	case ActionFreeze:
+		return "freeze"
+	}
+	return "none"
+}
+
+// Rule is one line of a plan: a trigger, a (possibly component-scoped)
+// fault point, an action, and a firing budget.
+type Rule struct {
+	Point   string      // "nand.program" or "device.power@p"
+	Trigger TriggerKind // when to fire
+	At      time.Duration
+	Count   int64
+	Prob    float64
+	Action  ActionKind // what to do
+	Dur     time.Duration
+	Times   int64 // max firings; 0 = default (1 for at/on, unlimited for prob)
+}
+
+// MaxFires resolves the rule's firing budget.
+func (r Rule) MaxFires() int64 {
+	if r.Times > 0 {
+		return r.Times
+	}
+	if r.Trigger == TriggerProb {
+		return 1 << 62
+	}
+	return 1
+}
+
+// splitPoint separates the bare point name from its component scope.
+func splitPoint(point string) (bare, comp string) {
+	if i := strings.IndexByte(point, '@'); i >= 0 {
+		return point[:i], point[i+1:]
+	}
+	return point, ""
+}
+
+// validate checks one rule's fields.
+func (r Rule) validate() error {
+	bare, comp := splitPoint(r.Point)
+	if err := validatePointName(bare, comp, strings.Contains(r.Point, "@")); err != nil {
+		return err
+	}
+	switch r.Trigger {
+	case TriggerAt:
+		if r.At < 0 {
+			return fmt.Errorf("%w: rule %q: negative trigger time %v", ErrBadPlan, r.Point, r.At)
+		}
+	case TriggerOn:
+		if r.Count < 1 {
+			return fmt.Errorf("%w: rule %q: count must be >= 1, got %d", ErrBadPlan, r.Point, r.Count)
+		}
+	case TriggerProb:
+		if !(r.Prob > 0 && r.Prob <= 1) {
+			return fmt.Errorf("%w: rule %q: probability must be in (0, 1], got %v", ErrBadPlan, r.Point, r.Prob)
+		}
+	default:
+		return fmt.Errorf("%w: rule %q: unknown trigger %d", ErrBadPlan, r.Point, r.Trigger)
+	}
+	switch r.Action {
+	case ActionFail, ActionDrop:
+		if r.Dur != 0 {
+			return fmt.Errorf("%w: rule %q: action %v takes no duration", ErrBadPlan, r.Point, r.Action)
+		}
+	case ActionDelay, ActionFreeze:
+		if r.Dur <= 0 {
+			return fmt.Errorf("%w: rule %q: action %v needs a positive duration", ErrBadPlan, r.Point, r.Action)
+		}
+	default:
+		return fmt.Errorf("%w: rule %q: unknown action %d", ErrBadPlan, r.Point, r.Action)
+	}
+	if r.Times < 0 {
+		return fmt.Errorf("%w: rule %q: negative repeat count %d", ErrBadPlan, r.Point, r.Times)
+	}
+	return nil
+}
+
+// validatePointName enforces the point grammar: the bare name is
+// dot-separated lowercase alphanumeric words; the scope, when present, is
+// a nonempty device/component label.
+func validatePointName(bare, comp string, scoped bool) error {
+	if bare == "" {
+		return fmt.Errorf("%w: empty fault point", ErrBadPlan)
+	}
+	for _, word := range strings.Split(bare, ".") {
+		if word == "" {
+			return fmt.Errorf("%w: fault point %q has an empty segment", ErrBadPlan, bare)
+		}
+		if word[0] < 'a' || word[0] > 'z' {
+			return fmt.Errorf("%w: fault point %q: segments must start with a lowercase letter", ErrBadPlan, bare)
+		}
+		for i := 1; i < len(word); i++ {
+			c := word[i]
+			if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+				return fmt.Errorf("%w: fault point %q: invalid character %q", ErrBadPlan, bare, c)
+			}
+		}
+	}
+	if scoped {
+		if comp == "" {
+			return fmt.Errorf("%w: fault point %q: empty component scope", ErrBadPlan, bare)
+		}
+		for i := 0; i < len(comp); i++ {
+			c := comp[i]
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			case c == '.', c == '_', c == '-', c == '/':
+			default:
+				return fmt.Errorf("%w: component scope %q: invalid character %q", ErrBadPlan, comp, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Plan is a declarative fault schedule: the rules are evaluated in order
+// at every hook-site check and the first one that fires wins.
+type Plan struct {
+	Rules []Rule
+}
+
+// Validate checks every rule.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		if err := r.validate(); err != nil {
+			return fmt.Errorf("rule %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Encode renders the plan in its canonical text form, one rule per line.
+// Parse(Encode(p)) reproduces p exactly for any valid plan.
+func (p *Plan) Encode() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		switch r.Trigger {
+		case TriggerAt:
+			fmt.Fprintf(&b, "at %s", r.At)
+		case TriggerOn:
+			fmt.Fprintf(&b, "on %d", r.Count)
+		case TriggerProb:
+			fmt.Fprintf(&b, "prob %s", strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		}
+		fmt.Fprintf(&b, " %s %s", r.Point, r.Action)
+		if r.Action == ActionDelay || r.Action == ActionFreeze {
+			fmt.Fprintf(&b, " %s", r.Dur)
+		}
+		if r.Times > 0 {
+			fmt.Fprintf(&b, " x %d", r.Times)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse reads the text form of a plan. Blank lines and #-comments are
+// skipped; every malformed line is rejected with an error wrapping
+// ErrBadPlan.
+func Parse(text string) (*Plan, error) {
+	p := &Plan{}
+	for i, line := range strings.Split(text, "\n") {
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		r, err := parseRule(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseRule(fields []string) (Rule, error) {
+	var r Rule
+	if len(fields) < 4 {
+		return r, fmt.Errorf("%w: want \"<trigger> <arg> <point> <action> ...\", got %d fields", ErrBadPlan, len(fields))
+	}
+	switch fields[0] {
+	case "at":
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return r, fmt.Errorf("%w: bad trigger time %q: %w", ErrBadPlan, fields[1], err)
+		}
+		r.Trigger, r.At = TriggerAt, d
+	case "on":
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("%w: bad trigger count %q: %w", ErrBadPlan, fields[1], err)
+		}
+		r.Trigger, r.Count = TriggerOn, n
+	case "prob":
+		f, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return r, fmt.Errorf("%w: bad probability %q: %w", ErrBadPlan, fields[1], err)
+		}
+		r.Trigger, r.Prob = TriggerProb, f
+	default:
+		return r, fmt.Errorf("%w: unknown trigger %q (want at/on/prob)", ErrBadPlan, fields[0])
+	}
+	r.Point = fields[2]
+	rest := fields[4:]
+	switch fields[3] {
+	case "fail":
+		r.Action = ActionFail
+	case "drop":
+		r.Action = ActionDrop
+	case "delay", "freeze":
+		if len(rest) == 0 {
+			return r, fmt.Errorf("%w: action %q needs a duration", ErrBadPlan, fields[3])
+		}
+		d, err := time.ParseDuration(rest[0])
+		if err != nil {
+			return r, fmt.Errorf("%w: bad action duration %q: %w", ErrBadPlan, rest[0], err)
+		}
+		r.Dur = d
+		if fields[3] == "delay" {
+			r.Action = ActionDelay
+		} else {
+			r.Action = ActionFreeze
+		}
+		rest = rest[1:]
+	default:
+		return r, fmt.Errorf("%w: unknown action %q (want fail/drop/delay/freeze)", ErrBadPlan, fields[3])
+	}
+	if len(rest) > 0 {
+		if len(rest) != 2 || rest[0] != "x" {
+			return r, fmt.Errorf("%w: trailing %q (want \"x <times>\")", ErrBadPlan, strings.Join(rest, " "))
+		}
+		n, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil || n < 1 {
+			return r, fmt.Errorf("%w: bad repeat count %q", ErrBadPlan, rest[1])
+		}
+		r.Times = n
+	}
+	return r, nil
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"xssd/internal/fault"
 	"xssd/internal/sim"
 )
 
@@ -125,6 +126,7 @@ type Array struct {
 
 	// stats
 	reads, progs, erases int64
+	injectedBad          int64
 }
 
 // New creates an array in env with the given geometry and timing.
@@ -225,6 +227,14 @@ func (a *Array) Program(p *sim.Proc, addr PageAddr, data []byte, done func(error
 		done(ErrNotErased)
 		return
 	}
+	if fault.CheckEnv(a.env, fault.NANDProgram, "", 1).Fail() {
+		// A late-manifesting bad block: the program fails and the block
+		// is gone for good. The FTL retires it and retries elsewhere.
+		blk.bad = true
+		a.injectedBad++
+		done(ErrBadBlock)
+		return
+	}
 	blk.nextPage++
 	buf := append([]byte(nil), data...)
 	a.buses[addr.Channel].Transfer(p, a.geo.PageSize)
@@ -265,6 +275,12 @@ func (a *Array) Erase(b BlockAddr, done func(error)) {
 		done(ErrBadBlock)
 		return
 	}
+	if fault.CheckEnv(a.env, fault.NANDErase, "", 1).Fail() {
+		blk.bad = true
+		a.injectedBad++
+		done(ErrBadBlock)
+		return
+	}
 	a.erases++
 	a.occupyDie(b.Channel, b.Way, a.timing.TErase, func() {
 		blk.nextPage = 0
@@ -288,3 +304,6 @@ func (a *Array) EraseCount(b BlockAddr) int64 { return a.blocks[a.blockIndex(b)]
 
 // Stats returns cumulative operation counts.
 func (a *Array) Stats() (reads, programs, erases int64) { return a.reads, a.progs, a.erases }
+
+// InjectedBadBlocks returns how many blocks a fault plan has spoiled.
+func (a *Array) InjectedBadBlocks() int64 { return a.injectedBad }

@@ -8,6 +8,7 @@ package ntb
 import (
 	"time"
 
+	"xssd/internal/fault"
 	"xssd/internal/pcie"
 	"xssd/internal/sim"
 )
@@ -26,6 +27,10 @@ type Bridge struct {
 	env  *sim.Env
 	link *sim.Link
 	hops int
+	name string
+
+	// dropped counts TLP chunks discarded by a fault plan.
+	dropped int64
 }
 
 // NewBridge creates a bridge with the given bandwidth and per-hop latency
@@ -38,8 +43,13 @@ func NewBridge(env *sim.Env, name string, bandwidth float64, hopLatency time.Dur
 		env:  env,
 		link: env.NewLink("ntb-"+name, bandwidth, time.Duration(hops)*hopLatency),
 		hops: hops,
+		name: name,
 	}
 }
+
+// Dropped returns how many TLP chunks a fault plan has discarded on this
+// bridge.
+func (b *Bridge) Dropped() int64 { return b.dropped }
 
 // NewDefaultBridge creates a single-hop bridge with the default fabric
 // parameters.
@@ -79,12 +89,33 @@ func (w *Window) Write(off int64, data []byte, done func()) {
 		dst := w.base + off
 		off += int64(n)
 		last := len(buf) == 0
-		w.bridge.link.Send(pcie.WireBytes(n), func() {
-			w.target.MemWrite(dst, chunk)
-			if last && done != nil {
-				done()
-			}
-		})
+		// Fault plan: the ntb.deliver point can drop or delay one TLP
+		// chunk on the fabric. A dropped final chunk also swallows the
+		// done callback — exactly the silence a real lost TLP causes;
+		// higher layers must recover by timeout (the transport's repair
+		// process does).
+		switch d := fault.CheckEnv(w.bridge.env, fault.NTBDeliver, w.bridge.name, 1); d.Act {
+		case fault.ActionDrop, fault.ActionFail:
+			w.bridge.dropped++
+			continue
+		case fault.ActionDelay:
+			delay := d.Dur
+			w.bridge.env.After(delay, func() {
+				w.bridge.link.Send(pcie.WireBytes(n), func() {
+					w.target.MemWrite(dst, chunk)
+					if last && done != nil {
+						done()
+					}
+				})
+			})
+		default:
+			w.bridge.link.Send(pcie.WireBytes(n), func() {
+				w.target.MemWrite(dst, chunk)
+				if last && done != nil {
+					done()
+				}
+			})
+		}
 	}
 }
 

@@ -73,6 +73,30 @@ type Tracer struct {
 	full   bool
 	total  int64
 	clock  func() time.Duration
+	fp     uint64 // running FNV-1a over every event ever recorded
+}
+
+// FNV-1a parameters for the running fingerprint.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func fnvMixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
 }
 
 // New creates a tracer holding the last capacity events, stamping them
@@ -81,7 +105,7 @@ func New(capacity int, clock func() time.Duration) *Tracer {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Tracer{events: make([]Event, capacity), clock: clock}
+	return &Tracer{events: make([]Event, capacity), clock: clock, fp: fnvOffset}
 }
 
 // Record appends an event; safe on a nil receiver.
@@ -89,7 +113,13 @@ func (t *Tracer) Record(kind Kind, component string, a, b int64) {
 	if t == nil {
 		return
 	}
-	t.events[t.next] = Event{At: t.clock(), Kind: kind, Component: component, A: a, B: b}
+	e := Event{At: t.clock(), Kind: kind, Component: component, A: a, B: b}
+	t.events[t.next] = e
+	t.fp = fnvMix(t.fp, uint64(e.At))
+	t.fp = fnvMix(t.fp, uint64(e.Kind))
+	t.fp = fnvMixString(t.fp, e.Component)
+	t.fp = fnvMix(t.fp, uint64(e.A))
+	t.fp = fnvMix(t.fp, uint64(e.B))
 	t.next++
 	t.total++
 	if t.next == len(t.events) {
@@ -105,6 +135,17 @@ func (t *Tracer) Total() int64 {
 		return 0
 	}
 	return t.total
+}
+
+// Fingerprint returns a running FNV-1a hash over every event ever
+// recorded — including ones rotated out of the ring — so two runs with
+// identical event streams (times, kinds, components, values, in order)
+// have identical fingerprints. Zero on a nil tracer.
+func (t *Tracer) Fingerprint() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.fp
 }
 
 // Events returns the retained events in record order.

@@ -3,6 +3,7 @@ package villars
 import (
 	"time"
 
+	"xssd/internal/fault"
 	"xssd/internal/pm"
 	"xssd/internal/ring"
 	"xssd/internal/sim"
@@ -67,6 +68,11 @@ func newCMBModule(d *Device, fs *fastSide, bank *pm.Bank) *cmbModule {
 // MemWrite implements pcie.Target: a TLP payload arrived on the CMB
 // interface. Runs in scheduler context; must not block.
 func (m *cmbModule) MemWrite(off int64, data []byte) {
+	// Fault plan: byte-weighted power-loss trigger — "cut power on the
+	// Nth CMB byte" counts every fast side's arriving payload.
+	if fault.CheckEnv(m.dev.env, fault.DevicePower, m.dev.cfg.Name, int64(len(data))).Fail() {
+		m.dev.InjectPowerLoss()
+	}
 	if m.dev.powerLost {
 		m.rejected++
 		return

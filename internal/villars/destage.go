@@ -2,7 +2,9 @@ package villars
 
 import (
 	"encoding/binary"
+	"time"
 
+	"xssd/internal/fault"
 	"xssd/internal/sched"
 	"xssd/internal/sim"
 	"xssd/internal/trace"
@@ -59,7 +61,17 @@ type destageModule struct {
 	// stats
 	pages, partialPages, fillerBytes int64
 	errors                           int64
+	retries                          int64
 }
+
+// Destage write-failure retry policy: a failed page program (injected or
+// surfacing past the FTL's own bad-block handling) is retried with a
+// short backoff rather than dropped — releasing the ring without the
+// bytes on flash would silently hole the gap-free prefix guarantee.
+const (
+	destageMaxRetries   = 8
+	destageRetryBackoff = 50 * time.Microsecond
+)
 
 type destagePage struct {
 	n    int64 // payload bytes
@@ -82,6 +94,9 @@ func newDestageModule(d *Device, fs *fastSide, baseLBA, lbaCount int64) *destage
 
 // DestagedStream returns the number of stream bytes destaged so far.
 func (m *destageModule) DestagedStream() int64 { return m.destagedStream }
+
+// Retries returns how many failed page writes were retried.
+func (m *destageModule) Retries() int64 { return m.retries }
 
 // Pages returns how many flash pages the module has written, and how many
 // of those were padded partial pages.
@@ -159,7 +174,21 @@ func (m *destageModule) carveOne(p *sim.Proc, n int64) {
 	lba := m.baseLBA + m.tail%m.lbaCount
 	m.tail++
 	m.dev.env.Go("destage-page-"+m.fs.name, func(w *sim.Proc) {
-		entry.err = m.dev.ftl.Write(w, lba, page, sched.Destage)
+		for attempt := 0; ; attempt++ {
+			if d := fault.CheckEnv(m.dev.env, fault.DestageWrite, m.fs.name, 1); d.Fail() {
+				entry.err = fault.ErrInjected
+			} else {
+				if d.Act == fault.ActionDelay {
+					w.Sleep(d.Dur)
+				}
+				entry.err = m.dev.ftl.Write(w, lba, page, sched.Destage)
+			}
+			if entry.err == nil || attempt >= destageMaxRetries {
+				break
+			}
+			m.retries++
+			w.Sleep(destageRetryBackoff)
+		}
 		entry.done = true
 		m.kick.Broadcast()
 	})
@@ -172,9 +201,10 @@ func (m *destageModule) retire(cmb *cmbModule) {
 		e := m.inflight[0]
 		m.inflight = m.inflight[1:]
 		if e.err != nil {
-			// The FTL already retried bad blocks; anything surfacing here
-			// is fatal for this page. Drop it but keep accounting sane:
-			// the ring is still released so the stream keeps moving.
+			// The page proc already retried with backoff; a persistent
+			// failure surfacing here is fatal for this page. Drop it but
+			// keep accounting sane: the ring is still released so the
+			// stream keeps moving.
 			m.errors++
 		}
 		if err := cmb.ring.Release(e.n); err != nil {

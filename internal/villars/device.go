@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"xssd/internal/core"
+	"xssd/internal/fault"
 	"xssd/internal/ftl"
 	"xssd/internal/hic"
 	"xssd/internal/nand"
@@ -75,6 +76,10 @@ type Config struct {
 	// StallTimeout flags a replica as stalled when its shadow counter has
 	// not moved for this long while data is outstanding; 0 means 10 ms.
 	StallTimeout time.Duration
+	// RepairTimeout is how long a mirrored chunk may go uncovered by a
+	// peer's shadow counter before the transport resends it (recovery
+	// from lost or delayed mirror traffic); 0 means 5 ms.
+	RepairTimeout time.Duration
 }
 
 // DefaultConfig returns the paper's experimental setup: SRAM-backed CMB,
@@ -126,6 +131,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.StallTimeout == 0 {
 		c.StallTimeout = 10 * time.Millisecond
+	}
+	if c.RepairTimeout == 0 {
+		c.RepairTimeout = 5 * time.Millisecond
 	}
 }
 
@@ -207,6 +215,11 @@ func New(env *sim.Env, cfg Config, host *pcie.HostMemory) *Device {
 
 	d.bank = pcie.NewRegion(env, d.link, d.fs.cmb, CMBWindowSize)
 	d.ctrlRgn = pcie.NewRegion(env, d.link, controlTarget{d.fs, d}, core.ControlSize)
+
+	// Fault plan: exact-time power-loss rules for this device fire as
+	// scheduled events (byte-counted rules fire from the CMB hook). The
+	// injector must be attached to env before the device is built.
+	fault.For(env).OnTime(fault.DevicePower, cfg.Name, d.InjectPowerLoss)
 	return d
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"xssd/internal/core"
+	"xssd/internal/fault"
 	"xssd/internal/ntb"
 	"xssd/internal/sim"
 	"xssd/internal/trace"
@@ -26,6 +27,13 @@ type transportModule struct {
 	reportPeerID int
 	reporting    bool
 	lastReported int64
+	frozenUntil  time.Duration // fault plan: suppress reports until then
+
+	// repair state: a background process resending mirror chunks whose
+	// bytes a peer's shadow counter has not covered within the repair
+	// timeout (lost or delayed mirror traffic — the fault plan's
+	// transport.mirror and ntb.deliver points).
+	repairing bool
 
 	// ShadowAdvanced broadcasts whenever any shadow counter moves; the
 	// benchmark harness and x_fsync-over-replication wait on it.
@@ -34,6 +42,9 @@ type transportModule struct {
 	// stats
 	mirroredBytes, counterUpdates int64
 	updatesSent                   int64
+	mirrorDrops, mirrorDelays     int64
+	repairResends                 int64
+	updatesSuppressed             int64
 }
 
 // peerLink is the primary's view of one secondary.
@@ -43,6 +54,15 @@ type peerLink struct {
 	window   *ntb.Window // primary -> secondary CMB data
 	shadow   int64       // last reported secondary credit counter
 	lastSeen time.Duration
+	unacked  []mirrorChunk // sent but not yet covered by the shadow counter
+}
+
+// mirrorChunk is one mirrored TLP retained for retransmission until the
+// peer's shadow counter passes it.
+type mirrorChunk struct {
+	off    int64
+	data   []byte
+	sentAt time.Duration
 }
 
 func newTransportModule(d *Device) *transportModule {
@@ -91,7 +111,38 @@ func (t *transportModule) AddPeer(sec *Device, toSec, toPrim *ntb.Bridge) int {
 	if sec.transport.mode == core.Secondary && !sec.transport.reporting {
 		sec.transport.startReporting()
 	}
+	if !t.repairing {
+		t.startRepair()
+	}
 	return id
+}
+
+// startRepair launches the retransmission process: every half repair
+// timeout it resends unacked mirror chunks older than the timeout. The
+// process exits when the device has no peers (post-demotion).
+func (t *transportModule) startRepair() {
+	t.repairing = true
+	t.dev.env.Go("mirror-repair-"+t.dev.cfg.Name, func(p *sim.Proc) {
+		for {
+			if len(t.peers) == 0 {
+				t.repairing = false
+				return
+			}
+			p.Sleep(t.dev.cfg.RepairTimeout / 2)
+			now := p.Now()
+			for _, pl := range t.peers {
+				for i := range pl.unacked {
+					c := &pl.unacked[i]
+					if now-c.sentAt < t.dev.cfg.RepairTimeout {
+						continue
+					}
+					pl.window.Write(c.off, c.data, nil)
+					c.sentAt = now
+					t.repairResends++
+				}
+			}
+		}
+	})
 }
 
 // ClearPeers detaches every secondary (used when re-wiring roles after a
@@ -107,12 +158,28 @@ func (t *transportModule) Peers() int { return len(t.peers) }
 // mirror forwards an arriving CMB TLP to every peer. Primaries always
 // mirror; a Secondary with downstream peers relays — the chain-replication
 // topology of §4.2, where each server forwards to the next in the chain.
+// Every chunk is retained per peer until that peer's shadow counter
+// covers it, so the repair process can resend traffic a fault plan drops
+// or delays (ring rewrites of the same bytes are idempotent).
 func (t *transportModule) mirror(off int64, data []byte) {
 	if t.mode == core.Standalone || len(t.peers) == 0 {
 		return
 	}
+	now := t.dev.env.Now()
 	for _, pl := range t.peers {
-		pl.window.Write(off, data, nil)
+		buf := append([]byte(nil), data...)
+		pl.unacked = append(pl.unacked, mirrorChunk{off: off, data: buf, sentAt: now})
+		switch d := fault.CheckEnv(t.dev.env, fault.TransportMirror, t.dev.cfg.Name, 1); d.Act {
+		case fault.ActionDrop, fault.ActionFail:
+			// Lost on the fabric; the repair process will resend.
+			t.mirrorDrops++
+		case fault.ActionDelay:
+			t.mirrorDelays++
+			pl := pl
+			t.dev.env.After(d.Dur, func() { pl.window.Write(off, buf, nil) })
+		default:
+			pl.window.Write(off, buf, nil)
+		}
 	}
 	t.dev.tracer.Record(trace.Mirror, t.dev.cfg.Name, off, int64(len(data)))
 	t.mirroredBytes += int64(len(data)) * int64(len(t.peers))
@@ -136,6 +203,11 @@ func (c counterPort) MemWrite(off int64, data []byte) {
 	pl.lastSeen = c.t.dev.env.Now()
 	if v > pl.shadow {
 		pl.shadow = v
+		// Everything below the reported frontier is persisted remotely;
+		// drop it from the retransmission buffer.
+		for len(pl.unacked) > 0 && pl.unacked[0].off+int64(len(pl.unacked[0].data)) <= v {
+			pl.unacked = pl.unacked[1:]
+		}
 		c.t.counterUpdates++
 		c.t.dev.tracer.Record(trace.ShadowUpdate, c.t.dev.cfg.Name, int64(id), v)
 		c.t.ShadowAdvanced.Broadcast()
@@ -155,6 +227,24 @@ func (t *transportModule) startReporting() {
 			if t.mode != core.Secondary || t.reportTo == nil {
 				t.reporting = false
 				return
+			}
+			// Fault plan: the transport.shadow point can drop one update,
+			// delay it, or freeze reporting for a stretch — the stale
+			// shadow counter scenario the status register must surface.
+			switch d := fault.CheckEnv(t.dev.env, fault.TransportShadow, t.dev.cfg.Name, 1); d.Act {
+			case fault.ActionFreeze:
+				t.frozenUntil = p.Now() + d.Dur
+			case fault.ActionDrop, fault.ActionFail:
+				t.updatesSuppressed++
+				p.Sleep(t.dev.cfg.ShadowUpdatePeriod)
+				continue
+			case fault.ActionDelay:
+				p.Sleep(d.Dur)
+			}
+			if p.Now() < t.frozenUntil {
+				t.updatesSuppressed++
+				p.Sleep(t.dev.cfg.ShadowUpdatePeriod)
+				continue
 			}
 			// The update fires every period unconditionally — the paper's
 			// Fig 13 measures exactly this fixed-rate traffic (2.35% of
@@ -213,6 +303,13 @@ func (t *transportModule) effectiveCredit(local int64) int64 {
 // UpdatesSent returns how many shadow-counter update messages this
 // device's secondary role has emitted.
 func (t *transportModule) UpdatesSent() int64 { return t.updatesSent }
+
+// FaultStats returns the transport's injected-fault counters: mirror
+// chunks dropped/delayed by the plan, chunks resent by the repair
+// process, and shadow updates suppressed.
+func (t *transportModule) FaultStats() (drops, delays, resends, suppressed int64) {
+	return t.mirrorDrops, t.mirrorDelays, t.repairResends, t.updatesSuppressed
+}
 
 // Shadow returns the primary's shadow counter for a peer.
 func (t *transportModule) Shadow(id int) int64 {

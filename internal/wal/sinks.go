@@ -30,10 +30,17 @@ func NewVillarsSink(p *sim.Proc, dev *villars.Device, name string) *VillarsSink 
 	return &VillarsSink{logger: xapi.Open(p, dev, xapi.Options{}), name: name}
 }
 
-// Write implements Sink.
+// Write implements Sink. A power loss under the write surfaces as
+// ErrSinkLost so the pipeline can halt instead of panicking.
 func (s *VillarsSink) Write(p *sim.Proc, data []byte) error {
 	s.logger.XPwrite(p, data)
-	return s.logger.XFsync(p)
+	if err := s.logger.XFsync(p); err != nil {
+		if errors.Is(err, xapi.ErrPowerLoss) {
+			return fmt.Errorf("%w: %s: %w", ErrSinkLost, s.name, err)
+		}
+		return fmt.Errorf("%w: %s: %w", ErrSinkWrite, s.name, err)
+	}
+	return nil
 }
 
 // Name implements Sink.

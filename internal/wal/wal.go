@@ -11,8 +11,14 @@ import (
 	"fmt"
 	"time"
 
+	"xssd/internal/fault"
 	"xssd/internal/sim"
 )
+
+// ErrSinkLost reports that the sink's device is gone for good (power
+// loss): the pipeline halts with the durable horizon frozen where it
+// was, exactly like a crashed log. Match with errors.Is.
+var ErrSinkLost = errors.New("wal: sink lost")
 
 // Record is one WAL entry: a transaction's redo payload.
 type Record struct {
@@ -112,10 +118,16 @@ type Log struct {
 	appended *sim.Signal // record arrived
 	flushed  *sim.Signal // durableLSN advanced
 
+	dead bool // sink lost; no further flush will ever complete
+
 	// stats
 	records, flushes int64
 	flushBytes       int64
+	sinkRetries      int64
 }
+
+// walRetryBackoff spaces retries of transiently failed sink writes.
+const walRetryBackoff = 100 * time.Microsecond
 
 // NewLog starts a group-commit pipeline over sink.
 func NewLog(env *sim.Env, sink Sink, cfg Config) *Log {
@@ -211,9 +223,31 @@ func (l *Log) flusher(p *sim.Proc) {
 		}
 		start := l.bufStart
 		l.bufStart = start + int64(len(batch))
-		if err := l.sink.Write(p, batch); err != nil {
-			// A failed flush would corrupt the durability horizon; halt
-			// the pipeline loudly rather than acking lost data.
+		for {
+			// Fault plan: the wal.sink point fails or delays one flush;
+			// a transient failure is retried with backoff.
+			if d := fault.CheckEnv(l.env, fault.WALSink, l.sink.Name(), 1); d.Fail() {
+				l.sinkRetries++
+				p.Sleep(walRetryBackoff)
+				continue
+			} else if d.Act == fault.ActionDelay {
+				p.Sleep(d.Dur)
+			}
+			err := l.sink.Write(p, batch)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, ErrSinkLost) {
+				// The device is gone (power loss). Freeze the durable
+				// horizon where it is and halt: unflushed records are
+				// lost, exactly like a crashed log.
+				l.dead = true
+				l.flushed.Broadcast()
+				return
+			}
+			// Any other failed flush would corrupt the durability
+			// horizon; halt the pipeline loudly rather than acking lost
+			// data.
 			panic(fmt.Sprintf("wal: sink %s failed: %v", l.sink.Name(), err))
 		}
 		l.durableLSN = start + int64(len(batch))
@@ -227,3 +261,11 @@ func (l *Log) flusher(p *sim.Proc) {
 func (l *Log) Stats() (records, flushes, bytes int64) {
 	return l.records, l.flushes, l.flushBytes
 }
+
+// Dead reports whether the pipeline has halted because its sink was lost
+// (power failure). DurableLSN is final; WaitDurable past it and
+// WaitBacklog block forever.
+func (l *Log) Dead() bool { return l.dead }
+
+// SinkRetries returns how many flush attempts a fault plan failed.
+func (l *Log) SinkRetries() int64 { return l.sinkRetries }

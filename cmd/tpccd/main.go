@@ -7,9 +7,11 @@
 //	tpccd                        # default: Villars-SRAM, 8 workers, 200ms
 //	tpccd -sink nvme -workers 4
 //	tpccd -sink all
+//	tpccd -metrics out.json      # also dump the run's metrics snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +19,7 @@ import (
 
 	"xssd/internal/db"
 	"xssd/internal/metrics"
+	"xssd/internal/obs"
 	"xssd/internal/pcie"
 	"xssd/internal/pm"
 	"xssd/internal/sim"
@@ -25,11 +28,19 @@ import (
 	"xssd/internal/wal"
 )
 
+// sinkMetrics pairs one sink's run with its metrics snapshot (the same
+// shape the xbench -metrics capture emits per cell).
+type sinkMetrics struct {
+	Cell     string        `json:"cell"`
+	Snapshot *obs.Snapshot `json:"snapshot"`
+}
+
 func main() {
 	sink := flag.String("sink", "villars-sram", "log sink: villars-sram, villars-dram, memory, nvme, nolog, all")
 	workers := flag.Int("workers", 8, "worker terminals")
 	window := flag.Duration("window", 200*time.Millisecond, "virtual-time measurement window")
 	warehouses := flag.Int("warehouses", 16, "TPC-C warehouses")
+	metricsOut := flag.String("metrics", "", "write per-sink metrics snapshots to this file as JSON")
 	flag.Parse()
 
 	sinks := []string{*sink}
@@ -38,15 +49,29 @@ func main() {
 	}
 	fmt.Printf("TPC-C: %d warehouses, %d workers, %v virtual window\n", *warehouses, *workers, *window)
 	fmt.Printf("%-14s %10s %12s %10s %8s\n", "sink", "ktxn/s", "avg latency", "p95", "aborts")
+	var captured []sinkMetrics
 	for _, s := range sinks {
-		if err := run(s, *workers, *window, *warehouses); err != nil {
+		snap, err := run(s, *workers, *window, *warehouses)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		captured = append(captured, sinkMetrics{Cell: "tpccd/" + s, Snapshot: snap})
+	}
+	if *metricsOut != "" {
+		b, err := json.Marshal(captured)
+		if err == nil {
+			err = os.WriteFile(*metricsOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: wrote %d sink snapshots to %s\n", len(captured), *metricsOut)
 	}
 }
 
-func run(sinkName string, workers int, window time.Duration, warehouses int) error {
+func run(sinkName string, workers int, window time.Duration, warehouses int) (*obs.Snapshot, error) {
 	env := sim.NewEnv(1)
 	hostMem := pcie.NewHostMemory(1 << 21)
 
@@ -77,7 +102,7 @@ func run(sinkName string, workers int, window time.Duration, warehouses int) err
 		dev := villars.New(env, villars.DefaultConfig("tpccd"), hostMem)
 		log = mk(wal.NewNVMeSink(dev, hostMem, 1<<20, 0, dev.FTL().LogicalPages()/2))
 	default:
-		return fmt.Errorf("unknown sink %q", sinkName)
+		return nil, fmt.Errorf("unknown sink %q", sinkName)
 	}
 
 	eng := db.New(env, log)
@@ -139,5 +164,5 @@ func run(sinkName string, workers int, window time.Duration, warehouses int) err
 		sample.Mean().Round(time.Microsecond),
 		sample.Percentile(95).Round(time.Microsecond),
 		aborts)
-	return nil
+	return obs.For(env).Snapshot(), nil
 }

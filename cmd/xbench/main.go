@@ -8,6 +8,9 @@
 //	xbench -exp fig12        # by name
 //	xbench -all              # everything
 //	xbench -chaos -seeds 20  # chaos sweep: fault plans vs invariants
+//
+// Add -metrics out.json to any experiment run to also dump a per-cell
+// metrics snapshot (canonical JSON, byte-identical across same-seed runs).
 package main
 
 import (
@@ -26,7 +29,14 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names")
 	chaosRun := flag.Bool("chaos", false, "run the chaos sweep (randomized fault plans, invariants I1-I5)")
 	seeds := flag.Int("seeds", 20, "number of seeds for -chaos")
+	metricsOut := flag.String("metrics", "", "write per-cell metrics snapshots to this file as JSON")
 	flag.Parse()
+
+	var capture *bench.Capture
+	if *metricsOut != "" {
+		capture = bench.StartCapture()
+		defer bench.StopCapture()
+	}
 
 	switch {
 	case *chaosRun:
@@ -58,5 +68,22 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if capture != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := capture.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: wrote %d cell snapshots to %s\n", capture.Len(), *metricsOut)
 	}
 }

@@ -22,7 +22,10 @@ const journalBlock = 512
 
 func main() {
 	sys := xssd.NewSystem(21)
-	dev := sys.NewDevice(xssd.DeviceOptions{Name: "jbd", Backing: xssd.SRAM})
+	dev, err := sys.NewDevice(xssd.DeviceOptions{Name: "jbd", Backing: xssd.SRAM})
+	if err != nil {
+		panic(err)
+	}
 
 	sys.Run(func(p *xssd.Proc) {
 		log := dev.OpenLog(p)
@@ -56,12 +59,12 @@ func main() {
 		}
 
 		// Wait for the device to checkpoint everything to flash.
-		for dev.Raw().Destage().DestagedStream() < journalled {
+		for dev.Stats().Destage.Stream < journalled {
 			p.Sleep(1 << 20) // ~1ms
 		}
-		total, _ := dev.Raw().Destage().Pages()
+		st := dev.Stats().Destage
 		fmt.Printf("t=%-12v checkpoint complete: %d bytes destaged in %d pages\n",
-			p.Now(), dev.Raw().Destage().DestagedStream(), total)
+			p.Now(), st.Stream, st.Pages)
 
 		// Crash: whatever the journal had committed survives as a
 		// gap-free prefix (precise crash semantics, §4.1).

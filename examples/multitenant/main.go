@@ -14,7 +14,7 @@ import (
 
 func main() {
 	sys := xssd.NewSystem(31)
-	dev := sys.NewDevice(xssd.DeviceOptions{Name: "shared-ssd"})
+	dev := sys.MustDevice(xssd.DeviceOptions{Name: "shared-ssd"})
 
 	// Carve three tenant fast sides out of the device.
 	var tenants []*xssd.VF
@@ -58,6 +58,11 @@ func main() {
 			p.Sleep(1 << 20)
 		}
 	})
+	for _, vf := range tenants {
+		st := vf.Stats()
+		fmt.Printf("%-16s intake %4d B, destaged %4d B in %d pages\n",
+			st.Name, st.CMB.BytesIn, st.Destage.Stream, st.Destage.Pages)
+	}
 	fmt.Println("all tenants finished with fully isolated fast sides")
 }
 

@@ -11,7 +11,10 @@ import (
 
 func main() {
 	sys := xssd.NewSystem(1)
-	dev := sys.NewDevice(xssd.DeviceOptions{Name: "log0", Backing: xssd.SRAM})
+	dev, err := sys.NewDevice(xssd.DeviceOptions{Name: "log0", Backing: xssd.SRAM})
+	if err != nil {
+		panic(err)
+	}
 
 	sys.Run(func(p *xssd.Proc) {
 		log := dev.OpenLog(p)
@@ -46,7 +49,7 @@ func main() {
 		}
 		fmt.Printf("t=%-12v tail read from the conventional side:\n%s", p.Now(), buf)
 
-		total, partial := dev.Raw().Destage().Pages()
-		fmt.Printf("destage: %d flash pages (%d padded)\n", total, partial)
+		st := dev.Stats().Destage
+		fmt.Printf("destage: %d flash pages (%d padded)\n", st.Pages, st.PartialPages)
 	})
 }

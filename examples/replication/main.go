@@ -14,9 +14,9 @@ import (
 
 func main() {
 	sys := xssd.NewSystem(7)
-	n0 := sys.NewDevice(xssd.DeviceOptions{Name: "n0"})
-	n1 := sys.NewDevice(xssd.DeviceOptions{Name: "n1"})
-	n2 := sys.NewDevice(xssd.DeviceOptions{Name: "n2"})
+	n0 := sys.MustDevice(xssd.DeviceOptions{Name: "n0"})
+	n1 := sys.MustDevice(xssd.DeviceOptions{Name: "n1"})
+	n2 := sys.MustDevice(xssd.DeviceOptions{Name: "n2"})
 
 	cluster, err := sys.NewCluster(n0, n1, n2)
 	if err != nil {
@@ -57,6 +57,10 @@ func main() {
 			panic(err)
 		}
 		fmt.Printf("t=%-12v new primary committed and replicated to %s\n", p.Now(), n2.Name())
+
+		cs := cluster.Stats()
+		fmt.Printf("t=%-12v cluster: primary=%s scheme=%s promotions=%d\n",
+			p.Now(), cs.Primary, cs.Scheme, cs.Promotions)
 
 		// The dead node drains its fast side to flash on supercap energy.
 		for !n0.Drained() {

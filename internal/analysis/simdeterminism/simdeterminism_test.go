@@ -8,5 +8,5 @@ import (
 )
 
 func TestSimDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "a", "faulthook", "xssd/cmd/demo")
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "a", "faulthook", "xssd/cmd/demo", "xssd/internal/obs")
 }

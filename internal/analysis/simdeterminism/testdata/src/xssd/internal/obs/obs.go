@@ -1,0 +1,14 @@
+// Package obs stands in for the metrics layer, which is sanctioned:
+// its instruments record sim virtual time only, and its snapshot code
+// may legitimately touch time helpers without breaking reproducibility.
+package obs
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // deliberately no report: internal/obs is exempt
+}
+
+func Flush(fn func()) {
+	go fn() // deliberately no report: internal/obs is exempt
+}

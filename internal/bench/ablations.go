@@ -75,6 +75,7 @@ func ablationSchemeCell(scheme core.ReplicationScheme) metrics.Candlestick {
 		}
 	})
 	env.RunUntil(env.Now() + 4*time.Millisecond)
+	captureCell("ablation-scheme/"+scheme.String(), env)
 	return sample.Candlestick()
 }
 
@@ -110,6 +111,11 @@ func ablationCreditCell(strat xapi.CreditStrategy) (mbps, readsPerMB float64) {
 		}
 	})
 	env.RunUntil(20 * time.Millisecond)
+	name := "use-all-credits"
+	if strat == xapi.CheckEveryChunk {
+		name = "check-every-chunk"
+	}
+	captureCell("ablation-credit/"+name, env)
 	bytes := float64(dev.CMB().Ring().Frontier())
 	mb := bytes / 1e6
 	if mb == 0 {
@@ -145,6 +151,7 @@ func AblationBacking() *Table {
 			}
 		})
 		env.RunUntil(20 * time.Millisecond)
+		captureCell(fmt.Sprintf("ablation-backing/villars-%s", backing.Class), env)
 		t.Add(fmt.Sprintf("Villars-%s", backing.Class), fmtDur(sample.Candlestick().P50))
 	}
 	// Host NVDIMM stores.
@@ -161,6 +168,7 @@ func AblationBacking() *Table {
 			}
 		})
 		env.RunUntil(20 * time.Millisecond)
+		captureCell("ablation-backing/nvdimm", env)
 		t.Add("Memory (NVDIMM)", fmtDur(sample.Candlestick().P50))
 	}
 	// Conventional NVMe write.
@@ -185,6 +193,7 @@ func AblationBacking() *Table {
 			}
 		})
 		env.RunUntil(20 * time.Millisecond)
+		captureCell("ablation-backing/nvme", env)
 		t.Add("NVMe (conventional)", fmtDur(sample.Candlestick().P50))
 	}
 	return t

@@ -5,9 +5,13 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+
+	"xssd/internal/obs"
+	"xssd/internal/sim"
 )
 
 // Table is a printable experiment result.
@@ -63,6 +67,61 @@ func pad(s string, w int) string {
 		return s
 	}
 	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CellMetrics pairs one experiment cell with the metrics snapshot its
+// simulation environment held when the cell finished.
+type CellMetrics struct {
+	Cell     string        `json:"cell"`
+	Snapshot *obs.Snapshot `json:"snapshot"`
+}
+
+// Capture collects per-cell metrics snapshots while experiments run (the
+// xbench -metrics mode). Cells appear in execution order; experiments run
+// sequentially, so the order — and the encoded output — is deterministic.
+type Capture struct {
+	cells []CellMetrics
+}
+
+// activeCapture is the capture the cell functions feed. Package-level
+// state is acceptable here because the harness is single-threaded: one
+// experiment cell runs at a time.
+var activeCapture *Capture
+
+// StartCapture begins collecting per-cell metrics snapshots from every
+// experiment cell that runs until StopCapture.
+func StartCapture() *Capture {
+	c := &Capture{}
+	activeCapture = c
+	return c
+}
+
+// StopCapture detaches the active capture.
+func StopCapture() { activeCapture = nil }
+
+// captureCell records env's metrics snapshot under the cell name; cells
+// call it once, right before returning their measurements.
+func captureCell(cell string, env *sim.Env) {
+	if activeCapture == nil {
+		return
+	}
+	activeCapture.cells = append(activeCapture.cells,
+		CellMetrics{Cell: cell, Snapshot: obs.For(env).Snapshot()})
+}
+
+// Len returns how many cells the capture holds.
+func (c *Capture) Len() int { return len(c.cells) }
+
+// WriteJSON writes the capture as one canonical JSON array (compact, one
+// trailing newline) — byte-identical across same-seed runs.
+func (c *Capture) WriteJSON(w io.Writer) error {
+	b, err := json.Marshal(c.cells)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 // Experiment names accepted by Run.

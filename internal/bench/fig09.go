@@ -154,6 +154,7 @@ func Fig09Cell(setup string, workers int) (lat time.Duration, ktps float64) {
 		})
 	}
 	env.RunUntil(fig9Window)
+	captureCell(fmt.Sprintf("fig9/%s/w%d", setup, workers), env)
 	window := (fig9Window - fig9Warmup).Seconds()
 	return sample.Mean(), float64(committed) / window / 1000
 }

@@ -52,6 +52,11 @@ func Fig10Cell(backing pm.Spec, uncached bool, size int) float64 {
 		}
 	})
 	env.RunUntil(fig10Window)
+	mode := "wc"
+	if uncached {
+		mode = "uc"
+	}
+	captureCell(fmt.Sprintf("fig10/%s/%s/%dB", backing.Class, mode, size), env)
 	return float64(dev.CMB().Ring().Frontier()) / fig10Window.Seconds()
 }
 

@@ -54,6 +54,7 @@ func Fig11Cell(queueSize, groupSize int) (lat time.Duration, mbps float64) {
 		}
 	})
 	env.RunUntil(fig11Window)
+	captureCell(fmt.Sprintf("fig11/q%dK/g%dK", queueSize>>10, groupSize>>10), env)
 	return sample.Mean(), float64(bytes) / fig11Window.Seconds() / 1e6
 }
 

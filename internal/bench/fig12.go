@@ -91,6 +91,7 @@ func Fig12Cell(policy sched.Policy, fastOffer float64) (conv, fast float64) {
 	convStart := dev.Scheduler().BytesBySource(sched.Conventional)
 	fastStart := dev.Scheduler().BytesBySource(sched.Destage)
 	env.RunUntil(fig12Window)
+	captureCell(fmt.Sprintf("fig12/%s/offer%.0f", policy, fastOffer*100), env)
 	window := (fig12Window - warm).Seconds()
 	conv = float64(dev.Scheduler().BytesBySource(sched.Conventional)-convStart) / window / progBW
 	fast = float64(dev.Scheduler().BytesBySource(sched.Destage)-fastStart) / window / progBW

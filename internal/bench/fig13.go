@@ -80,6 +80,7 @@ func Fig13Cell(period time.Duration) (metrics.Candlestick, float64) {
 		}
 	})
 	env.RunUntil(fig13Window)
+	captureCell(fmt.Sprintf("fig13/period%v", period), env)
 	updates := sec.Transport().UpdatesSent()
 	wire := float64(updates) * float64(core.CounterUpdateBytes)
 	share := wire / (ntb.DefaultBandwidth * fig13Window.Seconds())

@@ -31,7 +31,9 @@ import (
 	"xssd/internal/core"
 	"xssd/internal/db"
 	"xssd/internal/fault"
+	"xssd/internal/metrics"
 	"xssd/internal/nand"
+	"xssd/internal/obs"
 	"xssd/internal/pcie"
 	"xssd/internal/repl"
 	"xssd/internal/sim"
@@ -129,6 +131,15 @@ type Result struct {
 	StallSeen     bool          // status register showed StatusReplicaStalled
 	MaxSuppressed time.Duration // longest observed shadow-suppression stretch
 
+	// MixLatency summarizes per-worker transaction-mix latency, sampled
+	// through a deterministic bounded reservoir (memory stays flat however
+	// long the window runs).
+	MixLatency metrics.Candlestick
+
+	// Metrics is the canonical JSON metrics snapshot of the whole run —
+	// the second I5 ingredient: a re-run must reproduce it byte for byte.
+	Metrics []byte
+
 	Fingerprint uint64
 	Violations  []string
 }
@@ -225,6 +236,9 @@ func Run(s Scenario) (*Result, error) {
 	}
 
 	tcfg := tpcc.Config{Warehouses: 2, Districts: 2, CustomersPerDistrict: 8, Items: 40, FillerLen: 10}
+	// Mix-latency reservoir: seeded from the env's RNG (one draw, before
+	// any process runs) so eviction choices replay identically.
+	mixLat := metrics.NewReservoir(256, rand.New(rand.NewSource(env.Rand().Int63())))
 	var (
 		written []byte
 		lg      *wal.Log
@@ -260,7 +274,9 @@ func Run(s Scenario) (*Result, error) {
 					// stays well inside the destage LBA ring — the flash
 					// verifier needs the whole stream still resident.
 					p.Sleep(100 * time.Microsecond)
+					t0 := p.Now()
 					client.RunMixAsync(p)
+					mixLat.Add(p.Now() - t0)
 				}
 			})
 		}
@@ -432,7 +448,10 @@ func Run(s Scenario) (*Result, error) {
 		}
 	}
 
-	// ---- I5 ingredient: event-history fingerprint ---------------------
+	// ---- I5 ingredients: event-history fingerprint + metrics snapshot -
+	r.MixLatency = mixLat.Candlestick()
+	snap := obs.For(env).Snapshot()
+	r.Metrics = snap.Encode()
 	fp := uint64(fnvOffset)
 	for _, d := range devices {
 		fp = mix64(fp, d.Tracer().Fingerprint())
@@ -444,6 +463,7 @@ func Run(s Scenario) (*Result, error) {
 	fp = mix64(fp, uint64(r.Written))
 	fp = mix64(fp, uint64(r.Destaged))
 	fp = mix64(fp, uint64(r.Firings))
+	fp = mix64(fp, snap.Fingerprint())
 	r.Fingerprint = fp
 	return r, nil
 }
@@ -497,6 +517,9 @@ func Sweep(w io.Writer, seeds int) error {
 		viol := append([]string(nil), r1.Violations...)
 		if r2.Fingerprint != r1.Fingerprint {
 			viol = append(viol, fmt.Sprintf("I5: re-run fingerprint %016x != %016x", r2.Fingerprint, r1.Fingerprint))
+		}
+		if !bytes.Equal(r1.Metrics, r2.Metrics) {
+			viol = append(viol, "I5: re-run metrics snapshots differ")
 		}
 		scheme := "-"
 		if r1.Secondaries > 0 {

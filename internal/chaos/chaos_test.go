@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"io"
 	"testing"
 	"time"
@@ -25,6 +26,21 @@ func TestSameSeedAndPlanReproduceExactly(t *testing.T) {
 	}
 	if r1.Commits != r2.Commits || r1.Written != r2.Written || r1.Destaged != r2.Destaged || r1.Firings != r2.Firings {
 		t.Fatalf("same (seed, plan) diverged in stats: %+v vs %+v", r1, r2)
+	}
+	// The metrics side of I5: under an active fault plan, the encoded
+	// snapshot — every counter, gauge, and histogram bucket in the whole
+	// stack — must replay byte for byte.
+	if len(r1.Metrics) == 0 {
+		t.Fatal("run produced no metrics snapshot")
+	}
+	if !bytes.Equal(r1.Metrics, r2.Metrics) {
+		t.Fatalf("same (seed, plan) produced different metrics snapshots:\n%s\nvs\n%s", r1.Metrics, r2.Metrics)
+	}
+	if r1.MixLatency != r2.MixLatency {
+		t.Fatalf("mix-latency reservoir diverged: %v vs %v", r1.MixLatency, r2.MixLatency)
+	}
+	if r1.MixLatency.N == 0 {
+		t.Fatal("mix-latency reservoir sampled nothing")
 	}
 	r3, err := Run(DefaultScenario(4))
 	if err != nil {

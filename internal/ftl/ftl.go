@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"xssd/internal/nand"
+	"xssd/internal/obs"
 	"xssd/internal/sched"
 	"xssd/internal/sim"
 )
@@ -118,6 +119,17 @@ func logicalPages(geo nand.Geometry, cfg Config) int64 {
 
 // LogicalPages returns the host-visible capacity in pages.
 func (f *FTL) LogicalPages() int64 { return int64(len(f.l2p)) }
+
+// Observe registers the FTL's telemetry under sc (the owning device
+// supplies "<dev>/ftl"): page-program and GC progress gauges plus the
+// free-block pool level, the inputs to the write-amplification account.
+func (f *FTL) Observe(sc obs.Scope) {
+	sc.GaugeFunc("host_pages", func() int64 { return f.hostPages })
+	sc.GaugeFunc("gc_pages", func() int64 { return f.gcPages })
+	sc.GaugeFunc("gc_erases", func() int64 { return f.gcErases })
+	sc.GaugeFunc("bad_retries", func() int64 { return f.badRetries })
+	sc.GaugeFunc("free_blocks", func() int64 { return int64(f.FreeBlocks()) })
+}
 
 // PageSize returns the page size in bytes.
 func (f *FTL) PageSize() int { return f.geo.PageSize }

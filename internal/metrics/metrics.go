@@ -7,34 +7,71 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 )
 
 // Sample accumulates duration observations and summarizes them.
-// The zero value is ready to use.
+// The zero value is ready to use and retains every observation; use
+// NewReservoir for a bounded-memory variant.
 type Sample struct {
 	vals   []time.Duration
 	sorted bool
 	sum    float64
+	n      int64 // total observations, including evicted ones
+
+	// Reservoir mode (capacity > 0): vals is a uniform random sample of
+	// capacity observations, maintained with Vitter's Algorithm R.
+	capacity int
+	rng      *rand.Rand
+}
+
+// NewReservoir returns a Sample that keeps a uniform random subset of at
+// most capacity observations (Vitter's Algorithm R), so percentile
+// summaries over unbounded streams use bounded memory. Count and mean
+// remain exact. rng drives the replacement choices: passing a
+// deterministically seeded source (e.g. one derived from the simulation
+// seed) makes the reservoir — and hence every percentile — reproducible
+// across runs.
+func NewReservoir(capacity int, rng *rand.Rand) *Sample {
+	if capacity <= 0 {
+		panic("metrics: reservoir capacity must be positive")
+	}
+	return &Sample{capacity: capacity, rng: rng}
 }
 
 // Add records one observation.
 func (s *Sample) Add(d time.Duration) {
+	s.n++
+	s.sum += float64(d)
+	if s.capacity > 0 && len(s.vals) == s.capacity {
+		// Algorithm R: the new observation replaces a random resident with
+		// probability capacity/n, keeping the reservoir a uniform sample.
+		if j := s.rng.Int63n(s.n); j < int64(s.capacity) {
+			s.vals[j] = d
+			s.sorted = false
+		}
+		return
+	}
 	s.vals = append(s.vals, d)
 	s.sorted = false
-	s.sum += float64(d)
 }
 
-// N returns the number of observations.
-func (s *Sample) N() int { return len(s.vals) }
+// N returns the number of observations (including any the reservoir
+// evicted).
+func (s *Sample) N() int { return int(s.n) }
 
-// Mean returns the arithmetic mean, or 0 if empty.
+// Retained returns how many observations are resident (equal to N unless
+// a reservoir has started evicting).
+func (s *Sample) Retained() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean over all observations, or 0 if empty.
 func (s *Sample) Mean() time.Duration {
-	if len(s.vals) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	return time.Duration(s.sum / float64(len(s.vals)))
+	return time.Duration(s.sum / float64(s.n))
 }
 
 func (s *Sample) sort() {

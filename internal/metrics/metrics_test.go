@@ -89,3 +89,58 @@ func TestCounterMBps(t *testing.T) {
 		t.Fatalf("MBps = %v, want 2", got)
 	}
 }
+
+func TestReservoirBoundedAndExactMoments(t *testing.T) {
+	s := NewReservoir(64, rand.New(rand.NewSource(1)))
+	const n = 10_000
+	var sum time.Duration
+	for i := 1; i <= n; i++ {
+		d := time.Duration(i)
+		s.Add(d)
+		sum += d
+	}
+	if s.N() != n {
+		t.Fatalf("N = %d, want %d", s.N(), n)
+	}
+	if s.Retained() != 64 {
+		t.Fatalf("retained %d, want capacity 64", s.Retained())
+	}
+	if got := s.Mean(); got != sum/time.Duration(n) {
+		t.Fatalf("mean = %v, want exact %v", got, sum/n)
+	}
+	// The median of a uniform 1..n stream should land near n/2; a wildly
+	// off value means the reservoir is not a uniform sample.
+	med := s.Percentile(50)
+	if med < n/10 || med > n-n/10 {
+		t.Fatalf("median %v implausible for uniform stream of %d", med, n)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		s := NewReservoir(16, rand.New(rand.NewSource(42)))
+		for i := 0; i < 1000; i++ {
+			s.Add(time.Duration(i * 13 % 997))
+		}
+		return append([]time.Duration(nil), s.vals...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReservoirBelowCapacityKeepsAll(t *testing.T) {
+	s := NewReservoir(100, rand.New(rand.NewSource(3)))
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i))
+	}
+	if s.N() != 10 || s.Retained() != 10 {
+		t.Fatalf("N=%d retained=%d, want 10/10", s.N(), s.Retained())
+	}
+	if s.Min() != 0 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}

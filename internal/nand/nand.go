@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"xssd/internal/fault"
+	"xssd/internal/obs"
 	"xssd/internal/sim"
 )
 
@@ -127,6 +128,26 @@ type Array struct {
 	// stats
 	reads, progs, erases int64
 	injectedBad          int64
+
+	// metrics: end-to-end op latency (issue -> completion, including bus
+	// and die queueing), nil until Observe.
+	mProgLat  *obs.Histogram
+	mReadLat  *obs.Histogram
+	mEraseLat *obs.Histogram
+}
+
+// Observe registers the array's telemetry under sc (the owning device
+// supplies "<dev>/nand"): cumulative op-count gauges plus program, read
+// and erase latency histograms measured from issue to completion — the
+// die-queueing view the paper's opportunistic-destaging argument rests on.
+func (a *Array) Observe(sc obs.Scope) {
+	sc.GaugeFunc("reads", func() int64 { return a.reads })
+	sc.GaugeFunc("programs", func() int64 { return a.progs })
+	sc.GaugeFunc("erases", func() int64 { return a.erases })
+	sc.GaugeFunc("injected_bad", func() int64 { return a.injectedBad })
+	a.mProgLat = sc.Histogram("program_ns")
+	a.mReadLat = sc.Histogram("read_ns")
+	a.mEraseLat = sc.Histogram("erase_ns")
 }
 
 // New creates an array in env with the given geometry and timing.
@@ -237,10 +258,12 @@ func (a *Array) Program(p *sim.Proc, addr PageAddr, data []byte, done func(error
 	}
 	blk.nextPage++
 	buf := append([]byte(nil), data...)
+	start := a.env.Now()
 	a.buses[addr.Channel].Transfer(p, a.geo.PageSize)
 	a.progs++
 	a.occupyDie(addr.Channel, addr.Way, a.timing.TProg, func() {
 		a.data[addr] = buf
+		a.mProgLat.Since(start)
 		done(nil)
 	})
 }
@@ -258,9 +281,13 @@ func (a *Array) Read(addr PageAddr, done func([]byte, error)) {
 		return
 	}
 	a.reads++
+	start := a.env.Now()
 	a.occupyDie(addr.Channel, addr.Way, a.timing.TRead, func() {
 		out := append([]byte(nil), data...)
-		a.buses[addr.Channel].Send(a.geo.PageSize, func() { done(out, nil) })
+		a.buses[addr.Channel].Send(a.geo.PageSize, func() {
+			a.mReadLat.Since(start)
+			done(out, nil)
+		})
 	})
 }
 
@@ -282,7 +309,9 @@ func (a *Array) Erase(b BlockAddr, done func(error)) {
 		return
 	}
 	a.erases++
+	start := a.env.Now()
 	a.occupyDie(b.Channel, b.Way, a.timing.TErase, func() {
+		a.mEraseLat.Since(start)
 		blk.nextPage = 0
 		blk.erases++
 		for page := 0; page < a.geo.PagesPerBlock; page++ {

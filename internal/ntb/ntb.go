@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"xssd/internal/fault"
+	"xssd/internal/obs"
 	"xssd/internal/pcie"
 	"xssd/internal/sim"
 )
@@ -29,8 +30,9 @@ type Bridge struct {
 	hops int
 	name string
 
-	// dropped counts TLP chunks discarded by a fault plan.
-	dropped int64
+	// metrics (ntb/<name>/...)
+	mChunks  *obs.Counter
+	mDropped *obs.Counter
 }
 
 // NewBridge creates a bridge with the given bandwidth and per-hop latency
@@ -39,17 +41,22 @@ func NewBridge(env *sim.Env, name string, bandwidth float64, hopLatency time.Dur
 	if hops < 1 {
 		hops = 1
 	}
-	return &Bridge{
+	b := &Bridge{
 		env:  env,
 		link: env.NewLink("ntb-"+name, bandwidth, time.Duration(hops)*hopLatency),
 		hops: hops,
 		name: name,
 	}
+	sc := obs.For(env).Scope("ntb/" + name)
+	b.mChunks = sc.Counter("chunks")
+	b.mDropped = sc.Counter("dropped")
+	sc.GaugeFunc("bytes", func() int64 { bytes, _, _ := b.link.Stats(); return bytes })
+	return b
 }
 
 // Dropped returns how many TLP chunks a fault plan has discarded on this
 // bridge.
-func (b *Bridge) Dropped() int64 { return b.dropped }
+func (b *Bridge) Dropped() int64 { return b.mDropped.Value() }
 
 // NewDefaultBridge creates a single-hop bridge with the default fabric
 // parameters.
@@ -94,9 +101,10 @@ func (w *Window) Write(off int64, data []byte, done func()) {
 		// done callback — exactly the silence a real lost TLP causes;
 		// higher layers must recover by timeout (the transport's repair
 		// process does).
+		w.bridge.mChunks.Inc()
 		switch d := fault.CheckEnv(w.bridge.env, fault.NTBDeliver, w.bridge.name, 1); d.Act {
 		case fault.ActionDrop, fault.ActionFail:
-			w.bridge.dropped++
+			w.bridge.mDropped.Inc()
 			continue
 		case fault.ActionDelay:
 			delay := d.Dur
@@ -126,6 +134,7 @@ func (w *Window) Write(off int64, data []byte, done func()) {
 func (w *Window) WriteRaw(off int64, data []byte, wireBytes int, done func()) {
 	buf := append([]byte(nil), data...)
 	dst := w.base + off
+	w.bridge.mChunks.Inc()
 	w.bridge.link.Send(wireBytes, func() {
 		w.target.MemWrite(dst, buf)
 		if done != nil {

@@ -12,6 +12,7 @@ import (
 	"xssd/internal/core"
 	"xssd/internal/ntb"
 	"xssd/internal/nvme"
+	"xssd/internal/obs"
 	"xssd/internal/sim"
 	"xssd/internal/villars"
 )
@@ -60,7 +61,32 @@ func New(env *sim.Env, devices []*villars.Device) (*Cluster, error) {
 			c.bridges[i][j] = ntb.NewDefaultBridge(env, fmt.Sprintf("%s->%s", devices[i].Name(), devices[j].Name()))
 		}
 	}
+	sc := obs.For(env).Scope("repl")
+	sc.GaugeFunc("promotions", func() int64 { return int64(c.promotions) })
+	sc.GaugeFunc("primary", func() int64 { return int64(c.primary) })
 	return c, nil
+}
+
+// ClusterStats is the typed telemetry snapshot of a replication group.
+type ClusterStats struct {
+	// Primary is the current primary's device name ("" before Setup).
+	Primary string
+	// Scheme is the active replication scheme.
+	Scheme core.ReplicationScheme
+	// Promotions counts completed failovers.
+	Promotions int
+	// Lag holds, per secondary peer of the primary, how many stream bytes
+	// its shadow counter trails the primary's local counter.
+	Lag []int64
+}
+
+// Stats returns the cluster's typed snapshot.
+func (c *Cluster) Stats() ClusterStats {
+	s := ClusterStats{Scheme: c.scheme, Promotions: c.promotions, Lag: c.Lag()}
+	if p := c.Primary(); p != nil {
+		s.Primary = p.Name()
+	}
+	return s
 }
 
 // Devices returns the cluster members.

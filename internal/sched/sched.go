@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"xssd/internal/nand"
+	"xssd/internal/obs"
 	"xssd/internal/sim"
 )
 
@@ -100,6 +101,23 @@ type Scheduler struct {
 	bytesBySource [3]int64
 	opsBySource   [3]int64
 	waitBySource  [3]time.Duration
+
+	// metrics: per-source queueing-delay histograms, nil until Observe.
+	waitHist [3]*obs.Histogram
+}
+
+// Observe registers the scheduler's telemetry under sc (the owning device
+// supplies "<dev>/sched"): per-source ops/bytes gauges and a queueing-wait
+// histogram per source. Call once, before traffic.
+func (s *Scheduler) Observe(sc obs.Scope) {
+	for src := Conventional; src <= GC; src++ {
+		src := src
+		sub := sc.Sub(src.String())
+		sub.GaugeFunc("ops", func() int64 { return s.opsBySource[src] })
+		sub.GaugeFunc("bytes", func() int64 { return s.bytesBySource[src] })
+		s.waitHist[src] = sub.Histogram("wait_ns")
+	}
+	sc.GaugeFunc("policy", func() int64 { return int64(s.policy) })
 }
 
 // New creates a scheduler over array and starts its per-channel
@@ -209,7 +227,9 @@ func (s *Scheduler) dispatch(p *sim.Proc, ch int) {
 			p.Wait(s.signal)
 			continue
 		}
-		s.waitBySource[r.Source] += p.Now() - r.enqueued
+		wait := p.Now() - r.enqueued
+		s.waitBySource[r.Source] += wait
+		s.waitHist[r.Source].ObserveDuration(wait)
 		s.opsBySource[r.Source]++
 		switch r.Kind {
 		case OpProgram:

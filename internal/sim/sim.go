@@ -29,6 +29,8 @@ type Env struct {
 	live    int           // processes started and not yet finished
 	blocked int           // processes waiting on a Signal (no pending event)
 	running bool
+
+	attachments map[string]interface{} // per-env services (see Attach)
 }
 
 type event struct {
@@ -73,6 +75,23 @@ func (e *Env) Now() time.Duration { return time.Duration(e.now) }
 // Rand returns the environment's deterministic random source. It must only
 // be used from process context (calls are serialized by the scheduler).
 func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Attach stores v under key on the environment. It is the hook for per-env
+// services (the metrics registry, for example) that deep call sites need to
+// reach without threading a handle through every constructor. Attachments
+// share the environment's lifetime, so they are garbage-collected with it —
+// unlike a process-global map keyed by *Env, which would pin every
+// environment ever created. Like all Env state, attachments are accessed
+// only under the scheduler's serialization; there is no locking.
+func (e *Env) Attach(key string, v interface{}) {
+	if e.attachments == nil {
+		e.attachments = make(map[string]interface{})
+	}
+	e.attachments[key] = v
+}
+
+// Attachment returns the value stored under key by Attach, or nil.
+func (e *Env) Attachment(key string) interface{} { return e.attachments[key] }
 
 func (e *Env) schedule(at int64, p *Proc, fn func()) {
 	if at < e.now {

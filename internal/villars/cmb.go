@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"xssd/internal/fault"
+	"xssd/internal/obs"
 	"xssd/internal/pm"
 	"xssd/internal/ring"
 	"xssd/internal/sim"
@@ -34,14 +35,17 @@ type cmbModule struct {
 	headArrived  time.Duration // when the oldest undestaged byte arrived
 	supercapDead bool
 
-	// stats
-	overruns, rejected int64
-	bytesIn            int64
+	// metrics (<fs>/cmb/...)
+	mBytesIn  *obs.Counter
+	mOverruns *obs.Counter
+	mRejected *obs.Counter
+	mPersist  *obs.Histogram // intake arrival -> ring persist, ns
 }
 
 type cmbChunk struct {
 	off  int64
 	data []byte
+	at   time.Duration // intake arrival time (persist-latency span)
 }
 
 // Allocation is an active fast-side region handed out by Alloc (paper
@@ -61,6 +65,14 @@ func newCMBModule(d *Device, fs *fastSide, bank *pm.Bank) *cmbModule {
 		arrived:       d.env.NewSignal(),
 		CreditChanged: d.env.NewSignal(),
 	}
+	sc := obs.For(d.env).Scope(fs.name + "/cmb")
+	m.mBytesIn = sc.Counter("bytes_in")
+	m.mOverruns = sc.Counter("overruns")
+	m.mRejected = sc.Counter("rejected")
+	m.mPersist = sc.Histogram("persist_ns")
+	sc.GaugeFunc("credit", m.ring.Frontier)
+	sc.GaugeFunc("live", m.ring.Live)
+	sc.GaugeFunc("queue_used", func() int64 { return int64(m.queueUsed) })
 	d.env.Go("cmb-drain-"+fs.name, m.drain)
 	return m
 }
@@ -74,7 +86,7 @@ func (m *cmbModule) MemWrite(off int64, data []byte) {
 		m.dev.InjectPowerLoss()
 	}
 	if m.dev.powerLost {
-		m.rejected++
+		m.mRejected.Inc()
 		return
 	}
 	// The Transport module receives a mirror of the arriving TLP stream
@@ -87,14 +99,14 @@ func (m *cmbModule) MemWrite(off int64, data []byte) {
 	if m.queueUsed+len(data) > m.fs.queueSize {
 		// The host overran the advisory flow-control protocol; the write
 		// is dropped and the guarantee void (paper §4.1).
-		m.overruns++
+		m.mOverruns.Inc()
 		m.dev.tracer.Record(trace.QueueOverrun, m.fs.name, off, int64(len(data)))
 		return
 	}
 	buf := append([]byte(nil), data...)
-	m.queue = append(m.queue, cmbChunk{off: off, data: buf})
+	m.queue = append(m.queue, cmbChunk{off: off, data: buf, at: m.dev.env.Now()})
 	m.queueUsed += len(buf)
-	m.bytesIn += int64(len(buf))
+	m.mBytesIn.Add(int64(len(buf)))
 	m.dev.tracer.Record(trace.CMBWrite, m.fs.name, off, int64(len(buf)))
 	m.arrived.Broadcast()
 }
@@ -139,11 +151,12 @@ func (m *cmbModule) persist(c cmbChunk) {
 	if err := m.ring.Write(c.off, c.data); err != nil {
 		// Stale or overrunning write: drop it. The host's flow control
 		// should prevent this.
-		m.rejected++
+		m.mRejected.Inc()
 		m.queueUsed -= len(c.data)
 		return
 	}
 	m.queueUsed -= len(c.data)
+	m.mPersist.Since(c.at)
 	if m.ring.Live() > 0 && before == m.ring.Head() {
 		m.headArrived = m.dev.env.Now()
 	}
@@ -228,7 +241,11 @@ func (m *cmbModule) QueueUsed() int { return m.queueUsed }
 func (m *cmbModule) Ring() *ring.Ring { return m.ring }
 
 // Overruns returns how many TLPs were dropped due to queue overrun.
-func (m *cmbModule) Overruns() int64 { return m.overruns }
+func (m *cmbModule) Overruns() int64 { return m.mOverruns.Value() }
+
+// Rejected returns how many writes were dropped for reasons other than
+// overrun (power loss, stale offsets).
+func (m *cmbModule) Rejected() int64 { return m.mRejected.Value() }
 
 // BytesIn returns the total payload bytes accepted on the CMB interface.
-func (m *cmbModule) BytesIn() int64 { return m.bytesIn }
+func (m *cmbModule) BytesIn() int64 { return m.mBytesIn.Value() }

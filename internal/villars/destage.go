@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xssd/internal/fault"
+	"xssd/internal/obs"
 	"xssd/internal/sched"
 	"xssd/internal/sim"
 	"xssd/internal/trace"
@@ -58,10 +59,13 @@ type destageModule struct {
 	kick     *sim.Signal
 	Advanced *sim.Signal // broadcast after every completed page
 
-	// stats
-	pages, partialPages, fillerBytes int64
-	errors                           int64
-	retries                          int64
+	// metrics (<fs>/destage/...)
+	mPages        *obs.Counter
+	mPartialPages *obs.Counter
+	mFillerBytes  *obs.Counter
+	mErrors       *obs.Counter
+	mRetries      *obs.Counter
+	mPageLat      *obs.Histogram // carve -> in-order retire, ns
 }
 
 // Destage write-failure retry policy: a failed page program (injected or
@@ -74,9 +78,10 @@ const (
 )
 
 type destagePage struct {
-	n    int64 // payload bytes
-	done bool
-	err  error
+	n        int64 // payload bytes
+	done     bool
+	err      error
+	carvedAt time.Duration
 }
 
 func newDestageModule(d *Device, fs *fastSide, baseLBA, lbaCount int64) *destageModule {
@@ -88,6 +93,16 @@ func newDestageModule(d *Device, fs *fastSide, baseLBA, lbaCount int64) *destage
 		kick:     d.env.NewSignal(),
 		Advanced: d.env.NewSignal(),
 	}
+	sc := obs.For(d.env).Scope(fs.name + "/destage")
+	m.mPages = sc.Counter("pages")
+	m.mPartialPages = sc.Counter("partial_pages")
+	m.mFillerBytes = sc.Counter("filler_bytes")
+	m.mErrors = sc.Counter("errors")
+	m.mRetries = sc.Counter("retries")
+	m.mPageLat = sc.Histogram("page_ns")
+	sc.GaugeFunc("stream", func() int64 { return m.destagedStream })
+	sc.GaugeFunc("inflight", func() int64 { return int64(len(m.inflight)) })
+	sc.GaugeFunc("tail_lba", func() int64 { return m.tail })
 	d.env.Go("destage-"+fs.name, m.loop)
 	return m
 }
@@ -96,11 +111,19 @@ func newDestageModule(d *Device, fs *fastSide, baseLBA, lbaCount int64) *destage
 func (m *destageModule) DestagedStream() int64 { return m.destagedStream }
 
 // Retries returns how many failed page writes were retried.
-func (m *destageModule) Retries() int64 { return m.retries }
+func (m *destageModule) Retries() int64 { return m.mRetries.Value() }
 
 // Pages returns how many flash pages the module has written, and how many
 // of those were padded partial pages.
-func (m *destageModule) Pages() (total, partial int64) { return m.pages, m.partialPages }
+func (m *destageModule) Pages() (total, partial int64) {
+	return m.mPages.Value(), m.mPartialPages.Value()
+}
+
+// FillerBytes returns the padding written in partial pages.
+func (m *destageModule) FillerBytes() int64 { return m.mFillerBytes.Value() }
+
+// Errors returns how many pages hit carve or retire errors.
+func (m *destageModule) Errors() int64 { return m.mErrors.Value() }
 
 // TailLBA returns the ring slot the next page will be written to.
 func (m *destageModule) TailLBA() int64 { return m.tail }
@@ -153,7 +176,7 @@ func (m *destageModule) carveOne(p *sim.Proc, n int64) {
 	cmb := m.fs.cmb
 	payload, err := cmb.ring.Read(m.carved, int(n))
 	if err != nil {
-		m.errors++
+		m.mErrors.Inc()
 		return
 	}
 	// Reading the backing memory costs its bus (the in-device path is two
@@ -164,11 +187,11 @@ func (m *destageModule) carveOne(p *sim.Proc, n int64) {
 	EncodePageHeader(page, m.carved, int(n))
 	copy(page[PageHeaderLen:], payload)
 	if pad := int64(m.maxPayload()) - n; pad > 0 {
-		m.fillerBytes += pad
-		m.partialPages++
+		m.mFillerBytes.Add(pad)
+		m.mPartialPages.Inc()
 	}
 
-	entry := &destagePage{n: n}
+	entry := &destagePage{n: n, carvedAt: m.dev.env.Now()}
 	m.inflight = append(m.inflight, entry)
 	m.carved += n
 	lba := m.baseLBA + m.tail%m.lbaCount
@@ -186,7 +209,7 @@ func (m *destageModule) carveOne(p *sim.Proc, n int64) {
 			if entry.err == nil || attempt >= destageMaxRetries {
 				break
 			}
-			m.retries++
+			m.mRetries.Inc()
 			w.Sleep(destageRetryBackoff)
 		}
 		entry.done = true
@@ -205,16 +228,17 @@ func (m *destageModule) retire(cmb *cmbModule) {
 			// failure surfacing here is fatal for this page. Drop it but
 			// keep accounting sane: the ring is still released so the
 			// stream keeps moving.
-			m.errors++
+			m.mErrors.Inc()
 		}
 		if err := cmb.ring.Release(e.n); err != nil {
-			m.errors++
+			m.mErrors.Inc()
 			continue
 		}
 		m.destagedStream = cmb.ring.Head()
 		cmb.headArrived = m.dev.env.Now()
 		m.dev.tracer.Record(trace.DestagePage, m.fs.name, m.destagedStream, e.n)
+		m.mPageLat.Since(e.carvedAt)
 		m.Advanced.Broadcast()
-		m.pages++
+		m.mPages.Inc()
 	}
 }

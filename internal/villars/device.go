@@ -23,6 +23,7 @@ import (
 	"xssd/internal/hic"
 	"xssd/internal/nand"
 	"xssd/internal/nvme"
+	"xssd/internal/obs"
 	"xssd/internal/pcie"
 	"xssd/internal/pm"
 	"xssd/internal/sched"
@@ -215,6 +216,19 @@ func New(env *sim.Env, cfg Config, host *pcie.HostMemory) *Device {
 
 	d.bank = pcie.NewRegion(env, d.link, d.fs.cmb, CMBWindowSize)
 	d.ctrlRgn = pcie.NewRegion(env, d.link, controlTarget{d.fs, d}, core.ControlSize)
+
+	// Always-on telemetry: the conventional-side components register their
+	// series under the device name, and the device itself exports its
+	// effective credit, PCIe link counters and power state.
+	reg := obs.For(env)
+	d.sch.Observe(reg.Scope(cfg.Name + "/sched"))
+	d.arr.Observe(reg.Scope(cfg.Name + "/nand"))
+	d.ftl.Observe(reg.Scope(cfg.Name + "/ftl"))
+	dsc := reg.Scope(cfg.Name)
+	dsc.GaugeFunc("credit_effective", d.EffectiveCredit)
+	dsc.GaugeFunc("status", d.statusRegister)
+	dsc.GaugeFunc("pcie/bytes", func() int64 { b, _, _ := d.link.Stats(); return b })
+	dsc.GaugeFunc("pcie/transfers", func() int64 { _, _, x := d.link.Stats(); return x })
 
 	// Fault plan: exact-time power-loss rules for this device fire as
 	// scheduled events (byte-counted rules fire from the CMB hook). The

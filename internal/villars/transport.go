@@ -1,11 +1,13 @@
 package villars
 
 import (
+	"fmt"
 	"time"
 
 	"xssd/internal/core"
 	"xssd/internal/fault"
 	"xssd/internal/ntb"
+	"xssd/internal/obs"
 	"xssd/internal/sim"
 	"xssd/internal/trace"
 )
@@ -39,12 +41,15 @@ type transportModule struct {
 	// benchmark harness and x_fsync-over-replication wait on it.
 	ShadowAdvanced *sim.Signal
 
-	// stats
-	mirroredBytes, counterUpdates int64
-	updatesSent                   int64
-	mirrorDrops, mirrorDelays     int64
-	repairResends                 int64
-	updatesSuppressed             int64
+	// metrics (<dev>/transport/...)
+	mMirroredBytes     *obs.Counter
+	mCounterUpdates    *obs.Counter
+	mUpdatesSent       *obs.Counter
+	mMirrorDrops       *obs.Counter
+	mMirrorDelays      *obs.Counter
+	mRepairResends     *obs.Counter
+	mUpdatesSuppressed *obs.Counter
+	mUpdateLag         *obs.Histogram // shadow-counter distance on each update, bytes
 }
 
 // peerLink is the primary's view of one secondary.
@@ -66,12 +71,23 @@ type mirrorChunk struct {
 }
 
 func newTransportModule(d *Device) *transportModule {
-	return &transportModule{
+	t := &transportModule{
 		dev:            d,
 		mode:           core.Standalone,
 		scheme:         core.Eager,
 		ShadowAdvanced: d.env.NewSignal(),
 	}
+	sc := obs.For(d.env).Scope(d.cfg.Name + "/transport")
+	t.mMirroredBytes = sc.Counter("mirrored_bytes")
+	t.mCounterUpdates = sc.Counter("counter_updates")
+	t.mUpdatesSent = sc.Counter("updates_sent")
+	t.mMirrorDrops = sc.Counter("mirror_drops")
+	t.mMirrorDelays = sc.Counter("mirror_delays")
+	t.mRepairResends = sc.Counter("repair_resends")
+	t.mUpdatesSuppressed = sc.Counter("updates_suppressed")
+	t.mUpdateLag = sc.Histogram("update_lag_bytes")
+	sc.GaugeFunc("peers", func() int64 { return int64(len(t.peers)) })
+	return t
 }
 
 // Mode returns the current transport mode.
@@ -106,6 +122,24 @@ func (t *transportModule) AddPeer(sec *Device, toSec, toPrim *ntb.Bridge) int {
 		window: toSec.NewWindow(sec.fs.cmb, 0),
 	}
 	t.peers = append(t.peers, pl)
+	// Per-peer shadow telemetry (<dev>/transport/peer<id>/...). Lookups go
+	// through t.peers by index so the gauges survive ClearPeers/AddPeer
+	// re-wiring after a promotion (GaugeFunc re-registration replaces the
+	// callback).
+	sc := obs.For(t.dev.env).Scope(t.dev.cfg.Name + "/transport").Sub(fmt.Sprintf("peer%d", id))
+	sc.GaugeFunc("shadow", func() int64 { return t.Shadow(id) })
+	sc.GaugeFunc("lag", func() int64 {
+		if id >= len(t.peers) {
+			return 0
+		}
+		return t.dev.fs.cmb.ring.Frontier() - t.peers[id].shadow
+	})
+	sc.GaugeFunc("unacked", func() int64 {
+		if id >= len(t.peers) {
+			return 0
+		}
+		return int64(len(t.peers[id].unacked))
+	})
 	sec.transport.reportTo = toPrim.NewWindow(counterPort{t}, 0)
 	sec.transport.reportPeerID = id
 	if sec.transport.mode == core.Secondary && !sec.transport.reporting {
@@ -138,7 +172,7 @@ func (t *transportModule) startRepair() {
 					}
 					pl.window.Write(c.off, c.data, nil)
 					c.sentAt = now
-					t.repairResends++
+					t.mRepairResends.Inc()
 				}
 			}
 		}
@@ -172,9 +206,9 @@ func (t *transportModule) mirror(off int64, data []byte) {
 		switch d := fault.CheckEnv(t.dev.env, fault.TransportMirror, t.dev.cfg.Name, 1); d.Act {
 		case fault.ActionDrop, fault.ActionFail:
 			// Lost on the fabric; the repair process will resend.
-			t.mirrorDrops++
+			t.mMirrorDrops.Inc()
 		case fault.ActionDelay:
-			t.mirrorDelays++
+			t.mMirrorDelays.Inc()
 			pl := pl
 			t.dev.env.After(d.Dur, func() { pl.window.Write(off, buf, nil) })
 		default:
@@ -182,7 +216,7 @@ func (t *transportModule) mirror(off int64, data []byte) {
 		}
 	}
 	t.dev.tracer.Record(trace.Mirror, t.dev.cfg.Name, off, int64(len(data)))
-	t.mirroredBytes += int64(len(data)) * int64(len(t.peers))
+	t.mMirroredBytes.Add(int64(len(data)) * int64(len(t.peers)))
 }
 
 // counterPort receives shadow-counter update messages on the primary.
@@ -208,7 +242,7 @@ func (c counterPort) MemWrite(off int64, data []byte) {
 		for len(pl.unacked) > 0 && pl.unacked[0].off+int64(len(pl.unacked[0].data)) <= v {
 			pl.unacked = pl.unacked[1:]
 		}
-		c.t.counterUpdates++
+		c.t.counterUpdateObserved(pl)
 		c.t.dev.tracer.Record(trace.ShadowUpdate, c.t.dev.cfg.Name, int64(id), v)
 		c.t.ShadowAdvanced.Broadcast()
 	}
@@ -216,6 +250,16 @@ func (c counterPort) MemWrite(off int64, data []byte) {
 
 // MemRead is unused on the counter port.
 func (c counterPort) MemRead(off int64, n int) []byte { return make([]byte, n) }
+
+// counterUpdateObserved records one accepted shadow-counter update and how
+// far the peer still trails the local frontier at that instant — the
+// replication-lag distribution behind paper Fig 13.
+func (t *transportModule) counterUpdateObserved(pl *peerLink) {
+	t.mCounterUpdates.Inc()
+	if lag := t.dev.fs.cmb.ring.Frontier() - pl.shadow; lag >= 0 {
+		t.mUpdateLag.Observe(lag)
+	}
+}
 
 // startReporting launches the secondary's periodic shadow-counter update
 // process (paper §4.2: "the frequency with which it does so is
@@ -235,14 +279,14 @@ func (t *transportModule) startReporting() {
 			case fault.ActionFreeze:
 				t.frozenUntil = p.Now() + d.Dur
 			case fault.ActionDrop, fault.ActionFail:
-				t.updatesSuppressed++
+				t.mUpdatesSuppressed.Inc()
 				p.Sleep(t.dev.cfg.ShadowUpdatePeriod)
 				continue
 			case fault.ActionDelay:
 				p.Sleep(d.Dur)
 			}
 			if p.Now() < t.frozenUntil {
-				t.updatesSuppressed++
+				t.mUpdatesSuppressed.Inc()
 				p.Sleep(t.dev.cfg.ShadowUpdatePeriod)
 				continue
 			}
@@ -256,7 +300,7 @@ func (t *transportModule) startReporting() {
 				payload[i] = byte(v >> (8 * i))
 			}
 			t.reportTo.WriteRaw(int64(t.reportPeerID), payload[:8], core.CounterUpdateBytes, nil)
-			t.updatesSent++
+			t.mUpdatesSent.Inc()
 			p.Sleep(t.dev.cfg.ShadowUpdatePeriod)
 		}
 	})
@@ -302,13 +346,20 @@ func (t *transportModule) effectiveCredit(local int64) int64 {
 
 // UpdatesSent returns how many shadow-counter update messages this
 // device's secondary role has emitted.
-func (t *transportModule) UpdatesSent() int64 { return t.updatesSent }
+func (t *transportModule) UpdatesSent() int64 { return t.mUpdatesSent.Value() }
+
+// MirroredBytes returns the bytes forwarded to peers (counted per peer).
+func (t *transportModule) MirroredBytes() int64 { return t.mMirroredBytes.Value() }
+
+// CounterUpdates returns how many shadow-counter updates this device's
+// primary role has accepted.
+func (t *transportModule) CounterUpdates() int64 { return t.mCounterUpdates.Value() }
 
 // FaultStats returns the transport's injected-fault counters: mirror
 // chunks dropped/delayed by the plan, chunks resent by the repair
 // process, and shadow updates suppressed.
 func (t *transportModule) FaultStats() (drops, delays, resends, suppressed int64) {
-	return t.mirrorDrops, t.mirrorDelays, t.repairResends, t.updatesSuppressed
+	return t.mMirrorDrops.Value(), t.mMirrorDelays.Value(), t.mRepairResends.Value(), t.mUpdatesSuppressed.Value()
 }
 
 // Shadow returns the primary's shadow counter for a peer.

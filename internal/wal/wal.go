@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"xssd/internal/fault"
+	"xssd/internal/obs"
 	"xssd/internal/sim"
 )
 
@@ -120,10 +121,12 @@ type Log struct {
 
 	dead bool // sink lost; no further flush will ever complete
 
-	// stats
-	records, flushes int64
-	flushBytes       int64
-	sinkRetries      int64
+	// metrics (wal/<sink>/...)
+	mRecords     *obs.Counter
+	mFlushes     *obs.Counter
+	mFlushBytes  *obs.Counter
+	mSinkRetries *obs.Counter
+	mFlushLat    *obs.Histogram // batch handed to sink -> durable, ns
 }
 
 // walRetryBackoff spaces retries of transiently failed sink writes.
@@ -144,6 +147,14 @@ func NewLog(env *sim.Env, sink Sink, cfg Config) *Log {
 		appended: env.NewSignal(),
 		flushed:  env.NewSignal(),
 	}
+	sc := obs.For(env).Scope("wal/" + sink.Name())
+	l.mRecords = sc.Counter("records")
+	l.mFlushes = sc.Counter("flushes")
+	l.mFlushBytes = sc.Counter("flush_bytes")
+	l.mSinkRetries = sc.Counter("sink_retries")
+	l.mFlushLat = sc.Histogram("flush_ns")
+	sc.GaugeFunc("backlog", l.Backlog)
+	sc.GaugeFunc("durable_lsn", l.DurableLSN)
 	env.Go("wal-flusher", l.flusher)
 	return l
 }
@@ -161,7 +172,7 @@ func (l *Log) Append(r Record) int64 {
 		l.oldestWait = l.env.Now()
 	}
 	l.buf = r.Encode(l.buf)
-	l.records++
+	l.mRecords.Inc()
 	end := l.bufStart + int64(len(l.buf))
 	l.appended.Broadcast()
 	return end
@@ -223,11 +234,12 @@ func (l *Log) flusher(p *sim.Proc) {
 		}
 		start := l.bufStart
 		l.bufStart = start + int64(len(batch))
+		span := l.mFlushLat.Start()
 		for {
 			// Fault plan: the wal.sink point fails or delays one flush;
 			// a transient failure is retried with backoff.
 			if d := fault.CheckEnv(l.env, fault.WALSink, l.sink.Name(), 1); d.Fail() {
-				l.sinkRetries++
+				l.mSinkRetries.Inc()
 				p.Sleep(walRetryBackoff)
 				continue
 			} else if d.Act == fault.ActionDelay {
@@ -251,15 +263,16 @@ func (l *Log) flusher(p *sim.Proc) {
 			panic(fmt.Sprintf("wal: sink %s failed: %v", l.sink.Name(), err))
 		}
 		l.durableLSN = start + int64(len(batch))
-		l.flushes++
-		l.flushBytes += int64(len(batch))
+		span.End()
+		l.mFlushes.Inc()
+		l.mFlushBytes.Add(int64(len(batch)))
 		l.flushed.Broadcast()
 	}
 }
 
 // Stats returns (records appended, flushes, bytes flushed).
 func (l *Log) Stats() (records, flushes, bytes int64) {
-	return l.records, l.flushes, l.flushBytes
+	return l.mRecords.Value(), l.mFlushes.Value(), l.mFlushBytes.Value()
 }
 
 // Dead reports whether the pipeline has halted because its sink was lost
@@ -268,4 +281,4 @@ func (l *Log) Stats() (records, flushes, bytes int64) {
 func (l *Log) Dead() bool { return l.dead }
 
 // SinkRetries returns how many flush attempts a fault plan failed.
-func (l *Log) SinkRetries() int64 { return l.sinkRetries }
+func (l *Log) SinkRetries() int64 { return l.mSinkRetries.Value() }

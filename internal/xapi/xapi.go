@@ -13,6 +13,7 @@ import (
 
 	"xssd/internal/core"
 	"xssd/internal/nvme"
+	"xssd/internal/obs"
 	"xssd/internal/pcie"
 	"xssd/internal/sim"
 	"xssd/internal/villars"
@@ -54,8 +55,10 @@ var (
 
 // Endpoint is anything a Logger can bind to: a whole Villars device or
 // one of its virtual functions (paper §7.2). Both expose a CMB data
-// window, a register file, and the conventional-side NVMe driver.
+// window, a register file, and the conventional-side NVMe driver. Name
+// scopes the logger's telemetry under the endpoint's hierarchy.
 type Endpoint interface {
+	Name() string
 	DataRegion() *pcie.Region
 	ControlRegion() *pcie.Region
 	HostDriver() *nvme.Driver
@@ -83,9 +86,16 @@ type Logger struct {
 	scratch    int64 // host-memory address used for NVMe read DMA
 	hostMem    *pcie.HostMemory
 
-	// stats
+	// per-logger stats
 	creditReads int64
 	stallTime   time.Duration
+
+	// metrics (<endpoint>/xapi/...): shared across loggers on the same
+	// endpoint — the registry deduplicates by name.
+	mCreditReads *obs.Counter
+	mBytes       *obs.Counter
+	mStall       *obs.Histogram // one credit-stall episode, ns
+	mFsync       *obs.Histogram // one XFsync call, ns
 }
 
 // Options tune Open.
@@ -118,6 +128,11 @@ func Open(p *sim.Proc, dev Endpoint, opts Options) *Logger {
 		scratch: opts.Scratch,
 		hostMem: opts.HostMem,
 	}
+	sc := obs.For(l.env).Scope(dev.Name() + "/xapi")
+	l.mCreditReads = sc.Counter("credit_reads")
+	l.mBytes = sc.Counter("bytes")
+	l.mStall = sc.Histogram("stall_ns")
+	l.mFsync = sc.Histogram("fsync_ns")
 	qs := l.readReg(p, core.RegQueueSize)
 	l.fc = core.NewFlowControl(qs)
 	return l
@@ -136,6 +151,7 @@ func (l *Logger) readReg(p *sim.Proc, reg int64) int64 {
 // control, returning the new budget.
 func (l *Logger) refreshCredit(p *sim.Proc) int64 {
 	l.creditReads++
+	l.mCreditReads.Inc()
 	return l.fc.Observe(l.readReg(p, core.RegCredit))
 }
 
@@ -159,12 +175,14 @@ func (l *Logger) XPwrite(p *sim.Proc, buf []byte) int64 {
 				return start
 			}
 			l.stallTime += p.Now() - t0
+			l.mStall.Since(t0)
 		}
 		n := int(budget)
 		if n > len(buf) {
 			n = len(buf)
 		}
 		l.data.Store(p, off, buf[:n])
+		l.mBytes.Add(int64(n))
 		l.fc.Note(int64(n))
 		off += int64(n)
 		buf = buf[n:]
@@ -177,6 +195,7 @@ func (l *Logger) XPwrite(p *sim.Proc, buf []byte) int64 {
 // persistent under the device's active replication scheme (paper §5.1,
 // Fig 8 bottom: read the counter until it covers the written total).
 func (l *Logger) XFsync(p *sim.Proc) error {
+	span := l.mFsync.Start()
 	l.data.Fence(p)
 	for !l.fc.Durable() {
 		l.refreshCredit(p)
@@ -193,6 +212,7 @@ func (l *Logger) XFsync(p *sim.Proc) error {
 			p.Sleep(time.Microsecond) // back off; replica recovering
 		}
 	}
+	span.End() // only successful fsyncs enter the latency series
 	return nil
 }
 

@@ -17,7 +17,8 @@
 // A minimal session:
 //
 //	sys := xssd.NewSystem(1)
-//	dev := sys.NewDevice(xssd.DeviceOptions{Name: "log0"})
+//	dev, err := sys.NewDevice(xssd.DeviceOptions{Name: "log0"})
+//	if err != nil { ... }
 //	sys.Run(func(p *xssd.Proc) {
 //	    log := dev.OpenLog(p)
 //	    log.Pwrite(p, []byte("commit record"))
@@ -26,10 +27,14 @@
 package xssd
 
 import (
+	"errors"
+	"fmt"
+	"io"
 	"time"
 
 	"xssd/internal/core"
 	"xssd/internal/nand"
+	"xssd/internal/obs"
 	"xssd/internal/pcie"
 	"xssd/internal/pm"
 	"xssd/internal/repl"
@@ -136,14 +141,49 @@ type DeviceOptions struct {
 	ShadowUpdatePeriod time.Duration
 }
 
+// ErrBadOptions reports rejected DeviceOptions. Concrete failures wrap it
+// with the offending field, so callers match with errors.Is.
+var ErrBadOptions = errors.New("xssd: invalid device options")
+
+// validate rejects option values the device model cannot honour. The
+// checks are deliberate API contract, not defensive programming: a
+// mis-sized queue or an empty geometry would otherwise surface much later
+// as a confusing simulation artifact.
+func (opts DeviceOptions) validate() error {
+	if opts.Name == "" {
+		return fmt.Errorf("%w: Name must be non-empty (it prefixes the device's metric names)", ErrBadOptions)
+	}
+	if opts.QueueSize < 0 {
+		return fmt.Errorf("%w: QueueSize %d is negative", ErrBadOptions, opts.QueueSize)
+	}
+	if opts.QueueSize%2 != 0 {
+		// The intake queue is split into two ping-pong halves (§4.1).
+		return fmt.Errorf("%w: QueueSize %d is odd; the intake queue is managed as two halves", ErrBadOptions, opts.QueueSize)
+	}
+	if g := opts.Geometry; g != nil {
+		if g.Channels <= 0 || g.WaysPerChan <= 0 || g.BlocksPerDie <= 0 || g.PagesPerBlock <= 0 || g.PageSize <= 0 {
+			return fmt.Errorf("%w: Geometry %+v has a zero or negative dimension", ErrBadOptions, *g)
+		}
+	}
+	if opts.ShadowUpdatePeriod < 0 {
+		return fmt.Errorf("%w: ShadowUpdatePeriod %v is negative", ErrBadOptions, opts.ShadowUpdatePeriod)
+	}
+	return nil
+}
+
 // Device is one simulated Villars X-SSD attached to the system's host.
 type Device struct {
 	sys *System
 	dev *villars.Device
 }
 
-// NewDevice creates and attaches a device.
-func (s *System) NewDevice(opts DeviceOptions) *Device {
+// NewDevice validates opts, then creates and attaches a device. Rejected
+// options (negative or odd QueueSize, a Geometry with a zero dimension,
+// an empty Name) return an error wrapping ErrBadOptions.
+func (s *System) NewDevice(opts DeviceOptions) (*Device, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	cfg := villars.DefaultConfig(opts.Name)
 	if opts.Backing == DRAM {
 		cfg.Backing = pm.DRAMSpec
@@ -164,11 +204,27 @@ func (s *System) NewDevice(opts DeviceOptions) *Device {
 	}
 	d := &Device{sys: s, dev: villars.New(s.env, cfg, s.hostMem)}
 	s.devices = append(s.devices, d)
+	return d, nil
+}
+
+// MustDevice is NewDevice for tests and examples with known-good options;
+// it panics on a validation error.
+func (s *System) MustDevice(opts DeviceOptions) *Device {
+	d, err := s.NewDevice(opts)
+	if err != nil {
+		panic(err)
+	}
 	return d
 }
 
-// Raw exposes the underlying device model (stats, fault injection).
+// Raw exposes the underlying device model for fault injection only
+// (power-loss scenarios, fault plans, chaos tests). For statistics use
+// Stats or System.MetricsSnapshot — telemetry read through Raw is
+// unsupported and may move without notice.
 func (d *Device) Raw() *villars.Device { return d.dev }
+
+// Stats returns the device's typed telemetry snapshot.
+func (d *Device) Stats() DeviceStats { return d.dev.Stats() }
 
 // Name returns the device name.
 func (d *Device) Name() string { return d.dev.Name() }
@@ -206,14 +262,15 @@ func (d *Device) NewVF(name string, cmbSize int64, queueSize int, destageLBAs in
 // Name returns the VF's qualified name.
 func (v *VF) Name() string { return v.vf.Name() }
 
-// OpenLog maps the VF's fast side for this process.
-func (v *VF) OpenLog(p *Proc) *Log {
-	v.sys.scratch += 64 << 10
-	return &Log{l: xapi.Open(p, v.vf, xapi.Options{
-		HostMem: v.sys.hostMem,
-		Scratch: v.sys.scratch,
-	})}
-}
+// Stats returns the VF's typed telemetry snapshot.
+func (v *VF) Stats() VFStats { return v.vf.Stats() }
+
+// OpenLog maps the VF's fast side for this process. Equivalent to
+// System.OpenLog(p, v).
+func (v *VF) OpenLog(p *Proc) *Log { return v.sys.OpenLog(p, v) }
+
+func (v *VF) endpoint() xapi.Endpoint { return v.vf }
+func (v *VF) system() *System         { return v.sys }
 
 // EnableTracing attaches an event tracer to the device, retaining the
 // last capacity events.
@@ -228,14 +285,52 @@ type Log struct {
 	l *xapi.Logger
 }
 
-// OpenLog maps the device's fast side for this process.
-func (d *Device) OpenLog(p *Proc) *Log {
-	d.sys.scratch += 64 << 10
-	return &Log{l: xapi.Open(p, d.dev, xapi.Options{
-		HostMem: d.sys.hostMem,
-		Scratch: d.sys.scratch,
+// LogTarget is anything a Log can be opened on: a whole Device or one of
+// its virtual functions. Both expose a fast side with its own credit
+// counter and destage range; the xapi layer treats them identically.
+type LogTarget interface {
+	Name() string
+	// endpoint and system keep the interface closed: only Device and VF
+	// can satisfy it.
+	endpoint() xapi.Endpoint
+	system() *System
+}
+
+// logScratchSize is the host scratch reserved per opened Log: XPread DMAs
+// destage-ring pages into it, so it must hold at least one flash page
+// (16 KB default) — 64 KB leaves headroom for custom geometries.
+const logScratchSize = 64 << 10
+
+// ReserveScratch reserves size bytes of host scratch memory and returns
+// the region's base offset. The allocator is a simple bump pointer over
+// the System's host memory: regions are never freed or reused, offsets
+// are deterministic (they depend only on the reservation order), and
+// offset 0 is never handed out so applications can use low host memory
+// for their own buffers without colliding with scratch DMA.
+func (s *System) ReserveScratch(size int64) int64 {
+	if s.scratch == 0 {
+		s.scratch = logScratchSize // keep low host memory for the application
+	}
+	base := s.scratch
+	s.scratch += size
+	return base
+}
+
+// OpenLog maps t's fast side for the calling process, reserving scratch
+// host memory for its tail reads.
+func (s *System) OpenLog(p *Proc, t LogTarget) *Log {
+	return &Log{l: xapi.Open(p, t.endpoint(), xapi.Options{
+		HostMem: s.hostMem,
+		Scratch: s.ReserveScratch(logScratchSize),
 	})}
 }
+
+// OpenLog maps the device's fast side for this process. Equivalent to
+// System.OpenLog(p, d).
+func (d *Device) OpenLog(p *Proc) *Log { return d.sys.OpenLog(p, d) }
+
+func (d *Device) endpoint() xapi.Endpoint { return d.dev }
+func (d *Device) system() *System         { return d.sys }
 
 // Pwrite appends buf to the log (x_pwrite): the copy is paced by the
 // device's credit counter and returns once the data is on the wire.
@@ -302,4 +397,51 @@ func (c *Cluster) PrimaryName() string {
 		return d.Name()
 	}
 	return ""
+}
+
+// Stats returns the cluster's typed telemetry snapshot.
+func (c *Cluster) Stats() ClusterStats { return c.c.Stats() }
+
+// Typed stats snapshots (see the Stats methods on Device, VF, and
+// Cluster). These are plain value structs assembled on demand; reading
+// them never perturbs the simulation.
+type (
+	DeviceStats  = villars.DeviceStats
+	VFStats      = villars.VFStats
+	CMBStats     = villars.CMBStats
+	DestageStats = villars.DestageStats
+	ClusterStats = repl.ClusterStats
+)
+
+// MetricsSnapshot captures every metric registered in this system's
+// simulation environment — counters, gauges, and histograms from all
+// devices, VFs, bridges, WAL pipelines, and loggers — with names sorted.
+// The snapshot is deterministic: the same seed and workload produce a
+// byte-identical Encode() across runs (the repository's reproducibility
+// contract, see DESIGN.md §7).
+func (s *System) MetricsSnapshot() *obs.Snapshot {
+	return obs.For(s.env).Snapshot()
+}
+
+// Metrics output formats accepted by WriteMetrics.
+const (
+	// MetricsJSON is the canonical machine-readable encoding (one JSON
+	// object, trailing newline); byte-identical across same-seed runs.
+	MetricsJSON = "json"
+	// MetricsText is a line-oriented human-readable dump.
+	MetricsText = "text"
+)
+
+// WriteMetrics writes a metrics snapshot of the whole system to w in the
+// given format (MetricsJSON or MetricsText).
+func (s *System) WriteMetrics(w io.Writer, format string) error {
+	snap := s.MetricsSnapshot()
+	switch format {
+	case MetricsJSON:
+		return snap.WriteJSON(w)
+	case MetricsText:
+		return snap.WriteText(w)
+	default:
+		return fmt.Errorf("xssd: unknown metrics format %q (want %q or %q)", format, MetricsJSON, MetricsText)
+	}
 }

@@ -2,13 +2,16 @@ package xssd
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
+
+	"xssd/internal/nand"
 )
 
 func TestPublicQuickstartPath(t *testing.T) {
 	sys := NewSystem(1)
-	dev := sys.NewDevice(DeviceOptions{Name: "q", Backing: SRAM})
+	dev := sys.MustDevice(DeviceOptions{Name: "q", Backing: SRAM})
 	msg := []byte("public API commit record")
 	var got []byte
 	sys.Run(func(p *Proc) {
@@ -37,8 +40,8 @@ func TestPublicQuickstartPath(t *testing.T) {
 
 func TestPublicClusterReplication(t *testing.T) {
 	sys := NewSystem(2)
-	a := sys.NewDevice(DeviceOptions{Name: "a"})
-	b := sys.NewDevice(DeviceOptions{Name: "b"})
+	a := sys.MustDevice(DeviceOptions{Name: "a"})
+	b := sys.MustDevice(DeviceOptions{Name: "b"})
 	cluster, err := sys.NewCluster(a, b)
 	if err != nil {
 		t.Fatal(err)
@@ -66,8 +69,8 @@ func TestPublicClusterReplication(t *testing.T) {
 
 func TestPublicFailover(t *testing.T) {
 	sys := NewSystem(3)
-	a := sys.NewDevice(DeviceOptions{Name: "a"})
-	b := sys.NewDevice(DeviceOptions{Name: "b"})
+	a := sys.MustDevice(DeviceOptions{Name: "a"})
+	b := sys.MustDevice(DeviceOptions{Name: "b"})
 	cluster, err := sys.NewCluster(a, b)
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +98,7 @@ func TestPublicFailover(t *testing.T) {
 
 func TestPublicAdvancedAPI(t *testing.T) {
 	sys := NewSystem(4)
-	dev := sys.NewDevice(DeviceOptions{Name: "adv"})
+	dev := sys.MustDevice(DeviceOptions{Name: "adv"})
 	sys.Run(func(p *Proc) {
 		log := dev.OpenLog(p)
 		start, err := log.Alloc(p, 128)
@@ -121,7 +124,7 @@ func TestPublicAdvancedAPI(t *testing.T) {
 
 func TestPublicCrashConsistency(t *testing.T) {
 	sys := NewSystem(5)
-	dev := sys.NewDevice(DeviceOptions{Name: "crash"})
+	dev := sys.MustDevice(DeviceOptions{Name: "crash"})
 	var written int64
 	sys.Run(func(p *Proc) {
 		log := dev.OpenLog(p)
@@ -136,22 +139,22 @@ func TestPublicCrashConsistency(t *testing.T) {
 	if !dev.Drained() {
 		t.Fatal("device did not drain after power loss")
 	}
-	if got := dev.Raw().Destage().DestagedStream(); got < written {
+	if got := dev.Stats().Destage.Stream; got < written {
 		t.Fatalf("destaged %d < acked %d: durability violated", got, written)
 	}
 }
 
 func TestPublicDestagePolicyOption(t *testing.T) {
 	sys := NewSystem(6)
-	dev := sys.NewDevice(DeviceOptions{Name: "pol", Policy: ConventionalPriority})
-	if dev.Raw().Scheduler().Policy() != ConventionalPriority {
+	dev := sys.MustDevice(DeviceOptions{Name: "pol", Policy: ConventionalPriority})
+	if dev.Stats().Sched.Policy != ConventionalPriority.String() {
 		t.Fatal("policy option not applied")
 	}
 }
 
 func TestPublicDRAMBacking(t *testing.T) {
 	sys := NewSystem(7)
-	dev := sys.NewDevice(DeviceOptions{Name: "dram", Backing: DRAM})
+	dev := sys.MustDevice(DeviceOptions{Name: "dram", Backing: DRAM})
 	sys.Run(func(p *Proc) {
 		log := dev.OpenLog(p)
 		log.Pwrite(p, make([]byte, 4096))
@@ -174,7 +177,7 @@ func TestSystemClockAdvances(t *testing.T) {
 
 func TestPublicVirtualFunctions(t *testing.T) {
 	sys := NewSystem(9)
-	dev := sys.NewDevice(DeviceOptions{Name: "shared"})
+	dev := sys.MustDevice(DeviceOptions{Name: "shared"})
 	vf1, err := dev.NewVF("tenant1", 32<<10, 4096, 64)
 	if err != nil {
 		t.Fatal(err)
@@ -210,7 +213,7 @@ func TestPublicVirtualFunctions(t *testing.T) {
 
 func TestPublicTracing(t *testing.T) {
 	sys := NewSystem(10)
-	dev := sys.NewDevice(DeviceOptions{Name: "tr"})
+	dev := sys.MustDevice(DeviceOptions{Name: "tr"})
 	tr := dev.EnableTracing(128)
 	sys.Run(func(p *Proc) {
 		log := dev.OpenLog(p)
@@ -219,5 +222,144 @@ func TestPublicTracing(t *testing.T) {
 	})
 	if tr.Total() == 0 {
 		t.Fatal("no events traced")
+	}
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	sys := NewSystem(11)
+	cases := []struct {
+		name string
+		opts DeviceOptions
+	}{
+		{"empty name", DeviceOptions{}},
+		{"negative queue", DeviceOptions{Name: "d", QueueSize: -4096}},
+		{"odd queue", DeviceOptions{Name: "d", QueueSize: 4097}},
+		{"zero geometry", DeviceOptions{Name: "d", Geometry: &nand.Geometry{Channels: 8}}},
+		{"negative shadow period", DeviceOptions{Name: "d", ShadowUpdatePeriod: -time.Microsecond}},
+	}
+	for _, c := range cases {
+		d, err := sys.NewDevice(c.opts)
+		if !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: err = %v, want ErrBadOptions", c.name, err)
+		}
+		if d != nil {
+			t.Errorf("%s: returned a device alongside the error", c.name)
+		}
+	}
+	if _, err := sys.NewDevice(DeviceOptions{Name: "ok", QueueSize: 8192}); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+func TestPublicTypedStats(t *testing.T) {
+	sys := NewSystem(12)
+	dev := sys.MustDevice(DeviceOptions{Name: "st"})
+	vf, err := dev.NewVF("vf0", 32<<10, 4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(func(p *Proc) {
+		log := sys.OpenLog(p, dev) // Device as LogTarget
+		log.Pwrite(p, make([]byte, 4096))
+		if err := log.Fsync(p); err != nil {
+			t.Fatalf("fsync: %v", err)
+		}
+		vlog := sys.OpenLog(p, vf) // VF as LogTarget
+		vlog.Pwrite(p, []byte("vf data"))
+		if err := vlog.Fsync(p); err != nil {
+			t.Fatalf("vf fsync: %v", err)
+		}
+	})
+	sys.RunFor(10 * time.Millisecond)
+	s := dev.Stats()
+	if s.Name != "st" || s.CMB.BytesIn < 4096 || s.Destage.Stream < 4096 {
+		t.Fatalf("device stats: %+v", s)
+	}
+	if len(s.VFs) != 1 || s.VFs[0].Name != "st/vf0" || s.VFs[0].CMB.BytesIn < 7 {
+		t.Fatalf("vf stats via device: %+v", s.VFs)
+	}
+	if vs := vf.Stats(); vs.CMB.BytesIn != s.VFs[0].CMB.BytesIn {
+		t.Fatalf("vf.Stats() disagrees with device view: %+v vs %+v", vs, s.VFs[0])
+	}
+	if s.NAND.Programs == 0 || s.Sched.Destage.Ops == 0 {
+		t.Fatalf("nand/sched stats empty: %+v", s)
+	}
+}
+
+func TestReserveScratchDisjoint(t *testing.T) {
+	sys := NewSystem(13)
+	a := sys.ReserveScratch(4096)
+	b := sys.ReserveScratch(100)
+	c := sys.ReserveScratch(4096)
+	if a == 0 {
+		t.Fatal("scratch allocator handed out offset 0")
+	}
+	if b < a+4096 || c < b+100 {
+		t.Fatalf("scratch regions overlap: %d, %d, %d", a, b, c)
+	}
+}
+
+// run drives a fixed workload and returns the encoded metrics snapshot.
+func metricsRun(t *testing.T, seed int64) []byte {
+	t.Helper()
+	sys := NewSystem(seed)
+	a := sys.MustDevice(DeviceOptions{Name: "a"})
+	b := sys.MustDevice(DeviceOptions{Name: "b"})
+	cluster, err := sys.NewCluster(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(func(p *Proc) {
+		if err := cluster.Setup(p, 0, Eager); err != nil {
+			t.Fatal(err)
+		}
+		log := a.OpenLog(p)
+		// Write sizes depend on the seed so distinct seeds yield distinct
+		// traffic (the simulation itself only draws randomness on demand).
+		for i := 0; i < 32; i++ {
+			log.Pwrite(p, make([]byte, 512+int(seed%7)*128))
+			if err := log.Fsync(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	sys.RunFor(20 * time.Millisecond)
+	return sys.MetricsSnapshot().Encode()
+}
+
+func TestPublicMetricsDeterminism(t *testing.T) {
+	one := metricsRun(t, 42)
+	two := metricsRun(t, 42)
+	if !bytes.Equal(one, two) {
+		t.Fatal("same-seed runs produced different metrics snapshots")
+	}
+	if bytes.Equal(one, metricsRun(t, 43)) {
+		t.Fatal("different seeds produced identical snapshots (suspicious)")
+	}
+}
+
+func TestWriteMetricsFormats(t *testing.T) {
+	sys := NewSystem(14)
+	dev := sys.MustDevice(DeviceOptions{Name: "m"})
+	sys.Run(func(p *Proc) {
+		log := dev.OpenLog(p)
+		log.Pwrite(p, make([]byte, 512))
+		log.Fsync(p)
+	})
+	var j, txt bytes.Buffer
+	if err := sys.WriteMetrics(&j, MetricsJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteMetrics(&txt, MetricsText); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(j.Bytes(), []byte(`"m/cmb/bytes_in"`)) {
+		t.Fatalf("JSON snapshot missing device counters: %s", j.String())
+	}
+	if !bytes.Contains(txt.Bytes(), []byte("m/cmb/bytes_in")) {
+		t.Fatal("text snapshot missing device counters")
+	}
+	if err := sys.WriteMetrics(&j, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
 	}
 }

@@ -11,12 +11,21 @@
 //
 // Add -metrics out.json to any experiment run to also dump a per-cell
 // metrics snapshot (canonical JSON, byte-identical across same-seed runs).
+//
+// Performance modes:
+//
+//	xbench -suite perf -o BENCH_PR4.json   # time one cell per figure + a chaos seed
+//	xbench -compare baseline.json new.json # gate: fail on >15% events/sec regression
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"time"
 
 	"xssd/internal/bench"
 	"xssd/internal/chaos"
@@ -30,7 +39,46 @@ func main() {
 	chaosRun := flag.Bool("chaos", false, "run the chaos sweep (randomized fault plans, invariants I1-I5)")
 	seeds := flag.Int("seeds", 20, "number of seeds for -chaos")
 	metricsOut := flag.String("metrics", "", "write per-cell metrics snapshots to this file as JSON")
+	suite := flag.String("suite", "", "run a timed suite (only \"perf\")")
+	out := flag.String("o", "BENCH_PR4.json", "output file for -suite perf")
+	compare := flag.Bool("compare", false, "compare two perf result files: -compare baseline.json new.json")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed events/sec regression fraction for -compare")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	gogc := flag.Int("gogc", 400, "GC target percentage (runtime/debug.SetGCPercent); simulations are short-lived and allocation-heavy, so trading heap headroom for fewer GC cycles is the right default here")
 	flag.Parse()
+
+	// Results are untouched by this: the engine runs on virtual time, so
+	// collector pacing can never leak into event order or metrics.
+	debug.SetGCPercent(*gogc)
+
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var capture *bench.Capture
 	if *metricsOut != "" {
@@ -39,6 +87,24 @@ func main() {
 	}
 
 	switch {
+	case *compare:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: xbench -compare baseline.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("compare: %s within %.0f%% of %s on every cell\n", flag.Arg(1), *tolerance*100, flag.Arg(0))
+	case *suite == "perf":
+		if err := runPerfSuite(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *suite != "":
+		fmt.Fprintf(os.Stderr, "xbench: unknown suite %q (only \"perf\")\n", *suite)
+		os.Exit(2)
 	case *chaosRun:
 		if err := chaos.Sweep(os.Stdout, *seeds); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -86,4 +152,55 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "metrics: wrote %d cell snapshots to %s\n", capture.Len(), *metricsOut)
 	}
+}
+
+// runPerfSuite times every perf cell against the wall clock and writes the
+// canonical results file. Timing lives here, not in internal/bench: the
+// simulation packages are virtual-time only (the simdeterminism analyzer
+// enforces it), while a command may consult real clocks.
+func runPerfSuite(path string) error {
+	cells := bench.PerfCells()
+	results := make([]bench.PerfResult, 0, len(cells))
+	for _, c := range cells {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		events, err := c.Run()
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return fmt.Errorf("perf suite: %s: %w", c.Name, err)
+		}
+		r := bench.PerfResult{
+			Bench:  c.Name,
+			WallNS: wall.Nanoseconds(),
+			Events: events,
+			Allocs: int64(after.Mallocs - before.Mallocs),
+		}
+		if wall > 0 {
+			r.EventsPerSec = float64(events) / wall.Seconds()
+		}
+		fmt.Printf("%-28s %10.0f events/s  (%d events, %v, %d allocs)\n",
+			r.Bench, r.EventsPerSec, r.Events, wall.Round(time.Millisecond), r.Allocs)
+		results = append(results, r)
+	}
+	if err := bench.WritePerfFile(path, results); err != nil {
+		return err
+	}
+	fmt.Printf("perf: wrote %d cells to %s\n", len(results), path)
+	return nil
+}
+
+// runCompare gates new against baseline with the given tolerance.
+func runCompare(baselinePath, newPath string, tol float64) error {
+	baseline, err := bench.ReadPerfFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := bench.ReadPerfFile(newPath)
+	if err != nil {
+		return err
+	}
+	return bench.Compare(baseline, current, tol)
 }

@@ -99,9 +99,19 @@ func StartCapture() *Capture {
 // StopCapture detaches the active capture.
 func StopCapture() { activeCapture = nil }
 
+// lastEvents holds the dispatched-event count of the most recently
+// finished cell (same single-threaded-harness caveat as activeCapture).
+var lastEvents int64
+
+// LastCellEvents reports how many simulator events the most recently
+// finished experiment cell dispatched. The perf suite divides this by wall
+// time to get events/second.
+func LastCellEvents() int64 { return lastEvents }
+
 // captureCell records env's metrics snapshot under the cell name; cells
 // call it once, right before returning their measurements.
 func captureCell(cell string, env *sim.Env) {
+	lastEvents = env.Events()
 	if activeCapture == nil {
 		return
 	}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// PerfResult is one row of the perf suite's canonical output
+// (BENCH_PR4.json): a cell name, its wall-clock cost, the simulator events
+// it dispatched, and the heap allocations the run charged.
+type PerfResult struct {
+	Bench        string  `json:"bench"`
+	WallNS       int64   `json:"wall_ns"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       int64   `json:"allocs"`
+}
+
+// WritePerfFile writes results as indented JSON with a trailing newline —
+// the checked-in baseline format.
+func WritePerfFile(path string, results []PerfResult) error {
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadPerfFile reads a file written by WritePerfFile.
+func ReadPerfFile(path string) ([]PerfResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []PerfResult
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// Compare gates a new perf run against a baseline: it fails if any
+// baseline cell is missing from the new run, dispatched a different event
+// count (a determinism break — event counts are machine-independent), or
+// regressed in events/second by more than tol (a fraction, e.g. 0.15).
+// Cells present only in the new run are ignored, so adding cells does not
+// require regenerating history.
+func Compare(baseline, current []PerfResult, tol float64) error {
+	byName := make(map[string]PerfResult, len(current))
+	for _, r := range current {
+		byName[r.Bench] = r
+	}
+	var problems []string
+	for _, b := range baseline {
+		c, ok := byName[b.Bench]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from new results", b.Bench))
+			continue
+		}
+		if c.Events != b.Events {
+			problems = append(problems, fmt.Sprintf(
+				"%s: dispatched %d events, baseline %d (determinism break?)", b.Bench, c.Events, b.Events))
+			continue
+		}
+		if b.EventsPerSec > 0 && c.EventsPerSec < b.EventsPerSec*(1-tol) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.0f events/s, >%.0f%% below baseline %.0f",
+				b.Bench, c.EventsPerSec, tol*100, b.EventsPerSec))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("bench: perf regression vs baseline:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}

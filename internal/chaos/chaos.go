@@ -127,6 +127,7 @@ type Result struct {
 	Destaged int64 // bytes the primary moved to the conventional side
 	Durable  int64 // final durable horizon of the WAL
 	Firings  int   // fault rules that fired
+	Events   int64 // simulator events dispatched (perf-suite accounting)
 
 	StallSeen     bool          // status register showed StatusReplicaStalled
 	MaxSuppressed time.Duration // longest observed shadow-suppression stretch
@@ -465,6 +466,7 @@ func Run(s Scenario) (*Result, error) {
 	fp = mix64(fp, uint64(r.Firings))
 	fp = mix64(fp, snap.Fingerprint())
 	r.Fingerprint = fp
+	r.Events = env.Events()
 	return r, nil
 }
 

@@ -30,6 +30,12 @@ type Engine struct {
 	tables map[string]*table
 	nextTx int64
 
+	// encBuf is the reusable redo-record scratch: the WAL copies the
+	// payload into its own batch before Append returns, and nothing
+	// yields between encoding and appending, so one buffer serves every
+	// commit on the engine.
+	encBuf []byte
+
 	commits, aborts int64
 }
 
@@ -52,6 +58,21 @@ func (e *Engine) CreateTable(name string) {
 	if _, ok := e.tables[name]; !ok {
 		e.tables[name] = &table{rows: map[string]row{}}
 	}
+}
+
+// Table is a resolved table handle. Hot paths hold one and use the *In
+// transaction methods so every row access skips the engine's name lookup
+// and keys the transaction's read/write sets by pointer instead of by
+// table-name string.
+type Table struct {
+	t    *table
+	name string
+}
+
+// Table returns a handle for name, creating the table if needed.
+func (e *Engine) Table(name string) Table {
+	e.CreateTable(name)
+	return Table{t: e.tables[name], name: name}
 }
 
 // Tables returns the table names in sorted order, so callers that iterate
@@ -91,61 +112,100 @@ type Tx struct {
 	id   int64
 	done bool
 
-	reads  map[string]int64 // "table\x00key" -> observed version
+	reads  map[hkey]int64 // observed row versions
 	writes []writeOp
-	wIndex map[string]int // read-your-writes index into writes
+	wIndex map[hkey]int // read-your-writes index into writes
 }
 
 type writeOp struct {
-	table, key string
-	val        []byte
-	delete     bool
+	tab    Table // tab.t is nil on the recovery path (decoded records)
+	key    string
+	val    []byte
+	delete bool
 }
 
-func rk(table, key string) string { return table + "\x00" + key }
+// hkey identifies a row by resolved table. Hashing a pointer plus the
+// row key is measurably cheaper than hashing two strings per access.
+type hkey struct {
+	t   *table
+	key string
+}
 
 // Begin starts a transaction.
 func (e *Engine) Begin() *Tx {
 	e.nextTx++
-	return &Tx{eng: e, id: e.nextTx, reads: map[string]int64{}, wIndex: map[string]int{}}
+	return &Tx{eng: e, id: e.nextTx, reads: map[hkey]int64{}, wIndex: map[hkey]int{}}
 }
 
 // ID returns the transaction id.
 func (t *Tx) ID() int64 { return t.id }
 
-// Get reads a row, observing the transaction's own writes first.
-func (t *Tx) Get(tableName, key string) ([]byte, bool) {
-	if i, ok := t.wIndex[rk(tableName, key)]; ok {
+// GetIn reads a row through a resolved handle, observing the
+// transaction's own writes first.
+func (t *Tx) GetIn(tab Table, key string) ([]byte, bool) {
+	if i, ok := t.wIndex[hkey{tab.t, key}]; ok {
 		w := t.writes[i]
 		if w.delete {
 			return nil, false
 		}
 		return w.val, true
 	}
-	tab, ok := t.eng.tables[tableName]
-	if !ok {
-		return nil, false
-	}
-	r, ok := tab.rows[key]
-	t.reads[rk(tableName, key)] = r.ver // absent rows observe version 0
+	r, ok := tab.t.rows[key]
+	t.reads[hkey{tab.t, key}] = r.ver // absent rows observe version 0
 	if !ok || r.val == nil {
 		return nil, false // missing or tombstoned
 	}
 	return r.val, true
 }
 
-// Put buffers a row write.
-func (t *Tx) Put(tableName, key string, val []byte) {
-	t.addWrite(writeOp{table: tableName, key: key, val: append([]byte(nil), val...)})
+// Get reads a row by table name, observing the transaction's own writes
+// first.
+func (t *Tx) Get(tableName, key string) ([]byte, bool) {
+	tab, ok := t.eng.tables[tableName]
+	if !ok {
+		return nil, false
+	}
+	return t.GetIn(Table{t: tab, name: tableName}, key)
 }
 
-// Delete buffers a row deletion.
+// PutIn buffers a row write through a resolved handle. The value is
+// copied, so the caller may reuse the slice afterwards.
+func (t *Tx) PutIn(tab Table, key string, val []byte) {
+	t.addWrite(writeOp{tab: tab, key: key, val: append([]byte(nil), val...)})
+}
+
+// PutOwnedIn buffers a row write through a resolved handle and takes
+// ownership of val: the caller must not read or modify the slice
+// afterwards. Use it when the value was freshly built for this call
+// (e.g. a row Encode result) to skip the defensive copy.
+func (t *Tx) PutOwnedIn(tab Table, key string, val []byte) {
+	t.addWrite(writeOp{tab: tab, key: key, val: val})
+}
+
+// DeleteIn buffers a row deletion through a resolved handle.
+func (t *Tx) DeleteIn(tab Table, key string) {
+	t.addWrite(writeOp{tab: tab, key: key, delete: true})
+}
+
+// Put buffers a row write by table name (creating the table on first
+// use). The value is copied, so the caller may reuse the slice.
+func (t *Tx) Put(tableName, key string, val []byte) {
+	t.PutIn(t.eng.Table(tableName), key, val)
+}
+
+// PutOwned buffers a row write by table name and takes ownership of val.
+func (t *Tx) PutOwned(tableName, key string, val []byte) {
+	t.PutOwnedIn(t.eng.Table(tableName), key, val)
+}
+
+// Delete buffers a row deletion by table name (creating the table on
+// first use).
 func (t *Tx) Delete(tableName, key string) {
-	t.addWrite(writeOp{table: tableName, key: key, delete: true})
+	t.DeleteIn(t.eng.Table(tableName), key)
 }
 
 func (t *Tx) addWrite(w writeOp) {
-	k := rk(w.table, w.key)
+	k := hkey{w.tab.t, w.key}
 	if i, ok := t.wIndex[k]; ok {
 		t.writes[i] = w
 		return
@@ -169,15 +229,12 @@ func (t *Tx) Commit(p *sim.Proc) error {
 	if t.done {
 		return ErrTxDone
 	}
-	// Validate: every row read must still carry the version we saw.
+	// Validate: every row read must still carry the version we saw. (Map
+	// order is fine here: the commit/abort outcome does not depend on
+	// which stale read is discovered first, and nothing in the loop
+	// schedules events.)
 	for k, ver := range t.reads {
-		tableName, key := splitRK(k)
-		tab, ok := t.eng.tables[tableName]
-		cur := int64(0)
-		if ok {
-			cur = tab.rows[key].ver
-		}
-		if cur != ver {
+		if k.t.rows[k.key].ver != ver {
 			t.Abort()
 			return ErrConflict
 		}
@@ -192,7 +249,7 @@ func (t *Tx) Commit(p *sim.Proc) error {
 	t.applyWrites()
 	t.eng.commits++
 	if t.eng.log != nil {
-		t.eng.log.Commit(p, wal.Record{TxID: t.id, Payload: encodeWrites(t.writes)})
+		t.eng.log.Commit(p, wal.Record{TxID: t.id, Payload: t.eng.encodeScratch(t.writes)})
 	}
 	return nil
 }
@@ -207,13 +264,7 @@ func (t *Tx) CommitAsync() (int64, error) {
 		return 0, ErrTxDone
 	}
 	for k, ver := range t.reads {
-		tableName, key := splitRK(k)
-		tab, ok := t.eng.tables[tableName]
-		cur := int64(0)
-		if ok {
-			cur = tab.rows[key].ver
-		}
-		if cur != ver {
+		if k.t.rows[k.key].ver != ver {
 			t.Abort()
 			return 0, ErrConflict
 		}
@@ -227,23 +278,29 @@ func (t *Tx) CommitAsync() (int64, error) {
 	if t.eng.log == nil {
 		return 0, nil
 	}
-	return t.eng.log.Append(wal.Record{TxID: t.id, Payload: encodeWrites(t.writes)}), nil
+	return t.eng.log.Append(wal.Record{TxID: t.id, Payload: t.eng.encodeScratch(t.writes)}), nil
 }
 
 // Log returns the engine's WAL (nil when volatile).
 func (e *Engine) Log() *wal.Log { return e.log }
 
 func (t *Tx) applyWrites() {
+	// Every writeOp on this path carries a resolved handle, so the apply
+	// loop touches only the row maps.
 	for _, w := range t.writes {
-		t.eng.applyOp(w, t.id)
+		rw := row{ver: t.id}
+		if !w.delete {
+			rw.val = w.val
+		}
+		w.tab.t.rows[w.key] = rw
 	}
 }
 
 func (e *Engine) applyOp(w writeOp, ver int64) {
-	tab, ok := e.tables[w.table]
+	tab, ok := e.tables[w.tab.name]
 	if !ok {
-		e.CreateTable(w.table)
-		tab = e.tables[w.table]
+		e.CreateTable(w.tab.name)
+		tab = e.tables[w.tab.name]
 	}
 	if w.delete {
 		// Deletion leaves a versioned tombstone (val == nil) so OCC still
@@ -252,15 +309,6 @@ func (e *Engine) applyOp(w writeOp, ver int64) {
 	} else {
 		tab.rows[w.key] = row{val: w.val, ver: ver}
 	}
-}
-
-func splitRK(k string) (string, string) {
-	for i := 0; i < len(k); i++ {
-		if k[i] == 0 {
-			return k[:i], k[i+1:]
-		}
-	}
-	return k, ""
 }
 
 // LoadRow installs a row directly, bypassing transactions and the log.
@@ -289,8 +337,17 @@ func (e *Engine) Read(tableName, key string) ([]byte, bool) {
 // encodeWrites serializes a write set:
 // [nOps u16] then per op: [flags u8][tableLen u8][table][keyLen u16][key]
 // [valLen u32][val].
-func encodeWrites(ws []writeOp) []byte {
-	var buf []byte
+func encodeWrites(ws []writeOp) []byte { return appendWrites(nil, ws) }
+
+// encodeScratch serializes into the engine's reusable buffer. Valid until
+// the next commit on the engine; the WAL copies the payload before
+// Append returns.
+func (e *Engine) encodeScratch(ws []writeOp) []byte {
+	e.encBuf = appendWrites(e.encBuf[:0], ws)
+	return e.encBuf
+}
+
+func appendWrites(buf []byte, ws []writeOp) []byte {
 	var n [2]byte
 	binary.LittleEndian.PutUint16(n[:], uint16(len(ws)))
 	buf = append(buf, n[:]...)
@@ -299,8 +356,8 @@ func encodeWrites(ws []writeOp) []byte {
 		if w.delete {
 			flags = 1
 		}
-		buf = append(buf, flags, byte(len(w.table)))
-		buf = append(buf, w.table...)
+		buf = append(buf, flags, byte(len(w.tab.name)))
+		buf = append(buf, w.tab.name...)
 		var kl [2]byte
 		binary.LittleEndian.PutUint16(kl[:], uint16(len(w.key)))
 		buf = append(buf, kl[:]...)
@@ -346,7 +403,7 @@ func decodeWrites(buf []byte) ([]writeOp, error) {
 		}
 		val := append([]byte(nil), buf[:vl]...)
 		buf = buf[vl:]
-		out = append(out, writeOp{table: tableName, key: key, val: val, delete: flags&1 != 0})
+		out = append(out, writeOp{tab: Table{name: tableName}, key: key, val: val, delete: flags&1 != 0})
 	}
 	return out, nil
 }

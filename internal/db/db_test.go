@@ -294,9 +294,9 @@ func TestFingerprintSensitivity(t *testing.T) {
 
 func TestEncodeDecodeWritesRoundTrip(t *testing.T) {
 	ws := []writeOp{
-		{table: "warehouse", key: "w1", val: bytes.Repeat([]byte{7}, 90)},
-		{table: "stock", key: "s:1:100", delete: true},
-		{table: "t", key: "", val: nil},
+		{tab: Table{name: "warehouse"}, key: "w1", val: bytes.Repeat([]byte{7}, 90)},
+		{tab: Table{name: "stock"}, key: "s:1:100", delete: true},
+		{tab: Table{name: "t"}, key: "", val: nil},
 	}
 	got, err := decodeWrites(encodeWrites(ws))
 	if err != nil {
@@ -305,7 +305,7 @@ func TestEncodeDecodeWritesRoundTrip(t *testing.T) {
 	if len(got) != 3 {
 		t.Fatalf("ops = %d", len(got))
 	}
-	if got[0].table != "warehouse" || !bytes.Equal(got[0].val, ws[0].val) {
+	if got[0].tab.name != "warehouse" || !bytes.Equal(got[0].val, ws[0].val) {
 		t.Fatal("op 0 mismatch")
 	}
 	if !got[1].delete || got[1].key != "s:1:100" {
@@ -314,7 +314,7 @@ func TestEncodeDecodeWritesRoundTrip(t *testing.T) {
 }
 
 func TestDecodeWritesRejectsTruncation(t *testing.T) {
-	ws := []writeOp{{table: "t", key: "k", val: []byte("hello")}}
+	ws := []writeOp{{tab: Table{name: "t"}, key: "k", val: []byte("hello")}}
 	enc := encodeWrites(ws)
 	for cut := 1; cut < len(enc); cut++ {
 		if _, err := decodeWrites(enc[:cut]); err == nil {

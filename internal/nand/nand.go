@@ -119,7 +119,11 @@ type Array struct {
 	buses  []*sim.Link
 	dies   []dieState
 	blocks []blockState
-	data   map[PageAddr][]byte
+	// data holds page contents in a flat slice indexed by physical page
+	// number (nil = unwritten); freePages recycles page buffers from
+	// erased blocks into new programs.
+	data      [][]byte
+	freePages [][]byte
 
 	// Freed broadcasts whenever a die finishes an operation; dispatchers
 	// wait on it.
@@ -158,7 +162,7 @@ func New(env *sim.Env, geo Geometry, timing Timing) *Array {
 		timing: timing,
 		dies:   make([]dieState, geo.Dies()),
 		blocks: make([]blockState, geo.Dies()*geo.BlocksPerDie),
-		data:   make(map[PageAddr][]byte),
+		data:   make([][]byte, geo.TotalPages()),
 		Freed:  env.NewSignal(),
 	}
 	a.buses = make([]*sim.Link, geo.Channels)
@@ -178,6 +182,20 @@ func (a *Array) dieIndex(ch, way int) int { return ch*a.geo.WaysPerChan + way }
 
 func (a *Array) blockIndex(b BlockAddr) int {
 	return a.dieIndex(b.Channel, b.Way)*a.geo.BlocksPerDie + b.Block
+}
+
+func (a *Array) pageIndex(p PageAddr) int {
+	return a.blockIndex(p.BlockAddr())*a.geo.PagesPerBlock + p.Page
+}
+
+// getPageBuf returns a recycled (or fresh) page buffer.
+func (a *Array) getPageBuf() []byte {
+	if len(a.freePages) == 0 {
+		return make([]byte, a.geo.PageSize)
+	}
+	b := a.freePages[len(a.freePages)-1]
+	a.freePages = a.freePages[:len(a.freePages)-1]
+	return b
 }
 
 func (a *Array) checkAddr(p PageAddr) error {
@@ -257,12 +275,14 @@ func (a *Array) Program(p *sim.Proc, addr PageAddr, data []byte, done func(error
 		return
 	}
 	blk.nextPage++
-	buf := append([]byte(nil), data...)
+	buf := a.getPageBuf()
+	copy(buf, data)
+	pi := a.pageIndex(addr)
 	start := a.env.Now()
 	a.buses[addr.Channel].Transfer(p, a.geo.PageSize)
 	a.progs++
 	a.occupyDie(addr.Channel, addr.Way, a.timing.TProg, func() {
-		a.data[addr] = buf
+		a.data[pi] = buf
 		a.mProgLat.Since(start)
 		done(nil)
 	})
@@ -275,8 +295,8 @@ func (a *Array) Read(addr PageAddr, done func([]byte, error)) {
 		done(nil, err)
 		return
 	}
-	data, ok := a.data[addr]
-	if !ok {
+	data := a.data[a.pageIndex(addr)]
+	if data == nil {
 		done(nil, ErrUnwritten)
 		return
 	}
@@ -314,8 +334,12 @@ func (a *Array) Erase(b BlockAddr, done func(error)) {
 		a.mEraseLat.Since(start)
 		blk.nextPage = 0
 		blk.erases++
+		base := a.blockIndex(b) * a.geo.PagesPerBlock
 		for page := 0; page < a.geo.PagesPerBlock; page++ {
-			delete(a.data, PageAddr{b.Channel, b.Way, b.Block, page})
+			if buf := a.data[base+page]; buf != nil {
+				a.freePages = append(a.freePages, buf)
+				a.data[base+page] = nil
+			}
 		}
 		done(nil)
 	})
@@ -324,8 +348,8 @@ func (a *Array) Erase(b BlockAddr, done func(error)) {
 // PeekPage returns the stored contents of a page without simulation cost
 // (used by recovery scans and tests). ok is false for unwritten pages.
 func (a *Array) PeekPage(addr PageAddr) (data []byte, ok bool) {
-	d, ok := a.data[addr]
-	return d, ok
+	d := a.data[a.pageIndex(addr)]
+	return d, d != nil
 }
 
 // EraseCount returns how many times a block has been erased (wear).

@@ -30,9 +30,61 @@ type Bridge struct {
 	hops int
 	name string
 
+	// pendq holds TLP chunks in flight on the link. Link completions fire
+	// in send order (serialization is monotone, latency constant), so every
+	// completion delivers the oldest pending chunk via the one bound
+	// deliver func — no per-chunk closure, and payload buffers recycle
+	// through bufs.
+	pendq   []ntbDelivery
+	pendPos int
+	deliver func()
+	bufs    [][]byte
+
 	// metrics (ntb/<name>/...)
 	mChunks  *obs.Counter
 	mDropped *obs.Counter
+}
+
+type ntbDelivery struct {
+	target pcie.Target
+	dst    int64
+	buf    []byte
+	done   func()
+}
+
+// getBuf returns a pooled chunk buffer of length n.
+func (b *Bridge) getBuf(n int) []byte {
+	for len(b.bufs) > 0 {
+		buf := b.bufs[len(b.bufs)-1]
+		b.bufs = b.bufs[:len(b.bufs)-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]byte, n, pcie.MaxPayload)
+}
+
+// pend queues a chunk for in-order delivery by the next completion.
+func (b *Bridge) pend(target pcie.Target, dst int64, buf []byte, done func()) {
+	if b.pendPos > 0 && b.pendPos == len(b.pendq) {
+		b.pendq = b.pendq[:0]
+		b.pendPos = 0
+	}
+	b.pendq = append(b.pendq, ntbDelivery{target: target, dst: dst, buf: buf, done: done})
+}
+
+// deliverNext lands the oldest pending chunk at its remote target
+// (scheduler context, link completion order) and recycles the buffer.
+// The target must copy: the buffer is reused for later chunks.
+func (b *Bridge) deliverNext() {
+	d := b.pendq[b.pendPos]
+	b.pendq[b.pendPos] = ntbDelivery{}
+	b.pendPos++
+	d.target.MemWrite(d.dst, d.buf)
+	b.bufs = append(b.bufs, d.buf)
+	if d.done != nil {
+		d.done()
+	}
 }
 
 // NewBridge creates a bridge with the given bandwidth and per-hop latency
@@ -47,6 +99,7 @@ func NewBridge(env *sim.Env, name string, bandwidth float64, hopLatency time.Dur
 		hops: hops,
 		name: name,
 	}
+	b.deliver = b.deliverNext
 	sc := obs.For(env).Scope("ntb/" + name)
 	b.mChunks = sc.Counter("chunks")
 	b.mDropped = sc.Counter("dropped")
@@ -85,45 +138,49 @@ func (b *Bridge) NewWindow(target pcie.Target, base int64) *Window {
 // The caller is not blocked (a hardware mirror engine feeds the wire);
 // done, if non-nil, runs in scheduler context when the last packet arrives.
 func (w *Window) Write(off int64, data []byte, done func()) {
-	buf := append([]byte(nil), data...)
-	for len(buf) > 0 {
+	b := w.bridge
+	for len(data) > 0 {
 		n := pcie.MaxPayload
-		if n > len(buf) {
-			n = len(buf)
+		if n > len(data) {
+			n = len(data)
 		}
-		chunk := buf[:n]
-		buf = buf[n:]
 		dst := w.base + off
 		off += int64(n)
-		last := len(buf) == 0
+		last := n == len(data)
+		cb := done
+		if !last {
+			cb = nil
+		}
 		// Fault plan: the ntb.deliver point can drop or delay one TLP
 		// chunk on the fabric. A dropped final chunk also swallows the
 		// done callback — exactly the silence a real lost TLP causes;
 		// higher layers must recover by timeout (the transport's repair
 		// process does).
-		w.bridge.mChunks.Inc()
-		switch d := fault.CheckEnv(w.bridge.env, fault.NTBDeliver, w.bridge.name, 1); d.Act {
+		b.mChunks.Inc()
+		switch d := fault.CheckEnv(b.env, fault.NTBDeliver, b.name, 1); d.Act {
 		case fault.ActionDrop, fault.ActionFail:
-			w.bridge.mDropped.Inc()
-			continue
+			b.mDropped.Inc()
 		case fault.ActionDelay:
+			// Delayed chunks bypass the in-order pendq (their Send is
+			// issued when the timer fires, interleaving with later
+			// traffic) and carry a private copy the closure owns.
+			chunk := append([]byte(nil), data[:n]...)
 			delay := d.Dur
-			w.bridge.env.After(delay, func() {
-				w.bridge.link.Send(pcie.WireBytes(n), func() {
+			b.env.After(delay, func() {
+				b.link.Send(pcie.WireBytes(n), func() {
 					w.target.MemWrite(dst, chunk)
-					if last && done != nil {
-						done()
+					if cb != nil {
+						cb()
 					}
 				})
 			})
 		default:
-			w.bridge.link.Send(pcie.WireBytes(n), func() {
-				w.target.MemWrite(dst, chunk)
-				if last && done != nil {
-					done()
-				}
-			})
+			buf := b.getBuf(n)
+			copy(buf, data[:n])
+			b.pend(w.target, dst, buf, cb)
+			b.link.Send(pcie.WireBytes(n), b.deliver)
 		}
+		data = data[n:]
 	}
 }
 
@@ -132,15 +189,12 @@ func (w *Window) Write(off int64, data []byte, done func()) {
 // adapters provide for tiny control messages (used for shadow-counter
 // updates, whose cost the paper quantifies in Fig 13).
 func (w *Window) WriteRaw(off int64, data []byte, wireBytes int, done func()) {
-	buf := append([]byte(nil), data...)
-	dst := w.base + off
-	w.bridge.mChunks.Inc()
-	w.bridge.link.Send(wireBytes, func() {
-		w.target.MemWrite(dst, buf)
-		if done != nil {
-			done()
-		}
-	})
+	b := w.bridge
+	buf := b.getBuf(len(data))
+	copy(buf, data)
+	b.mChunks.Inc()
+	b.pend(w.target, w.base+off, buf, done)
+	b.link.Send(wireBytes, b.deliver)
 }
 
 // WriteBlocking forwards data and blocks the calling process until the last

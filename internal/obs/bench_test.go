@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+
+	"xssd/internal/sim"
+)
+
+// BenchmarkObsCounterAdd measures the hot-path instrument update: one nil
+// check plus one int64 add, always-on in the data plane.
+func BenchmarkObsCounterAdd(b *testing.B) {
+	env := sim.NewEnv(1)
+	c := For(env).Counter("bench/counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatalf("counter = %d, want %d", c.Value(), b.N)
+	}
+}
+
+// BenchmarkObsHistogramObserve measures the latency-series update.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	env := sim.NewEnv(1)
+	h := For(env).Histogram("bench/hist")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// TestCounterAddZeroAlloc locks in that instrument updates never allocate:
+// they run inside the simulator's hot paths.
+func TestCounterAddZeroAlloc(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := For(env).Counter("zero/counter")
+	if allocs := testing.AllocsPerRun(1000, func() { c.Add(1) }); allocs != 0 {
+		t.Fatalf("Counter.Add allocates %.1f objects per call, want 0", allocs)
+	}
+	h := For(env).Histogram("zero/hist")
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(42) }); allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -54,6 +54,52 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFns   map[string]func() int64
 	histograms map[string]*Histogram
+
+	// Instruments are carved from fixed-size slabs instead of allocated
+	// one by one: hot counters end up adjacent in memory, and registration
+	// stops being one heap object per series. Slab elements never move, so
+	// handed-out pointers stay stable for the registry's lifetime.
+	counterSlab *[counterSlabSize]Counter
+	counterUsed int
+	gaugeSlab   *[counterSlabSize]Gauge
+	gaugeUsed   int
+	histSlab    *[histSlabSize]Histogram
+	histUsed    int
+}
+
+const (
+	counterSlabSize = 64
+	histSlabSize    = 8
+)
+
+func (r *Registry) newCounter() *Counter {
+	if r.counterSlab == nil || r.counterUsed == len(r.counterSlab) {
+		r.counterSlab = new([counterSlabSize]Counter)
+		r.counterUsed = 0
+	}
+	c := &r.counterSlab[r.counterUsed]
+	r.counterUsed++
+	return c
+}
+
+func (r *Registry) newGauge() *Gauge {
+	if r.gaugeSlab == nil || r.gaugeUsed == len(r.gaugeSlab) {
+		r.gaugeSlab = new([counterSlabSize]Gauge)
+		r.gaugeUsed = 0
+	}
+	g := &r.gaugeSlab[r.gaugeUsed]
+	r.gaugeUsed++
+	return g
+}
+
+func (r *Registry) newHistogram() *Histogram {
+	if r.histSlab == nil || r.histUsed == len(r.histSlab) {
+		r.histSlab = new([histSlabSize]Histogram)
+		r.histUsed = 0
+	}
+	h := &r.histSlab[r.histUsed]
+	r.histUsed++
+	return h
 }
 
 // Env returns the environment whose virtual clock drives the registry.
@@ -64,7 +110,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
-	c := &Counter{}
+	c := r.newCounter()
 	r.counters[name] = c
 	return c
 }
@@ -74,7 +120,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
-	g := &Gauge{}
+	g := r.newGauge()
 	r.gauges[name] = g
 	return g
 }
@@ -95,7 +141,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if h, ok := r.histograms[name]; ok {
 		return h
 	}
-	h := &Histogram{env: r.env, min: int64(^uint64(0) >> 1)}
+	h := r.newHistogram()
+	h.env = r.env
+	h.min = int64(^uint64(0) >> 1)
 	r.histograms[name] = h
 	return h
 }

@@ -68,7 +68,9 @@ func WireBytes(n int) int { return HeaderBytes + n }
 
 // Target is the device-side sink of a mapped region. Handlers run in
 // scheduler context at packet-arrival time and must not block; they should
-// enqueue work and signal device processes.
+// enqueue work and signal device processes. MemWrite's data slice is
+// owned by the region and recycled after the call returns — a target that
+// needs the bytes later must copy them out.
 type Target interface {
 	// MemWrite delivers a posted write of data at region offset off.
 	MemWrite(off int64, data []byte)
@@ -76,18 +78,72 @@ type Target interface {
 	MemRead(off int64, n int) []byte
 }
 
+// delivery is one in-flight posted write: payload plus completion hook.
+type delivery struct {
+	off  int64
+	buf  []byte
+	done func()
+}
+
 // Region is a device memory window (BAR mapping) reachable from a host
 // through one link. The host accesses it via an MMIO handle (see NewMMIO).
+//
+// Posted writes ride the link's FIFO completion order, so in-flight
+// payloads live in a per-region FIFO and every completion fires the same
+// pre-bound deliver callback — no per-TLP closure or buffer allocation.
 type Region struct {
 	env    *sim.Env
 	link   *sim.Link
 	target Target
 	size   int64
+
+	pendq   []delivery
+	pendPos int      // pendq[:pendPos] already delivered
+	deliver func()   // method value, bound once
+	bufs    [][]byte // free payload buffers, cap MaxPayload each
 }
 
 // NewRegion maps target behind link as a region of the given size.
 func NewRegion(env *sim.Env, link *sim.Link, target Target, size int64) *Region {
-	return &Region{env: env, link: link, target: target, size: size}
+	r := &Region{env: env, link: link, target: target, size: size}
+	r.deliver = r.deliverNext
+	return r
+}
+
+// getBuf returns a pooled payload buffer of length n (n ≤ MaxPayload).
+func (r *Region) getBuf(n int) []byte {
+	if len(r.bufs) == 0 {
+		return make([]byte, n, MaxPayload)
+	}
+	b := r.bufs[len(r.bufs)-1]
+	r.bufs = r.bufs[:len(r.bufs)-1]
+	return b[:n]
+}
+
+// putBuf recycles a payload buffer obtained from getBuf.
+func (r *Region) putBuf(b []byte) { r.bufs = append(r.bufs, b) }
+
+// pend enqueues an in-flight posted write, reusing the queue's backing
+// array once the delivered prefix has been fully consumed.
+func (r *Region) pend(off int64, buf []byte, done func()) {
+	if r.pendPos > 0 && r.pendPos == len(r.pendq) {
+		r.pendq = r.pendq[:0]
+		r.pendPos = 0
+	}
+	r.pendq = append(r.pendq, delivery{off: off, buf: buf, done: done})
+}
+
+// deliverNext completes the oldest in-flight posted write: hand the
+// payload to the target, recycle the buffer, run the completion hook.
+func (r *Region) deliverNext() {
+	d := r.pendq[r.pendPos]
+	r.pendq[r.pendPos] = delivery{}
+	r.pendPos++
+	r.target.MemWrite(d.off, d.buf)
+	r.putBuf(d.buf)
+	if d.done != nil {
+		d.done()
+	}
 }
 
 // Size returns the region size in bytes.
@@ -103,9 +159,10 @@ func (r *Region) write(p *sim.Proc, off int64, data []byte) {
 	if off < 0 || off+int64(len(data)) > r.size {
 		panic(fmt.Sprintf("pcie: write [%d,%d) outside region of %d", off, off+int64(len(data)), r.size))
 	}
-	buf := make([]byte, len(data))
+	buf := r.getBuf(len(data))
 	copy(buf, data)
-	r.link.Send(WireBytes(len(buf)), func() { r.target.MemWrite(off, buf) })
+	r.pend(off, buf, nil)
+	r.link.Send(WireBytes(len(buf)), r.deliver)
 	// The store occupies the CPU until it is accepted on the wire: model
 	// by blocking for this packet's serialization time (not its delivery).
 	p.Sleep(time.Duration(float64(WireBytes(len(data))) / r.link.BytesPerSec() * 1e9))
@@ -119,24 +176,21 @@ func (r *Region) writeBlocking(p *sim.Proc, off int64, data []byte) {
 	if off < 0 || off+int64(len(data)) > r.size {
 		panic(fmt.Sprintf("pcie: write [%d,%d) outside region of %d", off, off+int64(len(data)), r.size))
 	}
-	buf := make([]byte, len(data))
+	buf := r.getBuf(len(data))
 	copy(buf, data)
 	r.link.Transfer(p, WireBytes(len(buf)))
 	r.target.MemWrite(off, buf)
+	r.putBuf(buf)
 }
 
 // writeAsync sends a posted write without blocking the caller beyond
 // scheduling; used for device-to-device mirroring where a hardware engine,
 // not a CPU, feeds the wire.
 func (r *Region) writeAsync(off int64, data []byte, done func()) {
-	buf := make([]byte, len(data))
+	buf := r.getBuf(len(data))
 	copy(buf, data)
-	r.link.Send(WireBytes(len(buf)), func() {
-		r.target.MemWrite(off, buf)
-		if done != nil {
-			done()
-		}
-	})
+	r.pend(off, buf, done)
+	r.link.Send(WireBytes(len(buf)), r.deliver)
 }
 
 // Read performs a non-posted read: a request TLP travels to the device,

@@ -94,9 +94,10 @@ func (r *Ring) Write(off int64, data []byte) error {
 	if end-r.head > r.capacity {
 		return ErrFull
 	}
-	for i, b := range data {
-		r.data[(off+int64(i))%r.capacity] = b
-	}
+	// At most two physical segments: [pos, capacity) then the wrap.
+	pos := off % r.capacity
+	n := copy(r.data[pos:], data)
+	copy(r.data, data[n:])
 	r.merge(Interval{off, end})
 	return nil
 }
@@ -135,12 +136,20 @@ func (r *Ring) merge(iv Interval) {
 	}
 	r.pending = out
 
-	// Advance the frontier while the first interval touches it.
-	for len(r.pending) > 0 && r.pending[0].Start <= r.frontier {
-		if r.pending[0].End > r.frontier {
-			r.frontier = r.pending[0].End
+	// Advance the frontier while the first interval touches it. Pop by
+	// copying down rather than re-slicing the head: slicing would erode
+	// the backing array's capacity and make the insert above reallocate
+	// on every merge.
+	k := 0
+	for k < len(r.pending) && r.pending[k].Start <= r.frontier {
+		if r.pending[k].End > r.frontier {
+			r.frontier = r.pending[k].End
 		}
-		r.pending = r.pending[1:]
+		k++
+	}
+	if k > 0 {
+		n := copy(r.pending, r.pending[k:])
+		r.pending = r.pending[:n]
 	}
 }
 
@@ -157,14 +166,24 @@ func (r *Ring) Append(data []byte) (int64, error) {
 // Read copies n bytes starting at stream offset off into a fresh slice.
 // The range must lie inside the persisted window [head, frontier).
 func (r *Ring) Read(off int64, n int) ([]byte, error) {
-	if off < r.head || off+int64(n) > r.frontier {
-		return nil, ErrOutOfRange
-	}
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = r.data[(off+int64(i))%r.capacity]
+	if err := r.ReadInto(out, off); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ReadInto copies len(dst) bytes starting at stream offset off into dst,
+// the allocation-free variant of Read for hot consumers (the destage
+// pipeline reads every CMB byte back through here).
+func (r *Ring) ReadInto(dst []byte, off int64) error {
+	if off < r.head || off+int64(len(dst)) > r.frontier {
+		return ErrOutOfRange
+	}
+	pos := off % r.capacity
+	n := copy(dst, r.data[pos:])
+	copy(dst[n:], r.data)
+	return nil
 }
 
 // Release consumes n bytes from the head (they have been destaged or

@@ -87,6 +87,42 @@ type Request struct {
 	enqueued time.Duration
 }
 
+// reqQueue is a FIFO with head-index consumption: popping the head is a
+// pointer bump, not a memmove, and the backing array is reused once
+// drained.
+type reqQueue struct {
+	q   []*Request
+	pos int // q[:pos] already dispatched
+}
+
+func (rq *reqQueue) push(r *Request) {
+	if rq.pos > 0 && rq.pos == len(rq.q) {
+		rq.q = rq.q[:0]
+		rq.pos = 0
+	}
+	rq.q = append(rq.q, r)
+}
+
+// items returns the waiting requests in FIFO order.
+func (rq *reqQueue) items() []*Request { return rq.q[rq.pos:] }
+
+// removeAt removes the i-th waiting request (an index into items()).
+func (rq *reqQueue) removeAt(i int) *Request {
+	idx := rq.pos + i
+	r := rq.q[idx]
+	if i == 0 {
+		rq.q[idx] = nil
+		rq.pos++
+	} else {
+		copy(rq.q[idx:], rq.q[idx+1:])
+		rq.q[len(rq.q)-1] = nil
+		rq.q = rq.q[:len(rq.q)-1]
+	}
+	return r
+}
+
+func (rq *reqQueue) depth() int { return len(rq.q) - rq.pos }
+
 // Scheduler dispatches requests onto a nand.Array, one dispatcher process
 // per channel.
 type Scheduler struct {
@@ -94,7 +130,7 @@ type Scheduler struct {
 	array  *nand.Array
 	policy Policy
 
-	queues [][3][]*Request // [channel][source class] FIFO
+	queues [][3]reqQueue // [channel][source class] FIFO
 	signal *sim.Signal
 
 	// stats
@@ -127,7 +163,7 @@ func New(env *sim.Env, array *nand.Array, policy Policy) *Scheduler {
 		env:    env,
 		array:  array,
 		policy: policy,
-		queues: make([][3][]*Request, array.Geometry().Channels),
+		queues: make([][3]reqQueue, array.Geometry().Channels),
 		signal: env.NewSignal(),
 	}
 	// Forward die-completion events into the scheduler's wake-up signal so
@@ -155,14 +191,14 @@ func (s *Scheduler) SetPolicy(p Policy) { s.policy = p }
 // Submit queues a request for dispatch.
 func (s *Scheduler) Submit(r *Request) {
 	r.enqueued = s.env.Now()
-	s.queues[r.Addr.Channel][r.Source] = append(s.queues[r.Addr.Channel][r.Source], r)
+	s.queues[r.Addr.Channel][r.Source].push(r)
 	s.signal.Broadcast()
 }
 
 // QueueDepth returns the number of requests waiting on a channel.
 func (s *Scheduler) QueueDepth(ch int) int {
 	q := &s.queues[ch]
-	return len(q[0]) + len(q[1]) + len(q[2])
+	return q[0].depth() + q[1].depth() + q[2].depth()
 }
 
 // classOrder returns source classes in dispatch-priority order for the
@@ -189,7 +225,7 @@ func (s *Scheduler) pick(ch int) *Request {
 		bestClass, bestIdx := -1, -1
 		var bestAt time.Duration
 		for c := 0; c < 3; c++ {
-			for i, r := range q[c] {
+			for i, r := range q[c].items() {
 				if s.array.DieBusy(r.Addr.Channel, r.Addr.Way) {
 					continue
 				}
@@ -202,17 +238,14 @@ func (s *Scheduler) pick(ch int) *Request {
 		if bestClass == -1 {
 			return nil
 		}
-		r := q[bestClass][bestIdx]
-		q[bestClass] = append(q[bestClass][:bestIdx], q[bestClass][bestIdx+1:]...)
-		return r
+		return q[bestClass].removeAt(bestIdx)
 	}
 	for _, class := range s.classOrder() {
-		for i, r := range q[class] {
+		for i, r := range q[class].items() {
 			if s.array.DieBusy(r.Addr.Channel, r.Addr.Way) {
 				continue
 			}
-			q[class] = append(q[class][:i], q[class][i+1:]...)
-			return r
+			return q[class].removeAt(i)
 		}
 	}
 	return nil

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchmarkEnvScheduleFire measures raw timer throughput: schedule a batch
+// of future callbacks, dispatch them, repeat. This is the engine's inner
+// loop — heap push, pop, fire.
+func BenchmarkEnvScheduleFire(b *testing.B) {
+	env := NewEnv(1)
+	fn := func() {}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			env.After(time.Duration(j+1)*time.Nanosecond, fn)
+		}
+		env.Run()
+	}
+}
+
+// BenchmarkProcYield measures the process handoff: park the worker, run
+// the scheduler, wake the worker — two channel operations per yield.
+func BenchmarkProcYield(b *testing.B) {
+	env := NewEnv(1)
+	env.Go("yielder", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Yield()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Run()
+}
+
+// TestAfterZeroAlloc locks in the de-allocated scheduler: once the event
+// heap has grown, scheduling a future callback must not allocate.
+func TestAfterZeroAlloc(t *testing.T) {
+	env := NewEnv(1)
+	fn := func() {}
+	// Pre-grow the heap past anything AllocsPerRun will need.
+	for i := 0; i < 1024; i++ {
+		env.After(time.Duration(i+1)*time.Nanosecond, fn)
+	}
+	env.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		env.After(time.Microsecond, fn)
+	})
+	env.Run()
+	if allocs != 0 {
+		t.Fatalf("Env.After allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestCloseReleasesParkedProcs is the goroutine-leak regression test: a
+// truncated RunUntil leaves processes parked mid-loop; Close must release
+// every one of them. Before Close existed, each abandoned Env leaked its
+// process goroutines forever.
+func TestCloseReleasesParkedProcs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := NewEnv(1)
+	for i := 0; i < 8; i++ {
+		env.Go("looper", func(p *Proc) {
+			for {
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	env.RunUntil(10 * time.Microsecond) // truncated: all 8 still live
+	env.Close()
+	// Close has received every process's exit acknowledgement; the
+	// goroutines themselves unwind an instant later.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines after Close = %d, want <= %d (leaked parked procs)", g, before)
+	}
+}
+
+// TestCloseWithDeferredSleep verifies that a process whose deferred
+// cleanup itself calls Sleep still unwinds under Close instead of
+// deadlocking the release handshake.
+func TestCloseWithDeferredSleep(t *testing.T) {
+	env := NewEnv(1)
+	env.Go("cleanup", func(p *Proc) {
+		defer func() {
+			recover()
+			p.Sleep(time.Microsecond)
+		}()
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	env.RunUntil(5 * time.Microsecond)
+	env.Close() // must return; a hang here fails the test by timeout
+}

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -20,15 +19,31 @@ import (
 // Env is a simulation environment: a virtual clock plus an event queue.
 // Create one with NewEnv, add processes with Go, and drive it with Run,
 // RunFor or RunUntil.
+//
+// The event queue is split in two. Events due strictly after the current
+// instant live in a typed binary min-heap ordered by (time, seq). Events
+// due now — Yield, After(0), Signal wake-ups — go to a plain FIFO slice
+// instead, skipping the heap entirely; both containers reuse their backing
+// arrays, so steady-state scheduling does not allocate. Dispatching heap
+// events due at the current instant before FIFO events preserves the
+// engine's total (time, seq) order: every heap entry due at time t was
+// scheduled before the clock reached t, so it always carries a smaller seq
+// than any same-instant FIFO entry (which was enqueued at t). See
+// DESIGN.md §9.
 type Env struct {
 	now     int64 // virtual time in nanoseconds
 	seq     int64 // tie-breaker for events at the same instant
-	pq      eventHeap
+	events  int64 // dispatched events, for throughput accounting
+	heap    []event
+	nowq    []event // FIFO of events due at the current instant
+	nowqPos int     // nowq[:nowqPos] already dispatched
 	rng     *rand.Rand
-	yield   chan struct{} // running process -> scheduler handshake
+	parked  chan struct{} // running process -> scheduler baton (cap 1)
 	live    int           // processes started and not yet finished
 	blocked int           // processes waiting on a Signal (no pending event)
 	running bool
+	closed  bool
+	procs   []*Proc // every process not yet finished (see Close)
 
 	attachments map[string]interface{} // per-env services (see Attach)
 }
@@ -40,23 +55,47 @@ type event struct {
 	fn   func() // callback to invoke inline
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// heapPush inserts ev into the time-ordered heap (sift-up, no boxing).
+func (e *Env) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].at < h[i].at || (h[parent].at == h[i].at && h[parent].seq < h[i].seq) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	e.heap = h
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// heapPop removes and returns the earliest (time, seq) heap event.
+func (e *Env) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/proc references
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && (h[l].at < h[min].at || (h[l].at == h[min].at && h[l].seq < h[min].seq)) {
+			min = l
+		}
+		if r < n && (h[r].at < h[min].at || (h[r].at == h[min].at && h[r].seq < h[min].seq)) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	e.heap = h
+	return top
 }
 
 // NewEnv returns an empty environment whose random source is seeded with
@@ -64,13 +103,18 @@ func (h *eventHeap) Pop() interface{} {
 // produce identical traces.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		rng:   rand.New(rand.NewSource(seed)),
-		yield: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}, 1),
 	}
 }
 
 // Now returns the current virtual time.
 func (e *Env) Now() time.Duration { return time.Duration(e.now) }
+
+// Events returns the number of events dispatched so far — process resumes
+// plus scheduler callbacks. It is the denominator-free workload measure the
+// perf suite divides by wall time to get events/second.
+func (e *Env) Events() int64 { return e.events }
 
 // Rand returns the environment's deterministic random source. It must only
 // be used from process context (calls are serialized by the scheduler).
@@ -94,11 +138,19 @@ func (e *Env) Attach(key string, v interface{}) {
 func (e *Env) Attachment(key string) interface{} { return e.attachments[key] }
 
 func (e *Env) schedule(at int64, p *Proc, fn func()) {
-	if at < e.now {
-		at = e.now
-	}
 	e.seq++
-	heap.Push(&e.pq, event{at: at, seq: e.seq, proc: p, fn: fn})
+	if at <= e.now {
+		// Due at the current instant: FIFO order is seq order, no heap
+		// traffic. Reuse the backing array once the dispatched prefix is
+		// fully consumed.
+		if e.nowqPos > 0 && e.nowqPos == len(e.nowq) {
+			e.nowq = e.nowq[:0]
+			e.nowqPos = 0
+		}
+		e.nowq = append(e.nowq, event{at: e.now, seq: e.seq, proc: p, fn: fn})
+		return
+	}
+	e.heapPush(event{at: at, seq: e.seq, proc: p, fn: fn})
 }
 
 // At schedules fn to run at absolute virtual time t (clamped to now).
@@ -112,9 +164,10 @@ func (e *Env) After(d time.Duration, fn func()) { e.schedule(e.now+int64(d), nil
 // Proc is a simulated process. All its methods must be called from within
 // the process's own function.
 type Proc struct {
-	env    *Env
-	name   string
-	resume chan struct{}
+	env  *Env
+	name string
+	park chan struct{} // scheduler -> process baton (cap 1)
+	done bool
 }
 
 // Name returns the process name given to Go.
@@ -126,24 +179,98 @@ func (p *Proc) Env() *Env { return p.env }
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.env.Now() }
 
+// procKilled unwinds a process goroutine released by Env.Close; the
+// wrapper in Go recovers it.
+type procKilledT struct{}
+
+var procKilled any = procKilledT{}
+
 // Go starts fn as a new simulated process at the current virtual time.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	if e.closed {
+		panic("sim: Go on closed Env")
+	}
+	p := &Proc{env: e, name: name, park: make(chan struct{}, 1)}
 	e.live++
+	e.addProc(p)
 	go func() {
-		<-p.resume // wait to be scheduled for the first time
+		defer func() {
+			if r := recover(); r != nil && r != procKilled {
+				panic(r)
+			}
+			p.done = true
+			e.live--
+			e.parked <- struct{}{}
+		}()
+		<-p.park // wait to be scheduled for the first time
+		if e.closed {
+			return
+		}
 		fn(p)
-		e.live--
-		e.yield <- struct{}{}
 	}()
 	e.schedule(e.now, p, nil)
 	return p
 }
 
-// yieldToScheduler hands control back and blocks until resumed.
+// addProc registers p for Close, compacting finished entries when the
+// registry has grown well past the live population (short-lived processes
+// — one per destaged page, for example — would otherwise pin the slice).
+func (e *Env) addProc(p *Proc) {
+	if len(e.procs) >= 64 && len(e.procs) >= 2*e.live {
+		kept := e.procs[:0]
+		for _, q := range e.procs {
+			if !q.done {
+				kept = append(kept, q)
+			}
+		}
+		for i := len(kept); i < len(e.procs); i++ {
+			e.procs[i] = nil
+		}
+		e.procs = kept
+	}
+	e.procs = append(e.procs, p)
+}
+
+// yieldToScheduler hands control back and blocks until resumed. The two
+// batons have capacity 1, so neither side ever blocks sending — each
+// handoff costs one park and one wake, not two of each.
 func (p *Proc) yieldToScheduler() {
-	p.env.yield <- struct{}{}
-	<-p.resume
+	e := p.env
+	if e.closed {
+		panic(procKilled)
+	}
+	e.parked <- struct{}{}
+	<-p.park
+	if e.closed {
+		panic(procKilled)
+	}
+}
+
+// Close releases every parked process so its goroutine exits, and drops
+// all queued events. Without it, an Env abandoned after a truncated
+// RunUntil leaks one goroutine per sleeping or Signal-blocked process for
+// the life of the program. Close is terminal: the Env must not be used
+// afterwards. It must be called from the driving test or main goroutine,
+// never from process context.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	if e.running {
+		panic("sim: Close from process context")
+	}
+	e.closed = true
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.park <- struct{}{} // wake; the process sees closed and unwinds
+		<-e.parked           // its exit ack
+	}
+	e.procs = nil
+	e.heap = nil
+	e.nowq = nil
+	e.nowqPos = 0
 }
 
 // Sleep suspends the process for d of virtual time.
@@ -217,25 +344,50 @@ func (e *Env) run(until int64) int {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
+	if e.closed {
+		panic("sim: Run on closed Env")
+	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.pq) > 0 {
-		if until >= 0 && e.pq[0].at > until {
-			break
-		}
-		ev := heap.Pop(&e.pq).(event)
-		if ev.at > e.now {
+	for {
+		// Pick the next event in global (time, seq) order: heap events due
+		// at or before now always precede the now-FIFO (they carry smaller
+		// seqs — see the Env comment), and only when both are empty does
+		// time advance to the heap's next instant.
+		var ev event
+		switch {
+		case len(e.heap) > 0 && e.heap[0].at <= e.now:
+			if until >= 0 && e.heap[0].at > until {
+				goto out
+			}
+			ev = e.heapPop()
+		case e.nowqPos < len(e.nowq):
+			if until >= 0 && e.nowq[e.nowqPos].at > until {
+				goto out
+			}
+			ev = e.nowq[e.nowqPos]
+			e.nowq[e.nowqPos] = event{} // drop fn/proc references
+			e.nowqPos++
+		case len(e.heap) > 0:
+			if until >= 0 && e.heap[0].at > until {
+				goto out
+			}
+			ev = e.heapPop()
 			e.now = ev.at
+		default:
+			goto out
 		}
+		e.events++
 		if ev.fn != nil {
 			ev.fn()
 			continue
 		}
 		if ev.proc != nil {
-			ev.proc.resume <- struct{}{}
-			<-e.yield
+			ev.proc.park <- struct{}{}
+			<-e.parked
 		}
 	}
+out:
 	if until > e.now {
 		e.now = until
 	}

@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"xssd/internal/db"
@@ -59,23 +60,77 @@ func SpecConfig() Config {
 
 // --- key construction -------------------------------------------------------
 
-// WKey..HKey build the composite row keys.
-func WKey(w int) string       { return fmt.Sprintf("w:%d", w) }
-func DKey(w, d int) string    { return fmt.Sprintf("d:%d:%d", w, d) }
-func CKey(w, d, c int) string { return fmt.Sprintf("c:%d:%d:%d", w, d, c) }
-func CIdxKey(w, d int, last string) string {
-	return fmt.Sprintf("cn:%d:%d:%s", w, d, last)
+// Keys are built with strconv-style appends, not fmt: key construction
+// runs once or more per row access and Sprintf was a top profile entry
+// in the Fig 9 workload. Each builder produces the exact byte sequence
+// the old Sprintf form did.
+
+func key2(prefix string, a int64) string {
+	b := make([]byte, 0, 24)
+	b = append(b, prefix...)
+	b = strconv.AppendInt(b, a, 10)
+	return string(b)
 }
-func IKey(i int) string              { return fmt.Sprintf("i:%d", i) }
-func SKey(w, i int) string           { return fmt.Sprintf("s:%d:%d", w, i) }
-func OKey(w, d, o int) string        { return fmt.Sprintf("o:%d:%d:%d", w, d, o) }
-func OLKey(w, d, o, n int) string    { return fmt.Sprintf("ol:%d:%d:%d:%d", w, d, o, n) }
-func NOKey(w, d, o int) string       { return fmt.Sprintf("no:%d:%d:%d", w, d, o) }
-func HKey(w, d int, tx int64) string { return fmt.Sprintf("h:%d:%d:%d", w, d, tx) }
+
+func key3(prefix string, a, c int64) string {
+	b := make([]byte, 0, 24)
+	b = append(b, prefix...)
+	b = strconv.AppendInt(b, a, 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, c, 10)
+	return string(b)
+}
+
+func key4(prefix string, a, c, d int64) string {
+	b := make([]byte, 0, 32)
+	b = append(b, prefix...)
+	b = strconv.AppendInt(b, a, 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, c, 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, d, 10)
+	return string(b)
+}
+
+// WKey..HKey build the composite row keys.
+func WKey(w int) string       { return key2("w:", int64(w)) }
+func DKey(w, d int) string    { return key3("d:", int64(w), int64(d)) }
+func CKey(w, d, c int) string { return key4("c:", int64(w), int64(d), int64(c)) }
+func CIdxKey(w, d int, last string) string {
+	b := make([]byte, 0, 40)
+	b = append(b, "cn:"...)
+	b = strconv.AppendInt(b, int64(w), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(d), 10)
+	b = append(b, ':')
+	b = append(b, last...)
+	return string(b)
+}
+func IKey(i int) string       { return key2("i:", int64(i)) }
+func SKey(w, i int) string    { return key3("s:", int64(w), int64(i)) }
+func OKey(w, d, o int) string { return key4("o:", int64(w), int64(d), int64(o)) }
+func OLKey(w, d, o, n int) string {
+	b := make([]byte, 0, 40)
+	b = append(b, "ol:"...)
+	b = strconv.AppendInt(b, int64(w), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(d), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(o), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(n), 10)
+	return string(b)
+}
+func NOKey(w, d, o int) string       { return key4("no:", int64(w), int64(d), int64(o)) }
+func HKey(w, d int, tx int64) string { return key4("h:", int64(w), int64(d), tx) }
 
 // --- binary codec -----------------------------------------------------------
 
 type enc struct{ b []byte }
+
+// newEnc returns an encoder whose buffer is pre-sized for the row about
+// to be written, so the append chain never reallocates on the hot path.
+func newEnc(capHint int) enc { return enc{b: make([]byte, 0, capHint)} }
 
 func (e *enc) u(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
 func (e *enc) i(v int64)  { e.b = binary.AppendVarint(e.b, v) }
@@ -131,7 +186,7 @@ type Warehouse struct {
 
 // Encode serializes the row.
 func (r Warehouse) Encode() []byte {
-	var e enc
+	e := newEnc(len(r.Name) + 24)
 	e.s(r.Name)
 	e.i(r.Tax)
 	e.i(r.YTD)
@@ -155,7 +210,7 @@ type District struct {
 
 // Encode serializes the row.
 func (r District) Encode() []byte {
-	var e enc
+	e := newEnc(len(r.Name) + 48)
 	e.s(r.Name)
 	e.i(r.Tax)
 	e.i(r.YTD)
@@ -185,7 +240,7 @@ type Customer struct {
 
 // Encode serializes the row.
 func (r Customer) Encode() []byte {
-	var e enc
+	e := newEnc(len(r.First) + len(r.Last) + len(r.Credit) + len(r.Data) + 64)
 	e.s(r.First)
 	e.s(r.Last)
 	e.s(r.Credit)
@@ -217,7 +272,7 @@ type Item struct {
 
 // Encode serializes the row.
 func (r Item) Encode() []byte {
-	var e enc
+	e := newEnc(len(r.Name) + len(r.Data) + 24)
 	e.s(r.Name)
 	e.i(r.Price)
 	e.s(r.Data)
@@ -242,7 +297,7 @@ type Stock struct {
 
 // Encode serializes the row.
 func (r Stock) Encode() []byte {
-	var e enc
+	e := newEnc(len(r.Dist) + len(r.Data) + 48)
 	e.i(r.Qty)
 	e.i(r.YTD)
 	e.i(r.OrderCnt)
@@ -269,7 +324,7 @@ type Order struct {
 
 // Encode serializes the row.
 func (r Order) Encode() []byte {
-	var e enc
+	e := newEnc(48)
 	e.i(r.CID)
 	e.i(r.EntryD)
 	e.i(r.Carrier)
@@ -300,7 +355,7 @@ type OrderLine struct {
 
 // Encode serializes the row.
 func (r OrderLine) Encode() []byte {
-	var e enc
+	e := newEnc(len(r.DistInfo) + 56)
 	e.i(r.IID)
 	e.i(r.SupplyW)
 	e.i(r.Qty)
@@ -326,7 +381,7 @@ type History struct {
 
 // Encode serializes the row.
 func (r History) Encode() []byte {
-	var e enc
+	e := newEnc(len(r.Data) + 32)
 	e.i(r.CID)
 	e.i(r.Amount)
 	e.i(r.Date)
@@ -342,7 +397,7 @@ func DecodeHistory(b []byte) History {
 
 // encodeIDList / decodeIDList back the customer-by-last-name index.
 func encodeIDList(ids []int64) []byte {
-	var e enc
+	e := newEnc(8 + 10*len(ids))
 	e.u(uint64(len(ids)))
 	for _, id := range ids {
 		e.i(id)

@@ -57,11 +57,36 @@ type Client struct {
 	// synchronous tx.Commit.
 	commitFn func(*sim.Proc, *db.Tx) error
 	lastLSN  int64
+
+	// Resolved table handles: every row access in the transaction mix
+	// goes through these, skipping the engine's per-access name lookup.
+	tabs tableSet
+}
+
+type tableSet struct {
+	warehouse, district, customer, item, stock db.Table
+	order, orderLine, newOrder, history        db.Table
+	custIdx                                    db.Table
+}
+
+func resolveTables(eng *db.Engine) tableSet {
+	return tableSet{
+		warehouse: eng.Table(TWarehouse),
+		district:  eng.Table(TDistrict),
+		customer:  eng.Table(TCustomer),
+		item:      eng.Table(TItem),
+		stock:     eng.Table(TStock),
+		order:     eng.Table(TOrder),
+		orderLine: eng.Table(TOrderLine),
+		newOrder:  eng.Table(TNewOrder),
+		history:   eng.Table(THistory),
+		custIdx:   eng.Table(TCustIdx),
+	}
 }
 
 // NewClient creates a terminal bound to homeWID.
 func NewClient(eng *db.Engine, cfg Config, seed int64, homeWID int) *Client {
-	return &Client{cfg: cfg, eng: eng, rng: rand.New(rand.NewSource(seed)), home: homeWID}
+	return &Client{cfg: cfg, eng: eng, rng: rand.New(rand.NewSource(seed)), home: homeWID, tabs: resolveTables(eng)}
 }
 
 // Counts returns per-type committed counts plus total aborts and retries.
@@ -171,13 +196,13 @@ func (c *Client) newOrder(p *sim.Proc) error {
 	rollback := c.rng.Intn(100) == 0 // 1% pick an unused item id
 
 	tx := c.eng.Begin()
-	wRow, ok := tx.Get(TWarehouse, WKey(w))
+	wRow, ok := tx.GetIn(c.tabs.warehouse, WKey(w))
 	if !ok {
 		tx.Abort()
 		return errors.New("tpcc: missing warehouse")
 	}
 	wh := DecodeWarehouse(wRow)
-	dRow, ok := tx.Get(TDistrict, DKey(w, d))
+	dRow, ok := tx.GetIn(c.tabs.district, DKey(w, d))
 	if !ok {
 		tx.Abort()
 		return errors.New("tpcc: missing district")
@@ -185,9 +210,9 @@ func (c *Client) newOrder(p *sim.Proc) error {
 	dist := DecodeDistrict(dRow)
 	oid := int(dist.NextOID)
 	dist.NextOID++
-	tx.Put(TDistrict, DKey(w, d), dist.Encode())
+	tx.PutOwnedIn(c.tabs.district, DKey(w, d), dist.Encode())
 
-	cRow, ok := tx.Get(TCustomer, CKey(w, d, cid))
+	cRow, ok := tx.GetIn(c.tabs.customer, CKey(w, d, cid))
 	if !ok {
 		tx.Abort()
 		return errors.New("tpcc: missing customer")
@@ -208,13 +233,13 @@ func (c *Client) newOrder(p *sim.Proc) error {
 			}
 			allLocal = false
 		}
-		iRow, ok := tx.Get(TItem, IKey(iid))
+		iRow, ok := tx.GetIn(c.tabs.item, IKey(iid))
 		if !ok {
 			tx.Abort()
 			return ErrRollback // "unused item number" rollback
 		}
 		item := DecodeItem(iRow)
-		sRow, ok := tx.Get(TStock, SKey(supplyW, iid))
+		sRow, ok := tx.GetIn(c.tabs.stock, SKey(supplyW, iid))
 		if !ok {
 			tx.Abort()
 			return errors.New("tpcc: missing stock")
@@ -231,20 +256,20 @@ func (c *Client) newOrder(p *sim.Proc) error {
 		if supplyW != w {
 			stock.RemoteCnt++
 		}
-		tx.Put(TStock, SKey(supplyW, iid), stock.Encode())
+		tx.PutOwnedIn(c.tabs.stock, SKey(supplyW, iid), stock.Encode())
 		amount := qty * item.Price
 		total += amount
-		tx.Put(TOrderLine, OLKey(w, d, oid, ln), OrderLine{
+		tx.PutOwnedIn(c.tabs.orderLine, OLKey(w, d, oid, ln), OrderLine{
 			IID: int64(iid), SupplyW: int64(supplyW), Qty: qty,
 			Amount: amount, DistInfo: stock.Dist,
 		}.Encode())
 	}
 	_ = total * (10000 - cust.Discount) / 10000 * (10000 + wh.Tax + dist.Tax) / 10000
 
-	tx.Put(TOrder, OKey(w, d, oid), Order{
+	tx.PutOwnedIn(c.tabs.order, OKey(w, d, oid), Order{
 		CID: int64(cid), EntryD: int64(p.Now()), OLCnt: int64(olCnt), AllLocal: allLocal,
 	}.Encode())
-	tx.Put(TNewOrder, NOKey(w, d, oid), []byte{1})
+	tx.PutOwnedIn(c.tabs.newOrder, NOKey(w, d, oid), []byte{1})
 	return c.commit(p, tx)
 }
 
@@ -264,30 +289,30 @@ func (c *Client) payment(p *sim.Proc) error {
 	amount := int64(c.rng.Intn(499900) + 100)
 
 	tx := c.eng.Begin()
-	wRow, ok := tx.Get(TWarehouse, WKey(w))
+	wRow, ok := tx.GetIn(c.tabs.warehouse, WKey(w))
 	if !ok {
 		tx.Abort()
 		return errors.New("tpcc: missing warehouse")
 	}
 	wh := DecodeWarehouse(wRow)
 	wh.YTD += amount
-	tx.Put(TWarehouse, WKey(w), wh.Encode())
+	tx.PutOwnedIn(c.tabs.warehouse, WKey(w), wh.Encode())
 
-	dRow, ok := tx.Get(TDistrict, DKey(w, d))
+	dRow, ok := tx.GetIn(c.tabs.district, DKey(w, d))
 	if !ok {
 		tx.Abort()
 		return errors.New("tpcc: missing district")
 	}
 	dist := DecodeDistrict(dRow)
 	dist.YTD += amount
-	tx.Put(TDistrict, DKey(w, d), dist.Encode())
+	tx.PutOwnedIn(c.tabs.district, DKey(w, d), dist.Encode())
 
 	cid, err := c.selectCustomer(tx, cw, cd)
 	if err != nil {
 		tx.Abort()
 		return err
 	}
-	cRow, ok := tx.Get(TCustomer, CKey(cw, cd, cid))
+	cRow, ok := tx.GetIn(c.tabs.customer, CKey(cw, cd, cid))
 	if !ok {
 		tx.Abort()
 		return errors.New("tpcc: missing customer")
@@ -299,8 +324,8 @@ func (c *Client) payment(p *sim.Proc) error {
 	if cust.Credit == "BC" {
 		cust.Data = randomFiller(c.rng, c.cfg.FillerLen)
 	}
-	tx.Put(TCustomer, CKey(cw, cd, cid), cust.Encode())
-	tx.Put(THistory, HKey(w, d, tx.ID()), History{
+	tx.PutOwnedIn(c.tabs.customer, CKey(cw, cd, cid), cust.Encode())
+	tx.PutOwnedIn(c.tabs.history, HKey(w, d, tx.ID()), History{
 		CID: int64(cid), Amount: amount, Date: int64(p.Now()),
 		Data: wh.Name + " " + dist.Name,
 	}.Encode())
@@ -312,7 +337,7 @@ func (c *Client) payment(p *sim.Proc) error {
 func (c *Client) selectCustomer(tx *db.Tx, w, d int) (int, error) {
 	if c.rng.Intn(100) < 60 {
 		last := LastName(nuRand(c.rng, 255, cLast, 0, 999))
-		idxRow, ok := tx.Get(TCustIdx, CIdxKey(w, d, last))
+		idxRow, ok := tx.GetIn(c.tabs.custIdx, CIdxKey(w, d, last))
 		if !ok {
 			// Name not present at this scale: fall back to id selection.
 			return c.randCID(), nil
@@ -337,11 +362,11 @@ func (c *Client) orderStatus(p *sim.Proc) error {
 		tx.Abort()
 		return err
 	}
-	if _, ok := tx.Get(TCustomer, CKey(w, d, cid)); !ok {
+	if _, ok := tx.GetIn(c.tabs.customer, CKey(w, d, cid)); !ok {
 		tx.Abort()
 		return errors.New("tpcc: missing customer")
 	}
-	dRow, ok := tx.Get(TDistrict, DKey(w, d))
+	dRow, ok := tx.GetIn(c.tabs.district, DKey(w, d))
 	if !ok {
 		tx.Abort()
 		return errors.New("tpcc: missing district")
@@ -349,7 +374,7 @@ func (c *Client) orderStatus(p *sim.Proc) error {
 	dist := DecodeDistrict(dRow)
 	// Scan backwards for this customer's latest order (bounded walk).
 	for oid := int(dist.NextOID) - 1; oid >= 1 && oid > int(dist.NextOID)-50; oid-- {
-		oRow, ok := tx.Get(TOrder, OKey(w, d, oid))
+		oRow, ok := tx.GetIn(c.tabs.order, OKey(w, d, oid))
 		if !ok {
 			continue
 		}
@@ -358,7 +383,7 @@ func (c *Client) orderStatus(p *sim.Proc) error {
 			continue
 		}
 		for ln := 1; ln <= int(order.OLCnt); ln++ {
-			tx.Get(TOrderLine, OLKey(w, d, oid, ln))
+			tx.GetIn(c.tabs.orderLine, OLKey(w, d, oid, ln))
 		}
 		break
 	}
@@ -372,7 +397,7 @@ func (c *Client) delivery(p *sim.Proc) error {
 	carrier := int64(c.rng.Intn(10) + 1)
 	tx := c.eng.Begin()
 	for d := 1; d <= c.cfg.Districts; d++ {
-		dRow, ok := tx.Get(TDistrict, DKey(w, d))
+		dRow, ok := tx.GetIn(c.tabs.district, DKey(w, d))
 		if !ok {
 			continue
 		}
@@ -381,23 +406,23 @@ func (c *Client) delivery(p *sim.Proc) error {
 		if int64(oid) >= dist.NextOID {
 			continue // nothing to deliver in this district
 		}
-		if _, ok := tx.Get(TNewOrder, NOKey(w, d, oid)); !ok {
+		if _, ok := tx.GetIn(c.tabs.newOrder, NOKey(w, d, oid)); !ok {
 			// Order consumed by a concurrent delivery; advance anyway.
 			dist.NextDelivery++
-			tx.Put(TDistrict, DKey(w, d), dist.Encode())
+			tx.PutOwnedIn(c.tabs.district, DKey(w, d), dist.Encode())
 			continue
 		}
-		tx.Delete(TNewOrder, NOKey(w, d, oid))
+		tx.DeleteIn(c.tabs.newOrder, NOKey(w, d, oid))
 		dist.NextDelivery++
-		tx.Put(TDistrict, DKey(w, d), dist.Encode())
+		tx.PutOwnedIn(c.tabs.district, DKey(w, d), dist.Encode())
 
-		oRow, ok := tx.Get(TOrder, OKey(w, d, oid))
+		oRow, ok := tx.GetIn(c.tabs.order, OKey(w, d, oid))
 		if !ok {
 			continue
 		}
 		order := DecodeOrder(oRow)
 		order.Carrier = carrier
-		tx.Put(TOrder, OKey(w, d, oid), order.Encode())
+		tx.PutOwnedIn(c.tabs.order, OKey(w, d, oid), order.Encode())
 		// DeliveryD == 0 means "undelivered", so a delivery at virtual
 		// time zero must still stamp a nonzero instant.
 		stamp := int64(p.Now())
@@ -406,23 +431,23 @@ func (c *Client) delivery(p *sim.Proc) error {
 		}
 		var total int64
 		for ln := 1; ln <= int(order.OLCnt); ln++ {
-			olRow, ok := tx.Get(TOrderLine, OLKey(w, d, oid, ln))
+			olRow, ok := tx.GetIn(c.tabs.orderLine, OLKey(w, d, oid, ln))
 			if !ok {
 				continue
 			}
 			ol := DecodeOrderLine(olRow)
 			ol.DeliveryD = stamp
 			total += ol.Amount
-			tx.Put(TOrderLine, OLKey(w, d, oid, ln), ol.Encode())
+			tx.PutOwnedIn(c.tabs.orderLine, OLKey(w, d, oid, ln), ol.Encode())
 		}
-		cRow, ok := tx.Get(TCustomer, CKey(w, d, int(order.CID)))
+		cRow, ok := tx.GetIn(c.tabs.customer, CKey(w, d, int(order.CID)))
 		if !ok {
 			continue
 		}
 		cust := DecodeCustomer(cRow)
 		cust.Balance += total
 		cust.DeliveryCnt++
-		tx.Put(TCustomer, CKey(w, d, int(order.CID)), cust.Encode())
+		tx.PutOwnedIn(c.tabs.customer, CKey(w, d, int(order.CID)), cust.Encode())
 	}
 	return c.commit(p, tx)
 }
@@ -434,7 +459,7 @@ func (c *Client) stockLevel(p *sim.Proc) error {
 	d := c.rng.Intn(c.cfg.Districts) + 1
 	threshold := int64(c.rng.Intn(11) + 10)
 	tx := c.eng.Begin()
-	dRow, ok := tx.Get(TDistrict, DKey(w, d))
+	dRow, ok := tx.GetIn(c.tabs.district, DKey(w, d))
 	if !ok {
 		tx.Abort()
 		return errors.New("tpcc: missing district")
@@ -443,13 +468,13 @@ func (c *Client) stockLevel(p *sim.Proc) error {
 	low := 0
 	seen := map[int64]bool{}
 	for oid := int(dist.NextOID) - 1; oid >= 1 && oid > int(dist.NextOID)-20; oid-- {
-		oRow, ok := tx.Get(TOrder, OKey(w, d, oid))
+		oRow, ok := tx.GetIn(c.tabs.order, OKey(w, d, oid))
 		if !ok {
 			continue
 		}
 		order := DecodeOrder(oRow)
 		for ln := 1; ln <= int(order.OLCnt); ln++ {
-			olRow, ok := tx.Get(TOrderLine, OLKey(w, d, oid, ln))
+			olRow, ok := tx.GetIn(c.tabs.orderLine, OLKey(w, d, oid, ln))
 			if !ok {
 				continue
 			}
@@ -458,7 +483,7 @@ func (c *Client) stockLevel(p *sim.Proc) error {
 				continue
 			}
 			seen[ol.IID] = true
-			sRow, ok := tx.Get(TStock, SKey(w, int(ol.IID)))
+			sRow, ok := tx.GetIn(c.tabs.stock, SKey(w, int(ol.IID)))
 			if !ok {
 				continue
 			}

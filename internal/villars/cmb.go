@@ -23,7 +23,17 @@ type cmbModule struct {
 	ring *ring.Ring
 
 	queue     []cmbChunk
+	queuePos  int // queue[:queuePos] already drained
 	queueUsed int
+
+	// persistq holds chunks in flight on the backing bus; the bus is FIFO,
+	// so every completion fires persistNext (bound once) — no per-chunk
+	// closure. chunkBufs recycles payload buffers between intake and
+	// persist.
+	persistq    []cmbChunk
+	persistPos  int
+	persistNext func()
+	chunkBufs   [][]byte
 
 	arrived       *sim.Signal // intake queue received data
 	CreditChanged *sim.Signal // frontier advanced
@@ -65,6 +75,7 @@ func newCMBModule(d *Device, fs *fastSide, bank *pm.Bank) *cmbModule {
 		arrived:       d.env.NewSignal(),
 		CreditChanged: d.env.NewSignal(),
 	}
+	m.persistNext = m.persistOldest
 	sc := obs.For(d.env).Scope(fs.name + "/cmb")
 	m.mBytesIn = sc.Counter("bytes_in")
 	m.mOverruns = sc.Counter("overruns")
@@ -103,7 +114,12 @@ func (m *cmbModule) MemWrite(off int64, data []byte) {
 		m.dev.tracer.Record(trace.QueueOverrun, m.fs.name, off, int64(len(data)))
 		return
 	}
-	buf := append([]byte(nil), data...)
+	buf := m.getChunkBuf(len(data))
+	copy(buf, data)
+	if m.queuePos > 0 && m.queuePos == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.queuePos = 0
+	}
 	m.queue = append(m.queue, cmbChunk{off: off, data: buf, at: m.dev.env.Now()})
 	m.queueUsed += len(buf)
 	m.mBytesIn.Add(int64(len(buf)))
@@ -128,7 +144,7 @@ func (m *cmbModule) MemRead(off int64, n int) []byte {
 // bandwidth instead of serializing on the access latency.
 func (m *cmbModule) drain(p *sim.Proc) {
 	for {
-		if len(m.queue) == 0 {
+		if m.queuePos == len(m.queue) {
 			if m.dev.powerLost {
 				// Crash protocol: the queue is empty; nothing more will
 				// arrive. The destage module finishes the job.
@@ -137,25 +153,47 @@ func (m *cmbModule) drain(p *sim.Proc) {
 			p.Wait(m.arrived)
 			continue
 		}
-		c := m.queue[0]
-		m.queue = m.queue[1:]
-		m.bank.WriteAsync(len(c.data), func() { m.persist(c) })
+		c := m.queue[m.queuePos]
+		m.queue[m.queuePos] = cmbChunk{}
+		m.queuePos++
+		if m.persistPos > 0 && m.persistPos == len(m.persistq) {
+			m.persistq = m.persistq[:0]
+			m.persistPos = 0
+		}
+		m.persistq = append(m.persistq, c)
+		m.bank.WriteAsync(len(c.data), m.persistNext)
 		p.Sleep(m.bank.SerializationTime(len(c.data)))
 	}
 }
 
-// persist lands one chunk in the backing ring (scheduler context, in bus
-// completion order).
-func (m *cmbModule) persist(c cmbChunk) {
+// getChunkBuf returns a pooled intake buffer of length n.
+func (m *cmbModule) getChunkBuf(n int) []byte {
+	for len(m.chunkBufs) > 0 {
+		b := m.chunkBufs[len(m.chunkBufs)-1]
+		m.chunkBufs = m.chunkBufs[:len(m.chunkBufs)-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// persistOldest lands the oldest in-flight chunk in the backing ring
+// (scheduler context, in bus completion order) and recycles its buffer.
+func (m *cmbModule) persistOldest() {
+	c := m.persistq[m.persistPos]
+	m.persistq[m.persistPos] = cmbChunk{}
+	m.persistPos++
 	before := m.ring.Frontier()
-	if err := m.ring.Write(c.off, c.data); err != nil {
+	err := m.ring.Write(c.off, c.data)
+	m.queueUsed -= len(c.data)
+	m.chunkBufs = append(m.chunkBufs, c.data)
+	if err != nil {
 		// Stale or overrunning write: drop it. The host's flow control
 		// should prevent this.
 		m.mRejected.Inc()
-		m.queueUsed -= len(c.data)
 		return
 	}
-	m.queueUsed -= len(c.data)
 	m.mPersist.Since(c.at)
 	if m.ring.Live() > 0 && before == m.ring.Head() {
 		m.headArrived = m.dev.env.Now()

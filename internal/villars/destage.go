@@ -53,8 +53,16 @@ type destageModule struct {
 	destagedStream int64 // stream bytes durable on the conventional side
 
 	// pipeline state
-	carved   int64 // stream offset carved into in-flight pages
-	inflight []*destagePage
+	carved      int64 // stream offset carved into in-flight pages
+	inflight    []*destagePage
+	inflightPos int // inflight[:inflightPos] already retired
+
+	// recycled buffers: flash-page payloads and pipeline entries. A page
+	// buffer is free once its program completed (nand copies the payload
+	// at program time); an entry once it retired.
+	pageBufs    [][]byte
+	freeEntries []*destagePage
+	procName    string // per-page worker name, built once
 
 	kick     *sim.Signal
 	Advanced *sim.Signal // broadcast after every completed page
@@ -92,6 +100,7 @@ func newDestageModule(d *Device, fs *fastSide, baseLBA, lbaCount int64) *destage
 		lbaCount: lbaCount,
 		kick:     d.env.NewSignal(),
 		Advanced: d.env.NewSignal(),
+		procName: "destage-page-" + fs.name,
 	}
 	sc := obs.For(d.env).Scope(fs.name + "/destage")
 	m.mPages = sc.Counter("pages")
@@ -101,7 +110,7 @@ func newDestageModule(d *Device, fs *fastSide, baseLBA, lbaCount int64) *destage
 	m.mRetries = sc.Counter("retries")
 	m.mPageLat = sc.Histogram("page_ns")
 	sc.GaugeFunc("stream", func() int64 { return m.destagedStream })
-	sc.GaugeFunc("inflight", func() int64 { return int64(len(m.inflight)) })
+	sc.GaugeFunc("inflight", func() int64 { return int64(len(m.inflight) - m.inflightPos) })
 	sc.GaugeFunc("tail_lba", func() int64 { return m.tail })
 	d.env.Go("destage-"+fs.name, m.loop)
 	return m
@@ -142,7 +151,7 @@ func (m *destageModule) loop(p *sim.Proc) {
 	cmb := m.fs.cmb
 	for {
 		m.retire(cmb)
-		if len(m.inflight) >= m.maxInflight() {
+		if len(m.inflight)-m.inflightPos >= m.maxInflight() {
 			p.Wait(m.kick)
 			continue
 		}
@@ -174,29 +183,37 @@ func (m *destageModule) loop(p *sim.Proc) {
 // issues its program; completion is retired in order by retire().
 func (m *destageModule) carveOne(p *sim.Proc, n int64) {
 	cmb := m.fs.cmb
-	payload, err := cmb.ring.Read(m.carved, int(n))
-	if err != nil {
+	page := m.getPage()
+	EncodePageHeader(page, m.carved, int(n))
+	if err := cmb.ring.ReadInto(page[PageHeaderLen:PageHeaderLen+n], m.carved); err != nil {
 		m.mErrors.Inc()
+		m.pageBufs = append(m.pageBufs, page)
 		return
 	}
 	// Reading the backing memory costs its bus (the in-device path is two
 	// data movements total; paper §5.1 "Destaging Efficiency").
 	cmb.bank.Read(p, int(n))
 
-	page := make([]byte, m.dev.cfg.Geometry.PageSize)
-	EncodePageHeader(page, m.carved, int(n))
-	copy(page[PageHeaderLen:], payload)
 	if pad := int64(m.maxPayload()) - n; pad > 0 {
+		for i := PageHeaderLen + n; i < int64(len(page)); i++ {
+			page[i] = 0
+		}
 		m.mFillerBytes.Add(pad)
 		m.mPartialPages.Inc()
 	}
 
-	entry := &destagePage{n: n, carvedAt: m.dev.env.Now()}
+	entry := m.getEntry()
+	entry.n = n
+	entry.carvedAt = m.dev.env.Now()
+	if m.inflightPos > 0 && m.inflightPos == len(m.inflight) {
+		m.inflight = m.inflight[:0]
+		m.inflightPos = 0
+	}
 	m.inflight = append(m.inflight, entry)
 	m.carved += n
 	lba := m.baseLBA + m.tail%m.lbaCount
 	m.tail++
-	m.dev.env.Go("destage-page-"+m.fs.name, func(w *sim.Proc) {
+	m.dev.env.Go(m.procName, func(w *sim.Proc) {
 		for attempt := 0; ; attempt++ {
 			if d := fault.CheckEnv(m.dev.env, fault.DestageWrite, m.fs.name, 1); d.Fail() {
 				entry.err = fault.ErrInjected
@@ -212,17 +229,43 @@ func (m *destageModule) carveOne(p *sim.Proc, n int64) {
 			m.mRetries.Inc()
 			w.Sleep(destageRetryBackoff)
 		}
+		// The array copied the payload when the program was issued; the
+		// page buffer can serve the next carve.
+		m.pageBufs = append(m.pageBufs, page)
 		entry.done = true
 		m.kick.Broadcast()
 	})
 }
 
+// getPage returns a pooled page-sized buffer.
+func (m *destageModule) getPage() []byte {
+	if len(m.pageBufs) == 0 {
+		return make([]byte, m.dev.cfg.Geometry.PageSize)
+	}
+	b := m.pageBufs[len(m.pageBufs)-1]
+	m.pageBufs = m.pageBufs[:len(m.pageBufs)-1]
+	return b
+}
+
+// getEntry returns a recycled pipeline entry.
+func (m *destageModule) getEntry() *destagePage {
+	if len(m.freeEntries) == 0 {
+		return &destagePage{}
+	}
+	e := m.freeEntries[len(m.freeEntries)-1]
+	m.freeEntries = m.freeEntries[:len(m.freeEntries)-1]
+	*e = destagePage{}
+	return e
+}
+
 // retire releases completed pages from the head of the pipeline, in order,
 // freeing the PM ring and advancing the destaged-stream counter.
 func (m *destageModule) retire(cmb *cmbModule) {
-	for len(m.inflight) > 0 && m.inflight[0].done {
-		e := m.inflight[0]
-		m.inflight = m.inflight[1:]
+	for m.inflightPos < len(m.inflight) && m.inflight[m.inflightPos].done {
+		e := m.inflight[m.inflightPos]
+		m.inflight[m.inflightPos] = nil
+		m.inflightPos++
+		m.freeEntries = append(m.freeEntries, e)
 		if e.err != nil {
 			// The page proc already retried with backoff; a persistent
 			// failure surfacing here is fatal for this page. Drop it but

@@ -54,12 +54,29 @@ type transportModule struct {
 
 // peerLink is the primary's view of one secondary.
 type peerLink struct {
-	id       int
-	dev      *Device
-	window   *ntb.Window // primary -> secondary CMB data
-	shadow   int64       // last reported secondary credit counter
-	lastSeen time.Duration
-	unacked  []mirrorChunk // sent but not yet covered by the shadow counter
+	id         int
+	dev        *Device
+	window     *ntb.Window // primary -> secondary CMB data
+	shadow     int64       // last reported secondary credit counter
+	lastSeen   time.Duration
+	unacked    []mirrorChunk // sent but not yet covered by the shadow counter
+	unackedPos int           // unacked[:unackedPos] already covered
+	bufFree    [][]byte      // recycled chunk payloads
+}
+
+// pending returns the not-yet-covered retransmission window.
+func (pl *peerLink) pending() []mirrorChunk { return pl.unacked[pl.unackedPos:] }
+
+// getBuf returns a pooled chunk buffer of length n.
+func (pl *peerLink) getBuf(n int) []byte {
+	for len(pl.bufFree) > 0 {
+		b := pl.bufFree[len(pl.bufFree)-1]
+		pl.bufFree = pl.bufFree[:len(pl.bufFree)-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
 }
 
 // mirrorChunk is one mirrored TLP retained for retransmission until the
@@ -138,7 +155,7 @@ func (t *transportModule) AddPeer(sec *Device, toSec, toPrim *ntb.Bridge) int {
 		if id >= len(t.peers) {
 			return 0
 		}
-		return int64(len(t.peers[id].unacked))
+		return int64(len(t.peers[id].pending()))
 	})
 	sec.transport.reportTo = toPrim.NewWindow(counterPort{t}, 0)
 	sec.transport.reportPeerID = id
@@ -165,8 +182,9 @@ func (t *transportModule) startRepair() {
 			p.Sleep(t.dev.cfg.RepairTimeout / 2)
 			now := p.Now()
 			for _, pl := range t.peers {
-				for i := range pl.unacked {
-					c := &pl.unacked[i]
+				pend := pl.pending()
+				for i := range pend {
+					c := &pend[i]
 					if now-c.sentAt < t.dev.cfg.RepairTimeout {
 						continue
 					}
@@ -201,7 +219,12 @@ func (t *transportModule) mirror(off int64, data []byte) {
 	}
 	now := t.dev.env.Now()
 	for _, pl := range t.peers {
-		buf := append([]byte(nil), data...)
+		buf := pl.getBuf(len(data))
+		copy(buf, data)
+		if pl.unackedPos > 0 && pl.unackedPos == len(pl.unacked) {
+			pl.unacked = pl.unacked[:0]
+			pl.unackedPos = 0
+		}
 		pl.unacked = append(pl.unacked, mirrorChunk{off: off, data: buf, sentAt: now})
 		switch d := fault.CheckEnv(t.dev.env, fault.TransportMirror, t.dev.cfg.Name, 1); d.Act {
 		case fault.ActionDrop, fault.ActionFail:
@@ -209,8 +232,11 @@ func (t *transportModule) mirror(off int64, data []byte) {
 			t.mMirrorDrops.Inc()
 		case fault.ActionDelay:
 			t.mMirrorDelays.Inc()
+			// The delayed send needs its own copy: the pooled unacked
+			// buffer may be covered and recycled before the timer fires.
+			delayed := append([]byte(nil), data...)
 			pl := pl
-			t.dev.env.After(d.Dur, func() { pl.window.Write(off, buf, nil) })
+			t.dev.env.After(d.Dur, func() { pl.window.Write(off, delayed, nil) })
 		default:
 			pl.window.Write(off, buf, nil)
 		}
@@ -238,9 +264,15 @@ func (c counterPort) MemWrite(off int64, data []byte) {
 	if v > pl.shadow {
 		pl.shadow = v
 		// Everything below the reported frontier is persisted remotely;
-		// drop it from the retransmission buffer.
-		for len(pl.unacked) > 0 && pl.unacked[0].off+int64(len(pl.unacked[0].data)) <= v {
-			pl.unacked = pl.unacked[1:]
+		// drop it from the retransmission buffer and recycle its payload.
+		for pl.unackedPos < len(pl.unacked) {
+			c := &pl.unacked[pl.unackedPos]
+			if c.off+int64(len(c.data)) > v {
+				break
+			}
+			pl.bufFree = append(pl.bufFree, c.data)
+			*c = mirrorChunk{}
+			pl.unackedPos++
 		}
 		c.t.counterUpdateObserved(pl)
 		c.t.dev.tracer.Record(trace.ShadowUpdate, c.t.dev.cfg.Name, int64(id), v)

@@ -82,7 +82,9 @@ func DecodeAll(buf []byte) []Record {
 
 // Sink is where the group-commit pipeline persists batches. Write must
 // block the calling process until the batch is durable (under whatever
-// replication scheme the sink's device enforces).
+// replication scheme the sink's device enforces). The data slice is a
+// reused buffer owned by the pipeline: a sink that needs the bytes after
+// Write returns must copy them.
 type Sink interface {
 	// Write persists data appended at the sink's current tail.
 	Write(p *sim.Proc, data []byte) error
@@ -112,6 +114,7 @@ type Log struct {
 	cfg  Config
 
 	buf        []byte // accumulating batch
+	batch      []byte // reusable flush buffer (sinks do not retain it)
 	bufStart   int64  // LSN of buf[0]
 	durableLSN int64  // everything below is persisted
 	oldestWait time.Duration
@@ -227,8 +230,17 @@ func (l *Log) flusher(p *sim.Proc) {
 		if n > l.cfg.GroupBytes {
 			n = l.cfg.GroupBytes
 		}
-		batch := l.buf[:n:n]
-		l.buf = l.buf[n:]
+		// Copy the group into the reusable flush buffer and compact the
+		// accumulator in place, so the log stream stops churning through
+		// fresh backing arrays (sinks must not retain the batch — see
+		// Sink).
+		if cap(l.batch) < n {
+			l.batch = make([]byte, n)
+		}
+		batch := l.batch[:n]
+		copy(batch, l.buf)
+		rem := copy(l.buf, l.buf[n:])
+		l.buf = l.buf[:rem]
 		if len(l.buf) > 0 {
 			l.oldestWait = p.Now()
 		}

@@ -8,6 +8,7 @@
 //	xbench -exp fig12        # by name
 //	xbench -all              # everything
 //	xbench -chaos -seeds 20  # chaos sweep: fault plans vs invariants
+//	xbench -failover -seeds 20  # failover sweep: primary kills vs takeover invariants
 //
 // Add -metrics out.json to any experiment run to also dump a per-cell
 // metrics snapshot (canonical JSON, byte-identical across same-seed runs).
@@ -37,7 +38,8 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list experiment names")
 	chaosRun := flag.Bool("chaos", false, "run the chaos sweep (randomized fault plans, invariants I1-I5)")
-	seeds := flag.Int("seeds", 20, "number of seeds for -chaos")
+	failoverRun := flag.Bool("failover", false, "run the failover sweep (randomized primary kills, invariants I6-I7)")
+	seeds := flag.Int("seeds", 20, "number of seeds for -chaos/-failover")
 	metricsOut := flag.String("metrics", "", "write per-cell metrics snapshots to this file as JSON")
 	suite := flag.String("suite", "", "run a timed suite (only \"perf\")")
 	out := flag.String("o", "BENCH_PR4.json", "output file for -suite perf")
@@ -107,6 +109,11 @@ func main() {
 		os.Exit(2)
 	case *chaosRun:
 		if err := chaos.Sweep(os.Stdout, *seeds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *failoverRun:
+		if err := chaos.SweepFailover(os.Stdout, *seeds); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -500,43 +500,86 @@ func flashPrefix(env *sim.Env, d *villars.Device) ([]byte, error) {
 	return got, rerr
 }
 
-// Sweep runs DefaultScenario for each seed twice — checking invariants
-// I1-I4 inside each run and I5 (bitwise reproducibility) across the pair
-// — and writes one summary line per seed. It returns an error listing
-// every violation, or nil when all seeds hold.
-func Sweep(w io.Writer, seeds int) error {
-	total := 0
+// SeedResult pairs the two runs of one seed in a sweep, with the
+// cross-run I5 violations merged into the first run's own.
+type SeedResult struct {
+	// Seed is the swept seed.
+	Seed int64
+	// First and Second are the paired runs of the identical scenario.
+	First, Second *Result
+	// Violations merges First's invariant breaches with the I5 pair checks.
+	Violations []string
+}
+
+// SweepResults runs DefaultScenario for each seed twice — checking
+// invariants I1-I4 inside each run and I5 (bitwise reproducibility)
+// across the pair — and returns the per-seed outcomes for callers that
+// post-process them (the CLI prints them; tests pin the sweep's Fold).
+func SweepResults(seeds int) ([]SeedResult, error) {
+	out := make([]SeedResult, 0, seeds)
 	for seed := 0; seed < seeds; seed++ {
 		sc := DefaultScenario(int64(seed))
 		r1, err := Run(sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r2, err := Run(sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		viol := append([]string(nil), r1.Violations...)
+		sr := SeedResult{Seed: int64(seed), First: r1, Second: r2}
+		sr.Violations = append(sr.Violations, r1.Violations...)
 		if r2.Fingerprint != r1.Fingerprint {
-			viol = append(viol, fmt.Sprintf("I5: re-run fingerprint %016x != %016x", r2.Fingerprint, r1.Fingerprint))
+			sr.Violations = append(sr.Violations, fmt.Sprintf("I5: re-run fingerprint %016x != %016x", r2.Fingerprint, r1.Fingerprint))
 		}
 		if !bytes.Equal(r1.Metrics, r2.Metrics) {
-			viol = append(viol, "I5: re-run metrics snapshots differ")
+			sr.Violations = append(sr.Violations, "I5: re-run metrics snapshots differ")
 		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// Fold digests a sweep into one fingerprint: FNV-1a over the
+// (seed, run-fingerprint) sequence. The fold is order-sensitive by
+// design — a sweep's identity includes its schedule, so the same results
+// visited in a different order produce a different digest.
+func Fold(results []SeedResult) uint64 {
+	h := uint64(fnvOffset)
+	for _, r := range results {
+		h = mix64(h, uint64(r.Seed))
+		if r.First != nil {
+			h = mix64(h, r.First.Fingerprint)
+		}
+	}
+	return h
+}
+
+// Sweep runs SweepResults and writes one summary line per seed plus the
+// final fold. It returns an error listing every violation, or nil when
+// all seeds hold.
+func Sweep(w io.Writer, seeds int) error {
+	results, err := SweepResults(seeds)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, sr := range results {
+		r1 := sr.First
 		scheme := "-"
 		if r1.Secondaries > 0 {
 			scheme = r1.Scheme.String()
 		}
 		fmt.Fprintf(w, "seed %3d  sec=%d scheme=%-5s crash=%-5v commits=%-5d written=%-7d destaged=%-7d faults=%-2d fp=%016x\n",
-			seed, r1.Secondaries, scheme, r1.PowerLost, r1.Commits, r1.Written, r1.Destaged, r1.Firings, r1.Fingerprint)
-		for _, v := range viol {
+			sr.Seed, r1.Secondaries, scheme, r1.PowerLost, r1.Commits, r1.Written, r1.Destaged, r1.Firings, r1.Fingerprint)
+		for _, v := range sr.Violations {
 			fmt.Fprintf(w, "          VIOLATION %s\n", v)
 		}
-		total += len(viol)
+		total += len(sr.Violations)
 	}
 	if total > 0 {
 		return fmt.Errorf("chaos: %d invariant violations across %d seeds", total, seeds)
 	}
-	fmt.Fprintf(w, "chaos: %d seeds × 2 runs, invariants I1-I5 hold\n", seeds)
+	fmt.Fprintf(w, "chaos: %d seeds × 2 runs, invariants I1-I5 hold, fold %016x\n", seeds, Fold(results))
 	return nil
 }

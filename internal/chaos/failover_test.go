@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"xssd/internal/core"
+)
+
+// TestRunFailoverCleanKill is the harness smoke test: one kill per scheme
+// with no background faults must promote exactly once and hold I6.
+func TestRunFailoverCleanKill(t *testing.T) {
+	for _, scheme := range []core.ReplicationScheme{core.Eager, core.Lazy, core.Chain} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			r, err := RunFailover(FailoverScenario{
+				Seed:        1,
+				Scheme:      scheme,
+				Secondaries: 2,
+				KillAt:      8 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("RunFailover: %v", err)
+			}
+			for _, v := range r.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if r.Promoted == "" {
+				t.Fatalf("no promotion recorded")
+			}
+			if r.Commits <= r.PreKillCommits {
+				t.Errorf("no post-takeover commits: %d total, %d pre-kill", r.Commits, r.PreKillCommits)
+			}
+			if r.DurableAtKill == 0 || r.Durable <= r.DurableAtKill {
+				t.Errorf("durable horizon did not advance past the kill: at-kill %d, final %d", r.DurableAtKill, r.Durable)
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package chaos
+
+import "testing"
+
+// TestFoldPinned pins the sweep fold's exact formula with synthetic
+// inputs: FNV-1a over the (seed, first-run fingerprint) sequence. CI and
+// the failover harness compare folds across machines and branches, so a
+// silent change to the formula — or to the order the fold visits seeds —
+// must fail loudly here, not show up as an unexplained digest drift.
+func TestFoldPinned(t *testing.T) {
+	rs := []SeedResult{
+		{Seed: 0, First: &Result{Fingerprint: 0x1111111111111111}},
+		{Seed: 1, First: &Result{Fingerprint: 0x2222222222222222}},
+		{Seed: 2, First: &Result{Fingerprint: 0x3333333333333333}},
+	}
+	if got := Fold(rs); got != 0x2f715322a21d8256 {
+		t.Errorf("Fold = %#016x, want 0x2f715322a21d8256 (formula changed?)", got)
+	}
+	if got := Fold(nil); got != uint64(fnvOffset) {
+		t.Errorf("Fold(nil) = %#016x, want the FNV offset basis", got)
+	}
+	// A nil First contributes only its seed.
+	withHole := []SeedResult{rs[0], {Seed: 1}, rs[2]}
+	if got, same := Fold(withHole), Fold(rs); got == same {
+		t.Errorf("Fold ignored a missing run: %#016x", got)
+	}
+}
+
+// TestFoldOrderSensitive: a sweep's identity includes its schedule — the
+// same per-seed results folded in a different order must give a different
+// digest, or a reordered (e.g. parallelized) sweep could silently pass a
+// pinned-fingerprint gate.
+func TestFoldOrderSensitive(t *testing.T) {
+	rs := []SeedResult{
+		{Seed: 0, First: &Result{Fingerprint: 0x1111111111111111}},
+		{Seed: 1, First: &Result{Fingerprint: 0x2222222222222222}},
+		{Seed: 2, First: &Result{Fingerprint: 0x3333333333333333}},
+	}
+	rev := []SeedResult{rs[2], rs[1], rs[0]}
+	fwd, bwd := Fold(rs), Fold(rev)
+	if fwd == bwd {
+		t.Fatalf("Fold is order-insensitive: both orders give %#016x", fwd)
+	}
+	if bwd != 0x2644cb0d7c8750d6 {
+		t.Errorf("reversed Fold = %#016x, want 0x2644cb0d7c8750d6", bwd)
+	}
+}
+
+// TestFoldFailoverMatchesConstruction: the failover fold uses the same
+// construction, so the two sweeps' digests are comparable tooling-wise.
+func TestFoldFailoverMatchesConstruction(t *testing.T) {
+	frs := []FailoverSeedResult{
+		{Seed: 0, First: &FailoverResult{Fingerprint: 0x1111111111111111}},
+		{Seed: 1, First: &FailoverResult{Fingerprint: 0x2222222222222222}},
+		{Seed: 2, First: &FailoverResult{Fingerprint: 0x3333333333333333}},
+	}
+	if got := FoldFailover(frs); got != 0x2f715322a21d8256 {
+		t.Errorf("FoldFailover = %#016x, want 0x2f715322a21d8256 (diverged from Fold)", got)
+	}
+}
+
+// TestSweepFailoverResultsPair runs a tiny failover sweep and checks the
+// exported per-seed results carry both runs with identical fingerprints.
+func TestSweepFailoverResultsPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full failover sweep pair in -short mode")
+	}
+	rs, err := SweepFailoverResults(2)
+	if err != nil {
+		t.Fatalf("SweepFailoverResults: %v", err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d seed results, want 2", len(rs))
+	}
+	for _, sr := range rs {
+		for _, v := range sr.Violations {
+			t.Errorf("seed %d: violation: %s", sr.Seed, v)
+		}
+		if sr.First == nil || sr.Second == nil {
+			t.Fatalf("seed %d: missing a run", sr.Seed)
+		}
+		if sr.First.Fingerprint != sr.Second.Fingerprint {
+			t.Errorf("seed %d: pair fingerprints differ", sr.Seed)
+		}
+	}
+	if FoldFailover(rs) == uint64(fnvOffset) {
+		t.Errorf("sweep fold never mixed anything in")
+	}
+}

@@ -108,6 +108,11 @@ const (
 	// StatusPowerLoss is set after a power-loss event while the device
 	// drains the fast side on supercapacitor energy.
 	StatusPowerLoss = 1 << 2
+	// StatusShadowFrozen is set while the device's own shadow-counter
+	// reporting is suppressed (a secondary whose upstream updates are
+	// frozen). A failover manager must not promote a device advertising
+	// this bit: its persisted prefix cannot be trusted as current.
+	StatusShadowFrozen = 1 << 3
 )
 
 // CounterUpdateBytes is the total on-wire size of a shadow-counter update
@@ -168,3 +173,11 @@ func (f *FlowControl) Observe(credit int64) int64 {
 // Durable reports whether everything issued so far has been persisted
 // according to the last observed credit value (the x_fsync condition).
 func (f *FlowControl) Durable() bool { return f.lastCredit >= f.written }
+
+// Resume positions the cursor at a takeover point: the host continues an
+// existing stream at off on a device whose credit counter already vouches
+// for everything below it (failover to a promoted secondary).
+func (f *FlowControl) Resume(off int64) {
+	f.written = off
+	f.lastCredit = off
+}

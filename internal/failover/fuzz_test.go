@@ -1,0 +1,52 @@
+package failover
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFailoverPlan feeds arbitrary text through the failover-plan codec:
+// whatever Parse accepts must encode canonically (Parse∘Encode is the
+// identity on parsed plans and Encode is a fixed point), and whatever it
+// rejects must fail with an error, never a panic. Every case of an
+// accepted plan must satisfy the validator, so out-of-range scenarios
+// cannot sneak in through parsing quirks.
+func FuzzFailoverPlan(f *testing.F) {
+	f.Add("kill 5ms scheme eager size 2 seed 0\n")
+	f.Add("kill 8ms scheme chain size 4 seed 7\nkill 2ms scheme lazy size 3 seed 42\n")
+	f.Add("# comment\n\nkill 1h30m5s scheme lazy size 8 seed 9223372036854775807\n")
+	f.Add("kill 100µs scheme eager size 2 seed 1\n")
+	f.Add("kill -5ms scheme eager size 2 seed 0\n")
+	f.Add("kill 5ms scheme eager size 1 seed 0\n")
+	f.Add("kill 5ms scheme sync size 2 seed 0\n")
+	f.Add("kill 5ms size 2 scheme eager seed 0\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid plan: %v\ninput: %q", err, text)
+		}
+		enc := p.Encode()
+		p2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-parse: %v\n%q", err, enc)
+		}
+		if got := p2.Encode(); got != enc {
+			t.Fatalf("Encode not a fixed point:\n%q\nvs\n%q\ninput: %q", enc, got, text)
+		}
+		if len(p2.Cases) != len(p.Cases) {
+			t.Fatalf("round trip changed case count %d -> %d", len(p.Cases), len(p2.Cases))
+		}
+		for i := range p.Cases {
+			if p.Cases[i] != p2.Cases[i] {
+				t.Fatalf("case %d changed in round trip:\n%+v\nvs\n%+v", i, p.Cases[i], p2.Cases[i])
+			}
+		}
+		// Encoded plans contain no comments or blank lines: one case per line.
+		if enc != "" && strings.Count(enc, "\n") != len(p.Cases) {
+			t.Fatalf("encoding has %d lines for %d cases:\n%q", strings.Count(enc, "\n"), len(p.Cases), enc)
+		}
+	})
+}

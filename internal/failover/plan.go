@@ -1,0 +1,144 @@
+// Failover plans: a small text grammar describing a batch of failover
+// scenarios — when the primary dies, under which replication scheme, how
+// big the cluster is, which seed drives the workload. The codec mirrors
+// fault.Plan's: a canonical Encode whose output Parse reproduces exactly
+// (the fuzz target's fixed point), #-comments, one case per line.
+package failover
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"xssd/internal/core"
+)
+
+// ErrBadPlan is wrapped by every Parse and validation error of a failover
+// plan. Match with errors.Is.
+var ErrBadPlan = errors.New("failover: bad plan")
+
+// Cluster-size bounds a Case accepts: a failover needs a survivor, and the
+// simulator meshes every pair, so very wide clusters explode quadratically.
+const (
+	// MinClusterSize is the smallest cluster a failover makes sense in.
+	MinClusterSize = 2
+	// MaxClusterSize bounds the mesh the simulator is asked to build.
+	MaxClusterSize = 8
+)
+
+// Case is one failover scenario: a cluster of Size devices under Scheme,
+// a Seed-driven workload, and a primary kill at KillAt.
+type Case struct {
+	// KillAt is the virtual time the primary loses power.
+	KillAt time.Duration
+	// Scheme is the replication scheme under test.
+	Scheme core.ReplicationScheme
+	// Size is the cluster size including the primary (2..8).
+	Size int
+	// Seed drives the workload and every probabilistic fault decision.
+	Seed int64
+}
+
+// Plan is a batch of failover cases, run in order.
+type Plan struct {
+	Cases []Case
+}
+
+// validate checks one case.
+func (c Case) validate() error {
+	if c.KillAt <= 0 {
+		return fmt.Errorf("%w: kill time must be positive, got %v", ErrBadPlan, c.KillAt)
+	}
+	switch c.Scheme {
+	case core.Eager, core.Lazy, core.Chain:
+	default:
+		return fmt.Errorf("%w: unknown scheme %d", ErrBadPlan, int(c.Scheme))
+	}
+	if c.Size < MinClusterSize || c.Size > MaxClusterSize {
+		return fmt.Errorf("%w: cluster size %d outside [%d, %d]", ErrBadPlan, c.Size, MinClusterSize, MaxClusterSize)
+	}
+	if c.Seed < 0 {
+		return fmt.Errorf("%w: negative seed %d", ErrBadPlan, c.Seed)
+	}
+	return nil
+}
+
+// Validate checks every case.
+func (p *Plan) Validate() error {
+	for i, c := range p.Cases {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("case %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Encode renders the plan in its canonical text form, one case per line.
+// Parse(Encode(p)) reproduces p exactly for any valid plan.
+func (p *Plan) Encode() string {
+	var b strings.Builder
+	for _, c := range p.Cases {
+		fmt.Fprintf(&b, "kill %s scheme %s size %d seed %d\n", c.KillAt, c.Scheme, c.Size, c.Seed)
+	}
+	return b.String()
+}
+
+// Parse reads the text form of a plan. Blank lines and #-comments are
+// skipped; every malformed line is rejected with an error wrapping
+// ErrBadPlan.
+func Parse(text string) (*Plan, error) {
+	p := &Plan{}
+	for i, line := range strings.Split(text, "\n") {
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		c, err := parseCase(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		p.Cases = append(p.Cases, c)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseCase(fields []string) (Case, error) {
+	var c Case
+	if len(fields) != 8 || fields[0] != "kill" || fields[2] != "scheme" || fields[4] != "size" || fields[6] != "seed" {
+		return c, fmt.Errorf("%w: want \"kill <dur> scheme <s> size <n> seed <n>\", got %q", ErrBadPlan, strings.Join(fields, " "))
+	}
+	d, err := time.ParseDuration(fields[1])
+	if err != nil {
+		return c, fmt.Errorf("%w: bad kill time %q: %w", ErrBadPlan, fields[1], err)
+	}
+	c.KillAt = d
+	switch fields[3] {
+	case "eager":
+		c.Scheme = core.Eager
+	case "lazy":
+		c.Scheme = core.Lazy
+	case "chain":
+		c.Scheme = core.Chain
+	default:
+		return c, fmt.Errorf("%w: unknown scheme %q (want eager/lazy/chain)", ErrBadPlan, fields[3])
+	}
+	n, err := strconv.Atoi(fields[5])
+	if err != nil {
+		return c, fmt.Errorf("%w: bad cluster size %q: %w", ErrBadPlan, fields[5], err)
+	}
+	c.Size = n
+	s, err := strconv.ParseInt(fields[7], 10, 64)
+	if err != nil {
+		return c, fmt.Errorf("%w: bad seed %q: %w", ErrBadPlan, fields[7], err)
+	}
+	c.Seed = s
+	return c, nil
+}

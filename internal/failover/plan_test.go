@@ -1,0 +1,68 @@
+package failover
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xssd/internal/core"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := &Plan{Cases: []Case{
+		{KillAt: 5 * time.Millisecond, Scheme: core.Eager, Size: 2, Seed: 0},
+		{KillAt: 8*time.Millisecond + 300*time.Microsecond, Scheme: core.Chain, Size: 4, Seed: 42},
+		{KillAt: time.Second, Scheme: core.Lazy, Size: 8, Seed: 7},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	enc := p.Encode()
+	p2, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("Parse(Encode): %v\n%q", err, enc)
+	}
+	if len(p2.Cases) != len(p.Cases) {
+		t.Fatalf("round trip changed case count %d -> %d", len(p.Cases), len(p2.Cases))
+	}
+	for i := range p.Cases {
+		if p.Cases[i] != p2.Cases[i] {
+			t.Errorf("case %d changed: %+v vs %+v", i, p.Cases[i], p2.Cases[i])
+		}
+	}
+}
+
+func TestPlanParseSkipsCommentsAndBlanks(t *testing.T) {
+	p, err := Parse("# schedule\n\nkill 5ms scheme eager size 2 seed 1 # trailing\n\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Cases) != 1 {
+		t.Fatalf("got %d cases, want 1", len(p.Cases))
+	}
+	want := Case{KillAt: 5 * time.Millisecond, Scheme: core.Eager, Size: 2, Seed: 1}
+	if p.Cases[0] != want {
+		t.Errorf("case = %+v, want %+v", p.Cases[0], want)
+	}
+}
+
+func TestPlanRejections(t *testing.T) {
+	for _, text := range []string{
+		"kill 0s scheme eager size 2 seed 0\n",          // zero kill time
+		"kill -5ms scheme eager size 2 seed 0\n",        // negative kill time
+		"kill 5ms scheme sync size 2 seed 0\n",          // unknown scheme
+		"kill 5ms scheme eager size 1 seed 0\n",         // no survivor
+		"kill 5ms scheme eager size 9 seed 0\n",         // mesh too wide
+		"kill 5ms scheme eager size 2 seed -1\n",        // negative seed
+		"kill 5ms size 2 scheme eager seed 0\n",         // keyword order
+		"kill 5ms scheme eager size 2 seed 0 extra 1\n", // trailing fields
+		"die 5ms scheme eager size 2 seed 0\n",          // unknown verb
+		"kill soon scheme eager size 2 seed 0\n",        // bad duration
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) accepted, want rejection", text)
+		} else if !errors.Is(err, ErrBadPlan) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrBadPlan", text, err)
+		}
+	}
+}

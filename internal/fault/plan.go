@@ -58,6 +58,12 @@ const (
 	// bytes, so "on N" means the Nth accepted byte; "at t" rules are
 	// armed as exact-time events. Scope: device name.
 	DevicePower = "device.power"
+	// PrimaryKill cuts power to whichever device currently holds the
+	// primary role — the failover trigger. No simulator hook site checks
+	// this point: a harness arms it with OnTime (unscoped) and resolves
+	// "the current primary" itself when the rule fires, so the kill lands
+	// on the right device even after earlier promotions. Scope: none.
+	PrimaryKill = "primary.kill"
 )
 
 // ErrBadPlan is wrapped by every Parse and validation error.
@@ -215,7 +221,8 @@ func validatePointName(bare, comp string, scoped bool) error {
 			c := comp[i]
 			switch {
 			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
-			case c == '.', c == '_', c == '-', c == '/':
+			// '>' appears in bridge names ("p->s0"), the ntb.deliver scope.
+			case c == '.', c == '_', c == '-', c == '/', c == '>':
 			default:
 				return fmt.Errorf("%w: component scope %q: invalid character %q", ErrBadPlan, comp, c)
 			}

@@ -1,11 +1,13 @@
 package repl
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
 
 	"xssd/internal/core"
+	"xssd/internal/fault"
 	"xssd/internal/sim"
 	"xssd/internal/villars"
 )
@@ -101,5 +103,205 @@ func TestChainSchemeRecorded(t *testing.T) {
 	}
 	if c.Primary().Transport().Scheme() != core.Chain {
 		t.Fatal("head scheme not chain")
+	}
+}
+
+// attachPlan parses a fault plan and attaches its injector to env.
+func attachPlan(t *testing.T, env *sim.Env, text string) {
+	t.Helper()
+	plan, err := fault.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Attach(env, fault.New(env, plan))
+	t.Cleanup(func() { fault.Detach(env) })
+}
+
+// TestChainMidLinkDropRepairResends drops the first chunk a mid link
+// relays downstream (n1 -> n2): the tail must converge anyway, through
+// n1's repair-resend of its unacked window — the same retransmission
+// state a chain takeover relies on to heal downstream holes without a
+// backfill.
+func TestChainMidLinkDropRepairResends(t *testing.T) {
+	env := sim.NewEnv(1)
+	attachPlan(t, env, "on 1 transport.mirror@n1 drop\n")
+	c := chainCluster(t, env, 3)
+	env.Go("db", func(p *sim.Proc) {
+		c.devices[0].CMB().MemWrite(0, make([]byte, 512))
+	})
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+
+	drops, _, resends, _ := c.devices[1].Transport().FaultStats()
+	if drops == 0 {
+		t.Fatal("mid-link drop never fired")
+	}
+	if resends == 0 {
+		t.Fatal("mid link converged without a repair resend")
+	}
+	if got := c.devices[2].CMB().Ring().Frontier(); got != 512 {
+		t.Fatalf("tail frontier = %d after the repair window, want 512", got)
+	}
+}
+
+// TestElectChainNextLink: a chain election picks the next link after the
+// dead head — never a deeper survivor, even though frontiers tie — and
+// walks past dead links to the next live one.
+func TestElectChainNextLink(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := chainCluster(t, env, 3)
+	env.Go("db", func(p *sim.Proc) {
+		c.devices[0].CMB().MemWrite(0, make([]byte, 512))
+	})
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+
+	c.devices[0].InjectPowerLoss()
+	idx, err := c.Elect()
+	if err != nil {
+		t.Fatalf("Elect: %v", err)
+	}
+	if idx != 1 {
+		t.Fatalf("elected %d, want the next link 1", idx)
+	}
+
+	c.devices[1].InjectPowerLoss()
+	idx, err = c.Elect()
+	if err != nil {
+		t.Fatalf("Elect past dead link: %v", err)
+	}
+	if idx != 2 {
+		t.Fatalf("elected %d, want 2", idx)
+	}
+
+	c.devices[2].InjectPowerLoss()
+	if _, err := c.Elect(); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("Elect over a dead chain: %v, want ErrNoCandidate", err)
+	}
+}
+
+// TestElectChainFrozenNextLink: a frozen next link is not skipped —
+// reordering the chain would orphan downstream retransmission windows —
+// so the election fails with ErrNoCandidate until the freeze expires,
+// then returns the same link.
+func TestElectChainFrozenNextLink(t *testing.T) {
+	env := sim.NewEnv(1)
+	attachPlan(t, env, "at 1500µs transport.shadow@n1 freeze 5ms\n")
+	c := chainCluster(t, env, 3)
+	env.RunUntil(env.Now() + 2*time.Millisecond)
+	c.devices[0].InjectPowerLoss()
+
+	if !c.devices[1].Transport().ShadowFrozen() {
+		t.Fatal("n1 shadow not frozen at election time")
+	}
+	if _, err := c.Elect(); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("Elect with frozen next link: %v, want ErrNoCandidate", err)
+	}
+
+	env.RunUntil(env.Now() + 10*time.Millisecond)
+	idx, err := c.Elect()
+	if err != nil {
+		t.Fatalf("Elect after the freeze expired: %v", err)
+	}
+	if idx != 1 {
+		t.Fatalf("elected %d, want the thawed next link 1", idx)
+	}
+}
+
+// TestElectStarSkipsFrozenPeer: under a star scheme a frozen survivor is
+// passed over — its persisted prefix cannot be trusted as current — and
+// becomes electable again once the freeze expires, then winning the
+// lowest-index tie-break against an equal-frontier peer.
+func TestElectStarSkipsFrozenPeer(t *testing.T) {
+	env := sim.NewEnv(1)
+	attachPlan(t, env, "at 1500µs transport.shadow@n1 freeze 5ms\n")
+	c := threeNodeCluster(t, env, core.Eager)
+	env.Go("db", func(p *sim.Proc) {
+		c.Primary().CMB().MemWrite(0, make([]byte, 512))
+	})
+	env.RunUntil(env.Now() + 2*time.Millisecond)
+	c.devices[0].InjectPowerLoss()
+
+	if !c.devices[1].Transport().ShadowFrozen() {
+		t.Fatal("n1 shadow not frozen at election time")
+	}
+	idx, err := c.Elect()
+	if err != nil {
+		t.Fatalf("Elect: %v", err)
+	}
+	if idx != 2 {
+		t.Fatalf("elected %d, want 2 (n1 frozen)", idx)
+	}
+
+	env.RunUntil(env.Now() + 10*time.Millisecond)
+	idx, err = c.Elect()
+	if err != nil {
+		t.Fatalf("Elect after the freeze expired: %v", err)
+	}
+	if idx != 1 {
+		t.Fatalf("elected %d, want 1 (equal frontiers, lowest index)", idx)
+	}
+}
+
+// TestElectNoSurvivors: with every member dead the election reports
+// ErrNoCandidate rather than promoting a corpse.
+func TestElectNoSurvivors(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := threeNodeCluster(t, env, core.Lazy)
+	for _, d := range c.Devices() {
+		d.InjectPowerLoss()
+	}
+	if _, err := c.Elect(); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("Elect over a dead cluster: %v, want ErrNoCandidate", err)
+	}
+}
+
+// TestReconfigureChainCutsDeadPrefix: a chain takeover promotes the next
+// link in place — the order shrinks to the surviving suffix and the
+// downstream link stays wired, its retransmission window intact, so new
+// head writes still reach the tail.
+func TestReconfigureChainCutsDeadPrefix(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := chainCluster(t, env, 3)
+	env.Go("db", func(p *sim.Proc) {
+		c.devices[0].CMB().MemWrite(0, make([]byte, 256))
+	})
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	c.devices[0].InjectPowerLoss()
+
+	done := false
+	env.Go("takeover", func(p *sim.Proc) {
+		idx, err := c.Elect()
+		if err != nil {
+			t.Errorf("Elect: %v", err)
+			return
+		}
+		if err := c.Reconfigure(p, idx); err != nil {
+			t.Errorf("Reconfigure: %v", err)
+			return
+		}
+		done = true
+	})
+	env.RunUntil(env.Now() + time.Millisecond)
+	if !done {
+		t.Fatal("takeover never completed")
+	}
+	if c.Primary() != c.devices[1] {
+		t.Fatalf("primary = %s, want n1", c.Primary().Name())
+	}
+	if got := c.devices[1].Transport().Mode(); got != core.Primary {
+		t.Fatalf("new head mode = %v", got)
+	}
+	if peers := c.devices[1].Transport().Peers(); peers != 1 {
+		t.Fatalf("new head peers = %d, want its preserved downstream link", peers)
+	}
+	if c.Promotions() != 1 {
+		t.Fatalf("promotions = %d", c.Promotions())
+	}
+	// The preserved link still replicates: new head writes reach the tail.
+	env.Go("db2", func(p *sim.Proc) {
+		c.devices[1].CMB().MemWrite(256, make([]byte, 128))
+	})
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	if got := c.devices[2].CMB().Ring().Frontier(); got != 384 {
+		t.Fatalf("tail frontier = %d after new-head write, want 384", got)
 	}
 }

@@ -28,6 +28,10 @@ var (
 	ErrChainTooShort = errors.New("repl: a chain needs at least two devices")
 	// ErrModeRejected reports a device refusing a transport-mode command.
 	ErrModeRejected = errors.New("repl: device rejected transport-mode command")
+	// ErrNoCandidate reports an election with no promotable secondary:
+	// every survivor is dead or its shadow reporting is frozen. A failover
+	// manager retries once freezes expire.
+	ErrNoCandidate = errors.New("repl: no promotable secondary")
 )
 
 // Cluster is a replication group. Exactly one member is primary; the rest
@@ -40,6 +44,11 @@ type Cluster struct {
 
 	// bridges[i][j] carries traffic from device i to device j.
 	bridges [][]*ntb.Bridge
+
+	// order is the chain topology as device indices, head first (nil for
+	// star schemes). Election and reconfiguration walk it so takeovers
+	// preserve the chain's prefix ordering.
+	order []int
 
 	promotions int
 }
@@ -134,6 +143,7 @@ func (c *Cluster) Setup(p *sim.Proc, primaryIdx int, scheme core.ReplicationSche
 	}
 	c.primary = primaryIdx
 	c.scheme = scheme
+	c.order = nil
 	prim := c.devices[primaryIdx]
 	prim.Transport().ClearPeers()
 	prim.Transport().SetScheme(scheme)
@@ -159,6 +169,10 @@ func (c *Cluster) SetupChain(p *sim.Proc) error {
 	}
 	c.primary = 0
 	c.scheme = core.Chain
+	c.order = make([]int, len(c.devices))
+	for i := range c.order {
+		c.order[i] = i
+	}
 	for i, d := range c.devices {
 		d.Transport().ClearPeers()
 		if i == 0 {
@@ -196,7 +210,9 @@ func (c *Cluster) Promote(p *sim.Proc, newPrimary int) error {
 		c.devices[old].Transport().ClearPeers()
 	}
 	c.promotions++
-	// Rebuild peers around the new primary, skipping dead devices.
+	// Rebuild peers around the new primary, skipping dead devices. The
+	// result is a star regardless of scheme, so any chain order is void.
+	c.order = nil
 	c.primary = newPrimary
 	prim := c.devices[newPrimary]
 	prim.Transport().ClearPeers()
@@ -215,6 +231,99 @@ func (c *Cluster) Promote(p *sim.Proc, newPrimary int) error {
 
 // Promotions returns how many failovers the cluster has performed.
 func (c *Cluster) Promotions() int { return c.promotions }
+
+// Elect picks the secondary to promote after the primary's death,
+// per scheme (paper §4.2: the shadow counters exist precisely so a
+// surviving peer knows the persisted prefix it may serve from):
+//
+//   - chain: the next link in chain order — it holds the longest prefix
+//     by the chain's construction, and promoting it preserves every
+//     downstream link's retransmission state. A frozen next link is not
+//     skipped (reordering the chain would orphan retransmission windows);
+//     the election fails and the caller retries once the freeze expires.
+//   - eager/lazy: the survivor with the longest persisted prefix, ties
+//     broken by the lowest device index.
+//
+// Devices that are power-lost or advertising StatusShadowFrozen are
+// never elected. Returns ErrNoCandidate when no survivor qualifies.
+func (c *Cluster) Elect() (int, error) {
+	if c.scheme == core.Chain && c.order != nil {
+		pos := 0
+		for i, idx := range c.order {
+			if idx == c.primary {
+				pos = i + 1
+				break
+			}
+		}
+		for _, idx := range c.order[pos:] {
+			d := c.devices[idx]
+			if d.PowerLost() {
+				continue
+			}
+			if d.Transport().ShadowFrozen() {
+				return 0, fmt.Errorf("%w: next chain link %s is frozen", ErrNoCandidate, d.Name())
+			}
+			return idx, nil
+		}
+		return 0, fmt.Errorf("%w: no live link after %d in the chain", ErrNoCandidate, c.primary)
+	}
+	best, bestFr := -1, int64(-1)
+	for i, d := range c.devices {
+		if i == c.primary || d.PowerLost() || d.Transport().ShadowFrozen() {
+			continue
+		}
+		if fr := d.CMB().Ring().Frontier(); fr > bestFr {
+			best, bestFr = i, fr
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("%w: scheme %s", ErrNoCandidate, c.scheme)
+	}
+	return best, nil
+}
+
+// Reconfigure fails over to devices[newPrimary] with the topology rebuilt
+// per scheme. Star schemes (eager/lazy) delegate to Promote. For a chain,
+// the new head must be a link of the current chain: every link below it
+// stays wired — preserving each link's retransmission window, so holes
+// downstream heal through the ordinary repair path — and the dead prefix
+// of the chain is simply cut off. As with Promote, catch-up data transfer
+// is the database's job (paper §7.1; see the failover manager).
+func (c *Cluster) Reconfigure(p *sim.Proc, newPrimary int) error {
+	if c.scheme != core.Chain || c.order == nil {
+		return c.Promote(p, newPrimary)
+	}
+	if newPrimary < 0 || newPrimary >= len(c.devices) {
+		return fmt.Errorf("%w: promote %d of %d devices", ErrIndexRange, newPrimary, len(c.devices))
+	}
+	if newPrimary == c.primary {
+		return nil
+	}
+	pos := -1
+	for i, idx := range c.order {
+		if idx == newPrimary {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("%w: device %d is not a chain link", ErrIndexRange, newPrimary)
+	}
+	old := c.primary
+	if old >= 0 && !c.devices[old].PowerLost() {
+		// Planned handoff: the old head leaves the chain entirely.
+		if err := setMode(p, c.devices[old], core.Secondary); err != nil {
+			return err
+		}
+		c.devices[old].Transport().ClearPeers()
+	}
+	c.primary = newPrimary
+	c.order = c.order[pos:]
+	c.promotions++
+	head := c.devices[newPrimary]
+	head.Transport().SetScheme(core.Chain)
+	return setMode(p, head, core.Primary)
+}
 
 // Lag returns, for each secondary peer of the current primary, how many
 // stream bytes its shadow counter trails the primary's local counter.

@@ -14,6 +14,7 @@
 package villars
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -30,6 +31,11 @@ import (
 	"xssd/internal/sim"
 	"xssd/internal/trace"
 )
+
+// ErrFastSideBusy reports a TruncateToCredit on a fast side that still
+// has intake or in-flight data: the frontier is not yet authoritative.
+// Match with errors.Is.
+var ErrFastSideBusy = errors.New("villars: fast side not idle")
 
 // CMBWindowSize is the virtual size of the byte-addressable window: the
 // host addresses the fast side by stream offset and the device folds the
@@ -424,7 +430,32 @@ func (d *Device) statusRegister() int64 {
 	if d.powerLost {
 		s |= core.StatusPowerLoss
 	}
+	if d.transport.ShadowFrozen() {
+		s |= core.StatusShadowFrozen
+	}
 	return s
+}
+
+// FastSideIdle reports whether the primary fast side has fully retired
+// its intake: nothing queued and nothing in flight on the backing bus.
+// Only then does the ring's frontier reflect every byte the device has
+// accepted — the precondition for TruncateToCredit.
+func (d *Device) FastSideIdle() bool {
+	return d.fs.cmb.queueUsed == 0 && d.fs.cmb.persistPos == len(d.fs.cmb.persistq)
+}
+
+// TruncateToCredit drops every fast-side byte beyond the contiguous
+// persisted prefix and returns the resulting frontier — the promotion
+// step of a failover (paper §4.2: the shadow counter "tells the
+// secondary the persisted prefix it may serve from"). The fast side must
+// be idle (FastSideIdle); data sitting beyond a gap is discarded exactly
+// as the power-loss crash protocol would.
+func (d *Device) TruncateToCredit() (int64, error) {
+	if !d.FastSideIdle() {
+		return 0, fmt.Errorf("%w: %s", ErrFastSideBusy, d.cfg.Name)
+	}
+	d.fs.cmb.ring.DiscardGaps()
+	return d.fs.cmb.ring.Frontier(), nil
 }
 
 // Admin implements hic.AdminHandler: the vendor-specific command set.

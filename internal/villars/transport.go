@@ -175,7 +175,11 @@ func (t *transportModule) startRepair() {
 	t.repairing = true
 	t.dev.env.Go("mirror-repair-"+t.dev.cfg.Name, func(p *sim.Proc) {
 		for {
-			if len(t.peers) == 0 {
+			if len(t.peers) == 0 || t.dev.powerLost {
+				// No peers (post-demotion) or the device is dead: a
+				// power-lost device must never push more data onto the
+				// fabric, or a promoted successor would see traffic "from
+				// beyond the grave" racing its own stream.
 				t.repairing = false
 				return
 			}
@@ -392,6 +396,83 @@ func (t *transportModule) CounterUpdates() int64 { return t.mCounterUpdates.Valu
 // process, and shadow updates suppressed.
 func (t *transportModule) FaultStats() (drops, delays, resends, suppressed int64) {
 	return t.mMirrorDrops.Value(), t.mMirrorDelays.Value(), t.mRepairResends.Value(), t.mUpdatesSuppressed.Value()
+}
+
+// ShadowFrozen reports whether this device's own shadow-counter reporting
+// is currently suppressed by a freeze (fault plan, transport.shadow
+// point). A frozen secondary's upstream view of its persisted prefix is
+// stale, so a failover manager must not elect it (the status register
+// surfaces the same condition as StatusShadowFrozen).
+func (t *transportModule) ShadowFrozen() bool {
+	return t.mode == core.Secondary && t.dev.env.Now() < t.frozenUntil
+}
+
+// backfillChunk bounds one catch-up transfer unit so the peer's intake
+// queue is never overrun even with several chunks in flight.
+const backfillChunk = 1024
+
+// Backfill re-sends the stream bytes [off, off+len(data)) to peer sec —
+// the catch-up data transfer the paper leaves to the database (§7.1): a
+// freshly promoted primary drives each laggard peer's hole from the
+// host's retained log before normal mirroring resumes. Chunks are
+// retained in the peer's retransmission window like ordinary mirror
+// traffic, so dropped backfill heals through the repair process. The call
+// paces itself against the peer's shadow counter and blocks until the
+// whole range is covered. It returns the number of bytes sent.
+func (t *transportModule) Backfill(p *sim.Proc, sec *Device, off int64, data []byte) (int64, error) {
+	var pl *peerLink
+	for _, cand := range t.peers {
+		if cand.dev == sec {
+			pl = cand
+			break
+		}
+	}
+	if pl == nil {
+		return 0, fmt.Errorf("villars: backfill: %s is not a peer of %s", sec.Name(), t.dev.cfg.Name)
+	}
+	// awaitShadow blocks until the peer's shadow counter reaches target,
+	// re-checking every repair timeout so a peer that dies mid-transfer
+	// (whose counter will never move again) is still noticed.
+	awaitShadow := func(p *sim.Proc, target int64) error {
+		for pl.shadow < target {
+			if sec.powerLost {
+				return fmt.Errorf("villars: backfill: peer %s lost power mid-transfer", sec.Name())
+			}
+			ticked := false
+			t.dev.env.After(t.dev.cfg.RepairTimeout, func() {
+				ticked = true
+				t.ShadowAdvanced.Broadcast()
+			})
+			p.WaitFor(t.ShadowAdvanced, func() bool { return ticked || sec.powerLost || pl.shadow >= target })
+		}
+		return nil
+	}
+	budget := int64(sec.fs.queueSize) / 2
+	if budget < backfillChunk {
+		budget = backfillChunk
+	}
+	var sent int64
+	for len(data) > 0 {
+		n := backfillChunk
+		if n > len(data) {
+			n = len(data)
+		}
+		buf := pl.getBuf(n)
+		copy(buf, data[:n])
+		pl.unacked = append(pl.unacked, mirrorChunk{off: off, data: buf, sentAt: p.Now()})
+		pl.window.Write(off, buf, nil)
+		t.mMirroredBytes.Add(int64(n))
+		off += int64(n)
+		sent += int64(n)
+		data = data[n:]
+		// Keep at most half the peer's intake queue outstanding beyond its
+		// shadow counter; repair resends cover dropped chunks, so the
+		// counter always catches up while the peer lives.
+		if err := awaitShadow(p, off-budget); err != nil {
+			return sent, err
+		}
+	}
+	return sent, awaitShadow(p, off)
 }
 
 // Shadow returns the primary's shadow counter for a peer.

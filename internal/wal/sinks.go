@@ -49,6 +49,23 @@ func (s *VillarsSink) Name() string { return s.name }
 // Logger exposes the underlying drop-in API handle.
 func (s *VillarsSink) Logger() *xapi.Logger { return s.logger }
 
+// RebindableSink is a Sink that can be pointed at a different device
+// mid-stream — the failover path: after a secondary is promoted, the
+// host rebinds its log sink to the new primary and continues the stream
+// at the promoted device's persisted frontier.
+type RebindableSink interface {
+	Sink
+	// Rebind reopens the sink against dev with the stream cursor at off.
+	Rebind(p *sim.Proc, dev *villars.Device, off int64)
+}
+
+// Rebind implements RebindableSink: reopen the drop-in API against the
+// promoted device, resuming the stream at off (its credit counter already
+// vouches for every byte below).
+func (s *VillarsSink) Rebind(p *sim.Proc, dev *villars.Device, off int64) {
+	s.logger = xapi.Open(p, dev, xapi.Options{ResumeAt: off})
+}
+
 // MemorySink persists batches to host NVDIMM via plain stores plus a
 // persistence fence (the paper's "Memory" baseline; ERMIA emulates PM the
 // same way). The application remains responsible for eventually destaging

@@ -21,6 +21,13 @@ import (
 // was, exactly like a crashed log. Match with errors.Is.
 var ErrSinkLost = errors.New("wal: sink lost")
 
+// ErrResumeLive reports a Resume on a pipeline that has not halted.
+var ErrResumeLive = errors.New("wal: resume on a live pipeline")
+
+// ErrTailUnavailable reports a Resume or StreamRange over bytes the log
+// no longer holds (below the retention base, or past the appended end).
+var ErrTailUnavailable = errors.New("wal: stream bytes not retained")
+
 // Record is one WAL entry: a transaction's redo payload.
 type Record struct {
 	LSN     int64 // byte offset of the record in the log stream (set on append)
@@ -100,6 +107,11 @@ type Config struct {
 	// GroupTimeout: flush a smaller batch after this long (bounds commit
 	// latency at low load).
 	GroupTimeout time.Duration
+	// Retain keeps an in-memory copy of every durably flushed byte so the
+	// stream can be re-driven onto a promoted device after a failover
+	// (Log.Resume). Trim the copy with TrimRetained once the whole cluster
+	// holds a prefix. Off by default.
+	Retain bool
 }
 
 // DefaultConfig matches the paper's evaluation.
@@ -118,6 +130,12 @@ type Log struct {
 	bufStart   int64  // LSN of buf[0]
 	durableLSN int64  // everything below is persisted
 	oldestWait time.Duration
+
+	// failover retention (Config.Retain): the flushed stream's bytes in
+	// [retainBase, durableLSN), kept so Resume can re-drive the tail a
+	// promoted device is missing.
+	retained   []byte
+	retainBase int64
 
 	appended *sim.Signal // record arrived
 	flushed  *sim.Signal // durableLSN advanced
@@ -209,6 +227,11 @@ func (l *Log) WaitBacklog(p *sim.Proc, max int64) {
 // flusher batches appends and writes them through the sink.
 func (l *Log) flusher(p *sim.Proc) {
 	for {
+		if l.dead {
+			// Halted externally (Halt) while parked: exit so the flusher
+			// Resume starts is the only one running.
+			return
+		}
 		if len(l.buf) == 0 {
 			p.Wait(l.appended)
 			continue
@@ -263,8 +286,16 @@ func (l *Log) flusher(p *sim.Proc) {
 			}
 			if errors.Is(err, ErrSinkLost) {
 				// The device is gone (power loss). Freeze the durable
-				// horizon where it is and halt: unflushed records are
-				// lost, exactly like a crashed log.
+				// horizon where it is and halt; without a failover the
+				// unflushed records are lost, exactly like a crashed log.
+				// The failed batch is put back at the front of the buffer
+				// so Resume can re-drive a byte-exact stream onto a
+				// promoted device.
+				restored := make([]byte, 0, len(batch)+len(l.buf))
+				restored = append(restored, batch...)
+				restored = append(restored, l.buf...)
+				l.buf = restored
+				l.bufStart = start
 				l.dead = true
 				l.flushed.Broadcast()
 				return
@@ -273,6 +304,9 @@ func (l *Log) flusher(p *sim.Proc) {
 			// horizon; halt the pipeline loudly rather than acking lost
 			// data.
 			panic(fmt.Sprintf("wal: sink %s failed: %v", l.sink.Name(), err))
+		}
+		if l.cfg.Retain {
+			l.retained = append(l.retained, batch...)
 		}
 		l.durableLSN = start + int64(len(batch))
 		span.End()
@@ -292,5 +326,122 @@ func (l *Log) Stats() (records, flushes, bytes int64) {
 // WaitBacklog block forever.
 func (l *Log) Dead() bool { return l.dead }
 
+// Halt forces the pipeline into the halted state. A failover manager
+// calls this when the sink's device died while the flusher sat idle —
+// with no flush in flight, nothing would ever observe ErrSinkLost. Only
+// safe with no flush in flight (Backlog() == 0): a mid-flight flush must
+// be left to discover the loss itself, or Resume would race it.
+func (l *Log) Halt() {
+	if l.dead {
+		return
+	}
+	l.dead = true
+	l.appended.Broadcast() // wake the parked flusher so it exits
+	l.flushed.Broadcast()
+}
+
 // SinkRetries returns how many flush attempts a fault plan failed.
 func (l *Log) SinkRetries() int64 { return l.mSinkRetries.Value() }
+
+// Resume restarts a halted pipeline on a fresh sink whose stream frontier
+// is fr (a promoted secondary's persisted prefix, see failover). It
+// reconciles the log with the frontier before the flusher restarts:
+//
+//   - fr < DurableLSN: the promoted device is missing a tail the old
+//     primary had acked. The retained copy (Config.Retain) of
+//     [fr, DurableLSN) is re-driven through the new sink so no committed
+//     record is lost. Without retention this is ErrTailUnavailable.
+//   - fr > DurableLSN: the promoted device persisted bytes the old
+//     primary never acked (lazy schemes cannot produce this; eager/chain
+//     can). The buffered prefix up to fr is already durable and is
+//     dropped from the accumulator; the durable horizon jumps to fr.
+//
+// Both directions rely on the stream being append-only and content-fixed:
+// the bytes at an offset never change, so replaying or skipping them is
+// idempotent. Returns the number of bytes replayed through the new sink.
+func (l *Log) Resume(p *sim.Proc, sink Sink, fr int64) (int64, error) {
+	if !l.dead {
+		return 0, fmt.Errorf("%w: sink %s still active", ErrResumeLive, l.sink.Name())
+	}
+	var replayed int64
+	switch {
+	case fr < l.durableLSN:
+		if !l.cfg.Retain || fr < l.retainBase {
+			return 0, fmt.Errorf("%w: need [%d, %d), retained from %d",
+				ErrTailUnavailable, fr, l.durableLSN, l.retainBase)
+		}
+		tail := l.retained[fr-l.retainBase : l.durableLSN-l.retainBase]
+		for len(tail) > 0 {
+			n := len(tail)
+			if n > l.cfg.GroupBytes {
+				n = l.cfg.GroupBytes
+			}
+			if err := sink.Write(p, tail[:n]); err != nil {
+				return replayed, fmt.Errorf("wal: resume replay on %s: %w", sink.Name(), err)
+			}
+			replayed += int64(n)
+			tail = tail[n:]
+		}
+	case fr > l.durableLSN:
+		skip := fr - l.durableLSN
+		if skip > int64(len(l.buf)) {
+			return 0, fmt.Errorf("%w: frontier %d past appended end %d",
+				ErrTailUnavailable, fr, l.bufStart+int64(len(l.buf)))
+		}
+		if l.cfg.Retain {
+			l.retained = append(l.retained, l.buf[:skip]...)
+		}
+		rem := copy(l.buf, l.buf[skip:])
+		l.buf = l.buf[:rem]
+		l.bufStart = fr
+		l.durableLSN = fr
+	}
+	l.sink = sink
+	l.dead = false
+	if len(l.buf) > 0 {
+		l.oldestWait = l.env.Now()
+	}
+	l.env.Go("wal-flusher", l.flusher)
+	l.flushed.Broadcast()
+	return replayed, nil
+}
+
+// StreamRange returns a copy of the log stream's bytes in [from, to).
+// Durable bytes are served from the retained copy (Config.Retain);
+// appended-but-unflushed bytes from the accumulator. Used by a failover
+// manager to backfill a surviving secondary's missing prefix.
+func (l *Log) StreamRange(from, to int64) ([]byte, error) {
+	end := l.bufStart + int64(len(l.buf))
+	if from < l.retainBase || to > end || from > to ||
+		(from < l.bufStart && !l.cfg.Retain) {
+		return nil, fmt.Errorf("%w: range [%d, %d) outside [%d, %d)",
+			ErrTailUnavailable, from, to, l.retainBase, end)
+	}
+	out := make([]byte, 0, to-from)
+	if from < l.bufStart {
+		stop := to
+		if stop > l.bufStart {
+			stop = l.bufStart
+		}
+		out = append(out, l.retained[from-l.retainBase:stop-l.retainBase]...)
+		from = stop
+	}
+	if from < to {
+		out = append(out, l.buf[from-l.bufStart:to-l.bufStart]...)
+	}
+	return out, nil
+}
+
+// TrimRetained discards retained stream bytes below upTo, once every
+// replica is known to hold that prefix. Calls with upTo below the current
+// base or above the durable horizon are clamped.
+func (l *Log) TrimRetained(upTo int64) {
+	if upTo > l.durableLSN {
+		upTo = l.durableLSN
+	}
+	if upTo <= l.retainBase {
+		return
+	}
+	l.retained = append([]byte(nil), l.retained[upTo-l.retainBase:]...)
+	l.retainBase = upTo
+}

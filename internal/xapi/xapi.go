@@ -108,6 +108,11 @@ type Options struct {
 	Scratch int64
 	// HostMem is the host memory XPread uses; required for XPread.
 	HostMem *pcie.HostMemory
+	// ResumeAt positions the stream cursor at a takeover point instead of
+	// zero: the host continues an existing log stream on a promoted
+	// secondary whose credit counter already vouches for every byte below
+	// this offset (failover).
+	ResumeAt int64
 }
 
 // Open binds a logger to an endpoint: maps the CMB window write-combining
@@ -135,6 +140,9 @@ func Open(p *sim.Proc, dev Endpoint, opts Options) *Logger {
 	l.mFsync = sc.Histogram("fsync_ns")
 	qs := l.readReg(p, core.RegQueueSize)
 	l.fc = core.NewFlowControl(qs)
+	if opts.ResumeAt > 0 {
+		l.fc.Resume(opts.ResumeAt)
+	}
 	return l
 }
 

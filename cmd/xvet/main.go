@@ -4,28 +4,38 @@
 //
 // Usage:
 //
-//	go run ./cmd/xvet [-disable name,name] [packages]
+//	go run ./cmd/xvet [-disable name,name] [-json] [packages]
 //
 // With no arguments it checks ./... . It exits 0 when the code is clean,
 // 3 when any analyzer reported a diagnostic, and 2 on a loading error
-// (mirroring the golang.org/x/tools multichecker conventions).
+// (mirroring the golang.org/x/tools multichecker conventions). With
+// -json, diagnostics are emitted as a JSON array of
+// {file,line,col,analyzer,message} objects (sorted by position) for CI
+// artifacts; the exit codes are unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"xssd/internal/analysis"
+	"xssd/internal/analysis/bufownership"
+	"xssd/internal/analysis/envaffinity"
 	"xssd/internal/analysis/errdiscipline"
+	"xssd/internal/analysis/hotpathalloc"
 	"xssd/internal/analysis/maporder"
 	"xssd/internal/analysis/paramdoc"
 	"xssd/internal/analysis/simdeterminism"
 )
 
 var all = []*analysis.Analyzer{
+	bufownership.Analyzer,
+	envaffinity.Analyzer,
 	errdiscipline.Analyzer,
+	hotpathalloc.Analyzer,
 	maporder.Analyzer,
 	paramdoc.Analyzer,
 	simdeterminism.Analyzer,
@@ -34,8 +44,9 @@ var all = []*analysis.Analyzer{
 func main() {
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
 	list := flag.Bool("list", false, "print the available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xvet [-disable name,name] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: xvet [-disable name,name] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
@@ -85,10 +96,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fset := pkgs[0].Fset
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			p := fset.Position(d.Pos)
+			out = append(out, jsonDiag{File: p.Filename, Line: p.Line, Col: p.Column,
+				Analyzer: d.Analyzer.Name, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		if len(diags) > 0 {
+			os.Exit(3)
+		}
+		return
+	}
 	if len(diags) == 0 {
 		return
 	}
-	fset := pkgs[0].Fset
 	for _, d := range diags {
 		fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer.Name)
 	}

@@ -37,6 +37,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the run-wide cross-package note store (may be nil when an
+	// analyzer is driven outside RunAnalyzers). Packages are visited in
+	// dependency order, so facts about imported packages are already
+	// recorded when a pass runs.
+	Facts *Facts
+
 	// Report delivers one finding. Set by the driver.
 	Report func(Diagnostic)
 }

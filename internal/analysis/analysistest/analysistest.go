@@ -27,15 +27,21 @@ import (
 )
 
 // Run analyzes each testdata/src/<path> package with a and reports
-// mismatches between diagnostics and // want expectations on t.
+// mismatches between diagnostics and // want expectations on t. One
+// Facts store is shared across the paths of a call, in order, so
+// fact-recording analyzers can be exercised cross-package by listing
+// the fact-producing path first. //xssd:ignore directives in testdata
+// suppress diagnostics exactly as under the xvet driver. Passing
+// analysis.DirectiveAnalyzer checks directive validation itself.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
+	facts := analysis.NewFacts()
 	for _, path := range paths {
-		runOne(t, testdata, a, path)
+		runOne(t, testdata, a, facts, path)
 	}
 }
 
-func runOne(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, facts *analysis.Facts, path string) {
 	t.Helper()
 	dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
@@ -80,16 +86,30 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
 	}
 
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       tpkg,
-		TypesInfo: info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	ignores := analysis.BuildIgnoreIndex(fset, files)
+	report := func(d analysis.Diagnostic) {
+		if ignores.Suppressed(fset.Position(d.Pos), a.Name) {
+			return
+		}
+		diags = append(diags, d)
 	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("%s: analyzer %s: %v", path, a.Name, err)
+	if a == analysis.DirectiveAnalyzer {
+		for _, d := range analysis.ValidateDirectives(files) {
+			report(d)
+		}
+	} else {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Facts:     facts,
+			Report:    report,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer %s: %v", path, a.Name, err)
+		}
 	}
 
 	wants := collectWants(t, fset, files)

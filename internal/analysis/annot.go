@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //xssd: machine-directive grammar (DESIGN.md §9). Directives are
+// ordinary comments with no space after "//", mirroring //go: directives,
+// so gofmt leaves them alone and they never render as documentation
+// prose:
+//
+//	//xssd:hotpath
+//	//xssd:ignore <analyzer> <reason...>
+//	//xssd:pool get|put|retain|alias
+//	//xssd:conduit <reason...>
+//	//xssd:envroot
+//	//xssd:foreign
+//
+// hotpath marks a function whose body hotpathalloc checks for
+// allocation-introducing constructs. ignore suppresses one analyzer's
+// diagnostics on its own line and the line below; the reason is
+// mandatory. pool classifies buffer-pool surfaces for bufownership: get
+// on functions handing out pooled objects, put on free-list fields and
+// release functions, retain on sanctioned long-lived retention fields,
+// alias on functions returning views into pooled storage. conduit marks
+// a function as an approved cross-Env crossing for envaffinity; envroot
+// marks a type whose state is owned by one Env; foreign marks a struct
+// field that points at another Env's state.
+const directivePrefix = "//xssd:"
+
+// Directive is one parsed //xssd: machine directive.
+type Directive struct {
+	Pos  token.Pos
+	Name string
+	Args []string
+}
+
+// directiveSpecs lists the known directive names and the minimum number
+// of arguments each requires.
+var directiveSpecs = map[string]int{
+	"hotpath": 0,
+	"ignore":  2, // analyzer + reason
+	"pool":    1, // get|put|retain|alias
+	"conduit": 1, // reason
+	"envroot": 0,
+	"foreign": 0,
+}
+
+// poolClasses are the valid arguments of //xssd:pool.
+var poolClasses = map[string]bool{"get": true, "put": true, "retain": true, "alias": true}
+
+// ParseDirective parses one comment's text. ok is false when the comment
+// is not an //xssd: directive at all; a malformed directive (unknown
+// name, missing arguments) still returns ok = true so the caller can
+// report it instead of silently treating a typo as prose.
+func ParseDirective(text string) (Directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	fields := strings.Fields(text[len(directivePrefix):])
+	d := Directive{}
+	if len(fields) > 0 {
+		d.Name = fields[0]
+		d.Args = fields[1:]
+	}
+	return d, true
+}
+
+// directiveProblem describes what is wrong with d, or "" when d is well
+// formed.
+func directiveProblem(d Directive) string {
+	min, known := directiveSpecs[d.Name]
+	if !known {
+		return "unknown //xssd: directive " + strconvQuote(d.Name)
+	}
+	if len(d.Args) < min {
+		switch d.Name {
+		case "ignore":
+			return "//xssd:ignore needs an analyzer name and a reason"
+		case "pool":
+			return "//xssd:pool needs a class: get, put, retain, or alias"
+		case "conduit":
+			return "//xssd:conduit needs a reason"
+		}
+		return "//xssd:" + d.Name + " is missing arguments"
+	}
+	if d.Name == "pool" && !poolClasses[d.Args[0]] {
+		return "//xssd:pool class must be get, put, retain, or alias, not " + strconvQuote(d.Args[0])
+	}
+	return ""
+}
+
+// strconvQuote is a tiny local quote so the parser stays dependency-free
+// for the fuzz target.
+func strconvQuote(s string) string { return `"` + s + `"` }
+
+// Directives returns every //xssd: directive in f's comments, with
+// positions, in source order.
+func Directives(f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := ParseDirective(c.Text); ok {
+				d.Pos = c.Pos()
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether the comment group carries an
+// //xssd:<name> directive.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	_, ok := FindDirective(doc, name)
+	return ok
+}
+
+// FindDirective returns the first //xssd:<name> directive in doc.
+func FindDirective(doc *ast.CommentGroup, name string) (Directive, bool) {
+	if doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range doc.List {
+		if d, ok := ParseDirective(c.Text); ok && d.Name == name {
+			d.Pos = c.Pos()
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// DirectiveAnalyzer attributes the framework's own diagnostics about
+// malformed //xssd: directives. It is not independently runnable; the
+// driver applies it to every package alongside the real analyzers.
+var DirectiveAnalyzer = &Analyzer{
+	Name: "xssddirective",
+	Doc:  "report malformed //xssd: machine directives (typos would otherwise silently disable a check)",
+}
+
+// ValidateDirectives returns a diagnostic for every malformed //xssd:
+// directive in files, attributed to DirectiveAnalyzer.
+func ValidateDirectives(files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, d := range Directives(f) {
+			if p := directiveProblem(d); p != "" {
+				out = append(out, Diagnostic{Pos: d.Pos, Message: p, Analyzer: DirectiveAnalyzer})
+			}
+		}
+	}
+	return out
+}
+
+// IgnoreIndex records //xssd:ignore directives: file -> line -> the
+// analyzer names suppressed there. An ignore suppresses matching
+// diagnostics on its own line and on the line directly below, so it
+// works both as a trailing comment and as a standalone line above the
+// finding.
+type IgnoreIndex map[string]map[int]map[string]bool
+
+// BuildIgnoreIndex collects the well-formed ignore directives of files.
+func BuildIgnoreIndex(fset *token.FileSet, files []*ast.File) IgnoreIndex {
+	ix := IgnoreIndex{}
+	for _, f := range files {
+		for _, d := range Directives(f) {
+			if d.Name != "ignore" || len(d.Args) < 2 {
+				continue
+			}
+			pos := fset.Position(d.Pos)
+			lines := ix[pos.Filename]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				ix[pos.Filename] = lines
+			}
+			set := lines[pos.Line]
+			if set == nil {
+				set = map[string]bool{}
+				lines[pos.Line] = set
+			}
+			set[d.Args[0]] = true
+		}
+	}
+	return ix
+}
+
+// Suppressed reports whether a diagnostic of the named analyzer at pos
+// is covered by an ignore directive.
+func (ix IgnoreIndex) Suppressed(pos token.Position, analyzer string) bool {
+	lines := ix[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}

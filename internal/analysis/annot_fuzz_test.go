@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzDirective hardens the //xssd: annotation parser: seven analyzers
+// and the xvet driver trust its output, so it must never panic, never
+// recognize prose as a directive, and must classify every recognized
+// directive either as well formed or with a stable problem description.
+func FuzzDirective(f *testing.F) {
+	f.Add("//xssd:hotpath")
+	f.Add("//xssd:ignore hotpathalloc the delay path must copy")
+	f.Add("//xssd:pool get")
+	f.Add("//xssd:pool borrow")
+	f.Add("//xssd:conduit catch-up transfer at the takeover barrier")
+	f.Add("//xssd:envroot")
+	f.Add("//xssd:foreign extra args")
+	f.Add("//xssd:ignore onlyanalyzer")
+	f.Add("//xssd:")
+	f.Add("//xssd:pool")
+	f.Add("// xssd:hotpath")
+	f.Add("//go:noinline")
+	f.Add("//xssd:hotpath\ttabs and odd spaces")
+	f.Add("//xssd:pool get put retain alias")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := ParseDirective(text)
+		if !ok {
+			// Not a directive: the prefix must genuinely be absent, or
+			// the parser is silently dropping annotations.
+			if strings.HasPrefix(text, "//xssd:") {
+				t.Fatalf("ParseDirective(%q) rejected a //xssd: comment", text)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//xssd:") {
+			t.Fatalf("ParseDirective(%q) recognized a non-directive", text)
+		}
+		// Fields never contain whitespace: the ignore index and the
+		// analyzer fact keys depend on that.
+		for _, s := range append([]string{d.Name}, d.Args...) {
+			if strings.IndexFunc(s, unicode.IsSpace) >= 0 {
+				t.Fatalf("ParseDirective(%q) produced a field with whitespace: %q", text, s)
+			}
+		}
+		// Classification is total and stable: directiveProblem must not
+		// panic, and a well-formed verdict must agree with the spec
+		// table's arity floor.
+		p := directiveProblem(d)
+		min, known := directiveSpecs[d.Name]
+		if p == "" {
+			if !known {
+				t.Fatalf("directiveProblem(%q) accepted unknown directive %q", text, d.Name)
+			}
+			if len(d.Args) < min {
+				t.Fatalf("directiveProblem(%q) accepted %q with %d args, spec floor %d", text, d.Name, len(d.Args), min)
+			}
+			if d.Name == "pool" && !poolClasses[d.Args[0]] {
+				t.Fatalf("directiveProblem(%q) accepted bad pool class %q", text, d.Args[0])
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		ok   bool
+		name string
+		args []string
+	}{
+		{"//xssd:hotpath", true, "hotpath", nil},
+		{"//xssd:pool get", true, "pool", []string{"get"}},
+		{"//xssd:ignore maporder order proven irrelevant", true, "ignore",
+			[]string{"maporder", "order", "proven", "irrelevant"}},
+		{"//xssd:conduit takeover barrier", true, "conduit", []string{"takeover", "barrier"}},
+		{"//xssd:", true, "", nil},           // parses (so it can be reported), name empty
+		{"// xssd:hotpath", false, "", nil},  // space after //: prose, not a directive
+		{"//go:noinline", false, "", nil},    // different directive namespace
+		{"/*xssd:hotpath*/", false, "", nil}, // block comments never carry directives
+		{"// plain documentation", false, "", nil},
+	}
+	for _, c := range cases {
+		d, ok := ParseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("ParseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Name != c.name {
+			t.Errorf("ParseDirective(%q) name = %q, want %q", c.text, d.Name, c.name)
+		}
+		if got, want := strings.Join(d.Args, " "), strings.Join(c.args, " "); got != want {
+			t.Errorf("ParseDirective(%q) args = %q, want %q", c.text, got, want)
+		}
+	}
+}
+
+func TestDirectiveProblem(t *testing.T) {
+	cases := []struct {
+		text    string
+		problem string // substring of the expected problem, "" = well formed
+	}{
+		{"//xssd:hotpath", ""},
+		{"//xssd:envroot", ""},
+		{"//xssd:foreign", ""},
+		{"//xssd:pool retain", ""},
+		{"//xssd:pool alias", ""},
+		{"//xssd:ignore hotpathalloc the delay path must copy", ""},
+		{"//xssd:conduit barrier transfer", ""},
+		{"//xssd:hotpth", "unknown //xssd: directive"},
+		{"//xssd:", "unknown //xssd: directive"},
+		{"//xssd:ignore hotpathalloc", "needs an analyzer name and a reason"},
+		{"//xssd:ignore", "needs an analyzer name and a reason"},
+		{"//xssd:pool", "needs a class"},
+		{"//xssd:pool borrow", "class must be get, put, retain, or alias"},
+		{"//xssd:conduit", "needs a reason"},
+	}
+	for _, c := range cases {
+		d, ok := ParseDirective(c.text)
+		if !ok {
+			t.Fatalf("ParseDirective(%q) did not recognize a directive", c.text)
+		}
+		p := directiveProblem(d)
+		if c.problem == "" && p != "" {
+			t.Errorf("directiveProblem(%q) = %q, want well formed", c.text, p)
+		}
+		if c.problem != "" && !strings.Contains(p, c.problem) {
+			t.Errorf("directiveProblem(%q) = %q, want containing %q", c.text, p, c.problem)
+		}
+	}
+}
+
+const malformedSrc = `package p
+
+//xssd:ignore maporder
+func a() {}
+
+//xssd:pool borrow
+func b() {}
+
+//xssd:condiut typo here
+func c() {}
+
+//xssd:hotpath
+func fine() {}
+`
+
+func TestValidateDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", malformedSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := ValidateDirectives([]*ast.File{f})
+	wants := []string{
+		"needs an analyzer name and a reason",
+		"class must be get, put, retain, or alias",
+		"unknown //xssd: directive",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(wants), diags)
+	}
+	for i, w := range wants {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want containing %q", i, diags[i].Message, w)
+		}
+		if diags[i].Analyzer != DirectiveAnalyzer {
+			t.Errorf("diagnostic %d attributed to %v, want DirectiveAnalyzer", i, diags[i].Analyzer)
+		}
+	}
+}
+
+func TestIgnoreIndexSuppressed(t *testing.T) {
+	src := `package p
+
+//xssd:ignore maporder reason one
+func a() {} //xssd:ignore errdiscipline reason two
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildIgnoreIndex(fset, []*ast.File{f})
+	pos := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	if !ix.Suppressed(pos(3), "maporder") {
+		t.Error("ignore on its own line not suppressed")
+	}
+	if !ix.Suppressed(pos(4), "maporder") {
+		t.Error("ignore on the line above not suppressed")
+	}
+	if !ix.Suppressed(pos(4), "errdiscipline") {
+		t.Error("trailing same-line ignore not suppressed")
+	}
+	if ix.Suppressed(pos(4), "paramdoc") {
+		t.Error("unrelated analyzer suppressed")
+	}
+	if ix.Suppressed(pos(5), "maporder") {
+		t.Error("suppression leaked two lines down")
+	}
+}

@@ -1,0 +1,12 @@
+package bufownership_test
+
+import (
+	"testing"
+
+	"xssd/internal/analysis/analysistest"
+	"xssd/internal/analysis/bufownership"
+)
+
+func TestBufOwnership(t *testing.T) {
+	analysistest.Run(t, "testdata", bufownership.Analyzer, "a")
+}

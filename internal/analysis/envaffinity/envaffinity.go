@@ -1,0 +1,333 @@
+// Package envaffinity computes which sim.Env owns attached device state
+// and flags simulated processes that touch state owned by more than one
+// Env without going through an approved conduit. It is the
+// machine-checked precondition for running each Env on its own OS
+// thread (ROADMAP: parallel engine): a proc whose accesses stay inside
+// one Env's ownership domain can run without locks.
+package envaffinity
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xssd/internal/analysis"
+)
+
+// Fact kinds recorded in the run-wide store.
+const (
+	factEnvRoot = "envroot"
+	factConduit = "conduit"
+	factForeign = "foreign"
+)
+
+// Analyzer is the envaffinity check.
+var Analyzer = &analysis.Analyzer{
+	Name: "envaffinity",
+	Doc: `flag cross-Env state access outside approved conduits
+
+Types annotated //xssd:envroot (the villars Device) root an ownership
+domain: everything reachable from one value of such a type belongs to
+the sim.Env that value is attached to. A function running in simulated
+process context (it has a *sim.Proc parameter, or is a closure handed to
+Env.Go/After/At) must confine its accesses to a single root. Touching
+two roots means the proc would straddle two Envs once the engine runs
+Envs on separate threads.
+
+Sanctioned crossings are declared, not inferred: //xssd:conduit <reason>
+on a function or method (ntb delivery, transport mirror/backfill,
+failover takeover at the barrier) exempts its body and makes calls to it
+not count as an access; //xssd:foreign on a struct field (a transport
+peer's back-pointer) permits holding the reference but flags any access
+through it. Facts are recorded per package and visible to dependents, so
+the check is cross-package.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	collect(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, isConduit := analysis.FindDirective(fd.Doc, "conduit"); isConduit {
+				continue
+			}
+			c := &checker{pass: pass}
+			if hasProcParam(pass, fd) {
+				c.checkBody(fd.Name.Name, fd.Body)
+			}
+			// Closures handed to the Env run in process context too, even
+			// from functions that are not themselves procs.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.Callee(pass.TypesInfo, call)
+				if fn == nil || !isEnvMethod(fn, "Go", "After", "At") {
+					return true
+				}
+				for _, arg := range call.Args {
+					if lit, ok := analysis.Unparen(arg).(*ast.FuncLit); ok {
+						cc := &checker{pass: pass}
+						cc.checkBody(fd.Name.Name+" closure", lit.Body)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collect records this package's annotations as run-wide facts.
+func collect(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if _, ok := analysis.FindDirective(d.Doc, "conduit"); ok {
+					if fn, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+						pass.Facts.Set(factConduit, funcKey(fn))
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					if _, ok := analysis.FindDirective(doc, "envroot"); ok {
+						pass.Facts.Set(factEnvRoot, pass.Pkg.Path()+"."+ts.Name.Name)
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						_, ok := analysis.FindDirective(field.Doc, "foreign")
+						if !ok {
+							_, ok = analysis.FindDirective(field.Comment, "foreign")
+						}
+						if !ok {
+							continue
+						}
+						for _, name := range field.Names {
+							pass.Facts.Set(factForeign,
+								pass.Pkg.Path()+"."+ts.Name.Name+"."+name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checker scans one process-context body.
+type checker struct {
+	pass *analysis.Pass
+	// roots maps each accessed envroot variable to its first access; the
+	// slice keeps first-access order.
+	order []types.Object
+	first map[types.Object]*ast.SelectorExpr
+}
+
+func (c *checker) checkBody(name string, body *ast.BlockStmt) {
+	c.first = map[types.Object]*ast.SelectorExpr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Access through a //xssd:foreign field: holding the pointer is
+		// sanctioned, dereferencing into the peer's state is not.
+		if inner, ok := analysis.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			if f, owner := c.fieldObj(inner); f != nil && c.foreignField(f, owner) {
+				c.pass.Reportf(sel.Pos(),
+					"cross-Env access: %s reaches through //xssd:foreign field %s into the peer's state; route it through a conduit or the wire",
+					name, f.Name())
+			}
+		}
+		root := c.rootOf(sel.X)
+		if root == nil {
+			return true
+		}
+		if c.conduitCall(sel) {
+			return true
+		}
+		if _, seen := c.first[root]; !seen {
+			c.first[root] = sel
+			c.order = append(c.order, root)
+		}
+		return true
+	})
+	if len(c.order) < 2 {
+		return
+	}
+	home := c.order[0]
+	for _, other := range c.order[1:] {
+		sel := c.first[other]
+		c.pass.Reportf(sel.Pos(),
+			"cross-Env access: %s touches state of both %s and %s, which are attached to different sim.Envs; go through an approved conduit (//xssd:conduit) or the wire",
+			name, home.Name(), other.Name())
+	}
+}
+
+// rootOf resolves the base of a selector to an envroot-typed variable
+// (directly, through a pointer, or as an element of a slice/array of
+// roots). Field chains are not roots: a module reaching its own device
+// through m.dev stays inside one Env by construction.
+func (c *checker) rootOf(e ast.Expr) types.Object {
+	e = analysis.Unparen(e)
+	for {
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = analysis.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if c.envRootType(v.Type()) {
+		return v
+	}
+	return nil
+}
+
+// envRootType strips pointers and slices and asks the fact store.
+func (c *checker) envRootType(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return c.pass.Facts.Has(factEnvRoot, n.Obj().Pkg().Path()+"."+n.Obj().Name())
+}
+
+// conduitCall reports whether sel selects a //xssd:conduit method.
+func (c *checker) conduitCall(sel *ast.SelectorExpr) bool {
+	if s, ok := c.pass.TypesInfo.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return c.pass.Facts.Has(factConduit, funcKey(fn))
+		}
+	}
+	return false
+}
+
+// fieldObj resolves a selector to a struct field and the name of the
+// struct type it was selected from.
+func (c *checker) fieldObj(sel *ast.SelectorExpr) (*types.Var, string) {
+	if s, ok := c.pass.TypesInfo.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v, recvName(s.Recv())
+		}
+	}
+	return nil, ""
+}
+
+// foreignField asks the fact store whether the owner's field carries
+// //xssd:foreign.
+func (c *checker) foreignField(f *types.Var, owner string) bool {
+	if f.Pkg() == nil || owner == "" {
+		return false
+	}
+	return c.pass.Facts.Has(factForeign, f.Pkg().Path()+"."+owner+"."+f.Name())
+}
+
+func funcKey(fn *types.Func) string {
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		key += recvName(sig.Recv().Type()) + "."
+	}
+	return key + fn.Name()
+}
+
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func isEnvMethod(fn *types.Func, names ...string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	p, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Name() != "Env" || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	if path != "sim" && !strings.HasSuffix(path, "/sim") {
+		return false
+	}
+	for _, want := range names {
+		if fn.Name() == want {
+			return true
+		}
+	}
+	return false
+}
+
+func hasProcParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		if t, ok := pass.TypesInfo.Types[f.Type]; ok && t.Type != nil && isProcPtr(t.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isProcPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Name() != "Proc" || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "sim" || strings.HasSuffix(path, "/sim")
+}

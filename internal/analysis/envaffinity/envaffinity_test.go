@@ -1,0 +1,12 @@
+package envaffinity_test
+
+import (
+	"testing"
+
+	"xssd/internal/analysis/analysistest"
+	"xssd/internal/analysis/envaffinity"
+)
+
+func TestEnvAffinity(t *testing.T) {
+	analysistest.Run(t, "testdata", envaffinity.Analyzer, "a")
+}

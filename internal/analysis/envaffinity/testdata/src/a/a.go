@@ -1,0 +1,79 @@
+// Package a exercises the envaffinity analyzer: a simulated process
+// touching the state of two ownership roots, or reaching through an
+// //xssd:foreign field, is reported; conduits and reference-holding are
+// not.
+package a
+
+import "xssd/internal/sim"
+
+// Device roots an ownership domain: everything reachable from one
+// Device belongs to the sim.Env it is attached to.
+//
+//xssd:envroot
+type Device struct {
+	env *sim.Env
+	n   int
+}
+
+type link struct {
+	// peer is held for identity and wiring only.
+	//
+	//xssd:foreign
+	peer *Device
+
+	acked int
+}
+
+// copyCount straddles two Envs from one proc.
+func copyCount(p *sim.Proc, src, dst *Device) {
+	dst.n = src.n // want "cross-Env access: copyCount touches state of both dst and src"
+}
+
+// closures handed to the Env run in process context too.
+func closureCase(d, e *Device) {
+	d.env.Go("worker", func(p *sim.Proc) {
+		d.n++
+		e.n++ // want "cross-Env access: closureCase closure touches state of both d and e"
+	})
+}
+
+// readThroughPeer dereferences a foreign back-pointer into the peer's
+// state.
+func readThroughPeer(p *sim.Proc, l *link) int {
+	return l.peer.n // want "reaches through //xssd:foreign field peer"
+}
+
+// rebalance is a sanctioned crossing: its body is exempt.
+//
+//xssd:conduit rewiring at the barrier: no traffic flows meanwhile
+func rebalance(p *sim.Proc, a, b *Device) {
+	b.n = a.n
+}
+
+// Backfill is a sanctioned crossing; calls to it do not count as an
+// access of the receiver's state.
+//
+//xssd:conduit the receiver copies on arrival
+func (d *Device) Backfill(p *sim.Proc, n int) {
+	d.n = n
+}
+
+// driveBackfill stays single-Env: the only touch of peer goes through a
+// conduit; no report.
+func driveBackfill(p *sim.Proc, local, peer *Device) {
+	local.n++
+	peer.Backfill(p, local.n)
+}
+
+// holdPeer compares the foreign pointer without dereferencing through
+// it; no report.
+func holdPeer(p *sim.Proc, l *link, d *Device) bool {
+	l.acked++
+	return l.peer == d
+}
+
+// localOnly holds a second root without touching its state; no report.
+func localOnly(p *sim.Proc, d, peer *Device) {
+	d.n++
+	_ = peer
+}

@@ -22,7 +22,12 @@ fmt.Errorf("...: %v", err) flattens err to text: errors.Is/errors.As can no
 longer see sentinel errors like ring.ErrFull through it. Use %w. Separately,
 calling an error-returning method of the villars/wal/ring/xapi packages as
 a bare statement drops a durability signal on the floor; handle the error
-or assign it to _ explicitly to document the decision.`,
+or assign it to _ explicitly to document the decision.
+
+Deferred cleanup closures (a func literal that is the immediate operand of
+a defer statement) are exempt from the discard rule: by the time they run
+the operation's outcome is already decided, and a best-effort Close/Abort
+there has no caller left to hand the error to.`,
 	Run: run,
 }
 
@@ -39,19 +44,37 @@ var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Inte
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				checkErrorf(pass, n)
-			case *ast.ExprStmt:
-				if call, ok := analysis.Unparen(n.X).(*ast.CallExpr); ok {
-					checkDiscard(pass, call)
-				}
-			}
-			return true
-		})
+		checkScope(pass, f, false)
 	}
 	return nil
+}
+
+// checkScope walks n flagging %v-wrapping and discarded errors. inCleanup
+// is true lexically inside a deferred func literal, where bare-statement
+// discards are deliberate best-effort cleanup rather than dropped signals
+// (the %w rule still applies there).
+func checkScope(pass *analysis.Pass, root ast.Node, inCleanup bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := analysis.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				// The call's arguments evaluate at defer time, in the
+				// surrounding discipline; only the body is the cleanup.
+				for _, arg := range n.Call.Args {
+					checkScope(pass, arg, inCleanup)
+				}
+				checkScope(pass, lit.Body, true)
+				return false
+			}
+		case *ast.CallExpr:
+			checkErrorf(pass, n)
+		case *ast.ExprStmt:
+			if call, ok := analysis.Unparen(n.X).(*ast.CallExpr); ok && !inCleanup {
+				checkDiscard(pass, call)
+			}
+		}
+		return true
+	})
 }
 
 // checkErrorf flags fmt.Errorf calls that format an error value with %v or

@@ -47,3 +47,35 @@ func handled(r *ring.Ring, data []byte) error {
 	}
 	return nil
 }
+
+// deferredCleanup discards inside a deferred closure: by the time it
+// runs the operation's outcome is decided and there is no caller left to
+// hand the error to; no report.
+func deferredCleanup(r *ring.Ring, data []byte) error {
+	defer func() {
+		r.Release(8)
+	}()
+	return r.Write(0, data)
+}
+
+// deferredDirect is not a bare statement call; never reported.
+func deferredDirect(r *ring.Ring) {
+	defer r.Release(8)
+}
+
+// deferredStillWraps: the %w rule holds even inside cleanup closures.
+func deferredStillWraps(r *ring.Ring, errs *[]error) {
+	defer func() {
+		if err := r.Release(8); err != nil {
+			*errs = append(*errs, fmt.Errorf("release: %v", err)) // want "wrap it with %w"
+		}
+	}()
+}
+
+// notDeferred: the same closure outside a defer statement is held to the
+// normal discipline.
+func notDeferred(r *ring.Ring) func() {
+	return func() {
+		r.Release(8) // want "error result of ring.Release discarded"
+	}
+}

@@ -1,0 +1,33 @@
+package analysis
+
+// Facts is a monotone cross-package note store, the minimal stand-in for
+// the x/tools facts mechanism: an analyzer records keys about a
+// package's objects while visiting it and reads the keys recorded for
+// its dependencies. RunAnalyzers shares one store across every package
+// of a run and visits packages in dependency order (Load preserves the
+// deps-first order `go list -deps` emits), so by the time a package is
+// analyzed the facts of everything it imports are present.
+//
+// Keys are namespaced by kind ("envroot", "conduit", "foreign", ...)
+// and name fully qualified ("<import path>.<Type>[.<member>]"), so
+// analyzers cannot collide.
+type Facts struct {
+	m map[string]bool
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: map[string]bool{}} }
+
+// Set records the (kind, key) fact. Set on a nil store is a no-op so
+// analyzers run without a driver (unit tests) degrade gracefully.
+func (f *Facts) Set(kind, key string) {
+	if f == nil {
+		return
+	}
+	f.m[kind+"\x00"+key] = true
+}
+
+// Has reports whether the (kind, key) fact was recorded.
+func (f *Facts) Has(kind, key string) bool {
+	return f != nil && f.m[kind+"\x00"+key]
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"xssd/internal/analysis"
+	"xssd/internal/analysis/analysistest"
+	"xssd/internal/analysis/bufownership"
+	"xssd/internal/analysis/envaffinity"
+	"xssd/internal/analysis/errdiscipline"
+	"xssd/internal/analysis/hotpathalloc"
+	"xssd/internal/analysis/maporder"
+	"xssd/internal/analysis/paramdoc"
+	"xssd/internal/analysis/simdeterminism"
+)
+
+// TestIgnoreEscapeHatch runs every analyzer over a package whose
+// violations all carry //xssd:ignore directives. The testdata has no
+// want comments, so any surviving diagnostic fails the test — proving
+// the escape hatch works uniformly across the whole suite (and that the
+// directives themselves validate).
+func TestIgnoreEscapeHatch(t *testing.T) {
+	for _, a := range []*analysis.Analyzer{
+		bufownership.Analyzer,
+		envaffinity.Analyzer,
+		errdiscipline.Analyzer,
+		hotpathalloc.Analyzer,
+		maporder.Analyzer,
+		paramdoc.Analyzer,
+		simdeterminism.Analyzer,
+		analysis.DirectiveAnalyzer,
+	} {
+		analysistest.Run(t, "testdata", a, "ignored")
+	}
+}

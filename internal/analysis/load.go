@@ -139,7 +139,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	// Keep the deps-first order `go list -deps` emits: cross-package
+	// analyzer facts (envaffinity) require every package's dependencies to
+	// be analyzed before it. Diagnostics are position-sorted on output, so
+	// the user-visible order is unaffected.
 	return out, nil
 }
 
@@ -168,11 +171,18 @@ func checkPackage(fset *token.FileSet, imp types.Importer, lp *listPkg) (*Packag
 	}, nil
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// diagnostics sorted by file position.
+// RunAnalyzers applies every analyzer to every package (in the
+// dependency order Load produced, sharing one Facts store) and returns
+// the diagnostics sorted by file position. Diagnostics covered by an
+// //xssd:ignore directive are dropped; malformed //xssd: directives are
+// reported through DirectiveAnalyzer so a typo cannot silently disable
+// a check.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	facts := NewFacts()
 	for _, pkg := range pkgs {
+		ignores := BuildIgnoreIndex(pkg.Fset, pkg.Files)
+		diags = append(diags, ValidateDirectives(pkg.Files)...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -180,9 +190,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
 			}
 			pass.Report = func(d Diagnostic) {
 				d.Analyzer = a
+				if ignores.Suppressed(pkg.Fset.Position(d.Pos), a.Name) {
+					return
+				}
 				diags = append(diags, d)
 			}
 			if err := a.Run(pass); err != nil {

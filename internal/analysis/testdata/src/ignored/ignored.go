@@ -1,0 +1,86 @@
+// Package ignored exercises the //xssd:ignore escape hatch: every
+// construct below violates one analyzer on purpose and carries an ignore
+// directive on its own line or the line above, so all seven analyzers —
+// and the directive validator — must stay silent here.
+package ignored
+
+import (
+	"fmt"
+
+	"xssd/internal/ring"
+	"xssd/internal/sim"
+)
+
+// errdiscipline: %v flattening sanctioned for a frozen CLI string.
+func wrapLegacy(err error) error {
+	//xssd:ignore errdiscipline the CLI surface promises this exact string
+	return fmt.Errorf("boom: %v", err)
+}
+
+// errdiscipline: deliberate best-effort discard outside a defer.
+func bestEffort(r *ring.Ring) {
+	//xssd:ignore errdiscipline best-effort release on the teardown path
+	r.Release(8)
+}
+
+// maporder: scheduling in map order, proven harmless by construction.
+func fanout(env *sim.Env, procs map[string]func(*sim.Proc)) {
+	for name, fn := range procs {
+		//xssd:ignore maporder spawned processes never interact, order is irrelevant
+		env.Go(name, fn)
+	}
+}
+
+// simdeterminism: a host-side helper that never runs inside a simulation.
+func spawnRaw(f func()) {
+	//xssd:ignore simdeterminism host-side helper, never runs inside a simulation
+	go f()
+}
+
+// paramdoc: an intentionally undocumented experiment knob. The ignore
+// sits on the line above the field because any comment attached to the
+// field itself would count as its documentation.
+//
+//xssd:ignore paramdoc internal experiment knob, intentionally undocumented
+type TuneConfig struct{ Knob int }
+
+type pool struct {
+	//xssd:pool put
+	free  [][]byte
+	stash [][]byte
+}
+
+//xssd:pool get
+func (p *pool) get() []byte {
+	if len(p.free) == 0 {
+		return make([]byte, 8)
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b
+}
+
+// bufownership: retention outside an annotated field, audited by hand.
+func (p *pool) keep() {
+	b := p.get()
+	//xssd:ignore bufownership the stash drains before the pool compacts
+	p.stash = append(p.stash, b)
+}
+
+// hotpathalloc: the mandatory private copy on a delayed path.
+//
+//xssd:hotpath
+func (p *pool) hotCopy(b []byte) []byte {
+	//xssd:ignore hotpathalloc delayed-fault path must copy (DESIGN.md §9)
+	return append([]byte(nil), b...)
+}
+
+//xssd:envroot
+type node struct{ n int }
+
+// envaffinity: a migration helper audited by hand.
+func touchBoth(p *sim.Proc, a, b *node) {
+	a.n++
+	//xssd:ignore envaffinity migration helper audited by hand
+	b.n++
+}

@@ -292,11 +292,23 @@ func Run(s Scenario) (*Result, error) {
 		if s.Scheme == core.Chain {
 			direct = devices[1:2]
 		}
+		// The monitor is primary-affine: it reads only the primary's own
+		// view of its peers (shadow counters, last counter-update times)
+		// plus the status register over MMIO. Reaching into a secondary's
+		// fault counters would be a cross-Env access (envaffinity) — and
+		// an oracle a real host could never implement, since it only has
+		// the primary's BAR in front of it. A peer is considered silent
+		// while its last-seen timestamp stops moving with mirror data
+		// outstanding; the streak length is what I4 compares against the
+		// stall bit. The sampling cadence (one register load + one 50µs
+		// sleep per iteration) is unchanged so the event schedule — and
+		// with it the perf suite's chaos-cell fingerprint — stays put.
+		n := len(direct)
 		env.Go("chaos-monitor", func(p *sim.Proc) {
 			mm := pcie.NewMMIO(prim.ControlRegion(), pcie.Uncached)
-			lastSupp := make([]int64, len(direct))
-			since := make([]time.Duration, len(direct))
-			active := make([]bool, len(direct))
+			lastAt := make([]time.Duration, n)
+			since := make([]time.Duration, n)
+			active := make([]bool, n)
 			for {
 				b := mm.Load(p, core.RegStatus, 8)
 				var st int64
@@ -306,10 +318,11 @@ func Run(s Scenario) (*Result, error) {
 				if st&core.StatusReplicaStalled != 0 {
 					mon.seen = true
 				}
-				for i, sec := range direct {
-					_, _, _, supp := sec.Transport().FaultStats()
-					outstanding := prim.CMB().Ring().Frontier() > prim.Transport().Shadow(i)
-					if supp > lastSupp[i] && outstanding {
+				tr := prim.Transport()
+				for i := 0; i < n; i++ {
+					seen := tr.PeerLastSeen(i)
+					outstanding := prim.CMB().Ring().Frontier() > tr.Shadow(i)
+					if outstanding && seen > 0 && seen == lastAt[i] {
 						if !active[i] {
 							active[i] = true
 							since[i] = p.Now()
@@ -320,7 +333,7 @@ func Run(s Scenario) (*Result, error) {
 					} else {
 						active[i] = false
 					}
-					lastSupp[i] = supp
+					lastAt[i] = seen
 				}
 				p.Sleep(50 * time.Microsecond)
 			}

@@ -91,3 +91,32 @@ func TestSweepSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression for the stall-monitor redesign: the I4 oracle must be
+// driveable from the primary's side alone. A deterministic shadow freeze
+// longer than twice the stall timeout has to (a) register as a
+// suppression stretch in MaxSuppressed and (b) surface as the stall bit
+// in the primary's status register — with no I4 violation, since the bit
+// and the stretch are observed by the same poll loop.
+func TestStallMonitorSurfacesFrozenShadow(t *testing.T) {
+	plan, err := fault.Parse("at 5ms transport.shadow freeze 10ms\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := Run(Scenario{Seed: 21, Plan: plan, Secondaries: 1, Window: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r.Firings == 0 {
+		t.Fatal("freeze rule did not fire")
+	}
+	if r.MaxSuppressed <= 2*chaosStallTimeout {
+		t.Fatalf("monitor saw max suppression %v, want > %v: the primary-side staleness streak missed the freeze", r.MaxSuppressed, 2*chaosStallTimeout)
+	}
+	if !r.StallSeen {
+		t.Fatal("status register never showed StatusReplicaStalled during a 10ms shadow freeze")
+	}
+	for _, v := range r.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}

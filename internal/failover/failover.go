@@ -222,6 +222,8 @@ func (m *Manager) watch(p *sim.Proc) {
 // takeover runs the full sequence: drain, halt the log, elect, truncate,
 // reconfigure, backfill the other survivors, rebind the sink, resume the
 // host stream.
+//
+//xssd:conduit runs at the takeover barrier: the old primary is dead and the log halted, so touching every survivor's state races nothing
 func (m *Manager) takeover(p *sim.Proc) error {
 	detected := p.Now()
 	m.mDetections.Inc()

@@ -122,7 +122,9 @@ type Array struct {
 	// data holds page contents in a flat slice indexed by physical page
 	// number (nil = unwritten); freePages recycles page buffers from
 	// erased blocks into new programs.
-	data      [][]byte
+	//xssd:pool retain
+	data [][]byte
+	//xssd:pool put
 	freePages [][]byte
 
 	// Freed broadcasts whenever a die finishes an operation; dispatchers
@@ -189,6 +191,8 @@ func (a *Array) pageIndex(p PageAddr) int {
 }
 
 // getPageBuf returns a recycled (or fresh) page buffer.
+//
+//xssd:pool get
 func (a *Array) getPageBuf() []byte {
 	if len(a.freePages) == 0 {
 		return make([]byte, a.geo.PageSize)

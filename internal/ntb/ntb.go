@@ -35,10 +35,12 @@ type Bridge struct {
 	// completion delivers the oldest pending chunk via the one bound
 	// deliver func — no per-chunk closure, and payload buffers recycle
 	// through bufs.
+	//xssd:pool retain
 	pendq   []ntbDelivery
 	pendPos int
 	deliver func()
-	bufs    [][]byte
+	//xssd:pool put
+	bufs [][]byte
 
 	// metrics (ntb/<name>/...)
 	mChunks  *obs.Counter
@@ -53,6 +55,8 @@ type ntbDelivery struct {
 }
 
 // getBuf returns a pooled chunk buffer of length n.
+//
+//xssd:pool get
 func (b *Bridge) getBuf(n int) []byte {
 	for len(b.bufs) > 0 {
 		buf := b.bufs[len(b.bufs)-1]
@@ -76,6 +80,9 @@ func (b *Bridge) pend(target pcie.Target, dst int64, buf []byte, done func()) {
 // deliverNext lands the oldest pending chunk at its remote target
 // (scheduler context, link completion order) and recycles the buffer.
 // The target must copy: the buffer is reused for later chunks.
+//
+//xssd:hotpath
+//xssd:conduit NTB delivery is the wire itself: it lands bytes at the remote Env's MMIO target, which copies on arrival
 func (b *Bridge) deliverNext() {
 	d := b.pendq[b.pendPos]
 	b.pendq[b.pendPos] = ntbDelivery{}

@@ -210,6 +210,8 @@ func (s Scope) Histogram(name string) *Histogram {
 type Counter struct{ v int64 }
 
 // Add increments the counter by delta.
+//
+//xssd:hotpath
 func (c *Counter) Add(delta int64) {
 	if c != nil {
 		c.v += delta
@@ -217,6 +219,8 @@ func (c *Counter) Add(delta int64) {
 }
 
 // Inc increments the counter by one.
+//
+//xssd:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
@@ -295,6 +299,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//xssd:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
@@ -315,6 +321,8 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
 // Since records the virtual time elapsed from start to now: the span-timer
 // pattern — t0 := env.Now() ... h.Since(t0).
+//
+//xssd:hotpath
 func (h *Histogram) Since(start time.Duration) {
 	if h == nil {
 		return

@@ -97,10 +97,12 @@ type Region struct {
 	target Target
 	size   int64
 
+	//xssd:pool retain
 	pendq   []delivery
-	pendPos int      // pendq[:pendPos] already delivered
-	deliver func()   // method value, bound once
-	bufs    [][]byte // free payload buffers, cap MaxPayload each
+	pendPos int    // pendq[:pendPos] already delivered
+	deliver func() // method value, bound once
+	//xssd:pool put
+	bufs [][]byte // free payload buffers, cap MaxPayload each
 }
 
 // NewRegion maps target behind link as a region of the given size.
@@ -111,6 +113,8 @@ func NewRegion(env *sim.Env, link *sim.Link, target Target, size int64) *Region 
 }
 
 // getBuf returns a pooled payload buffer of length n (n ≤ MaxPayload).
+//
+//xssd:pool get
 func (r *Region) getBuf(n int) []byte {
 	if len(r.bufs) == 0 {
 		return make([]byte, n, MaxPayload)
@@ -121,6 +125,8 @@ func (r *Region) getBuf(n int) []byte {
 }
 
 // putBuf recycles a payload buffer obtained from getBuf.
+//
+//xssd:pool put
 func (r *Region) putBuf(b []byte) { r.bufs = append(r.bufs, b) }
 
 // pend enqueues an in-flight posted write, reusing the queue's backing
@@ -135,6 +141,9 @@ func (r *Region) pend(off int64, buf []byte, done func()) {
 
 // deliverNext completes the oldest in-flight posted write: hand the
 // payload to the target, recycle the buffer, run the completion hook.
+// Runs in scheduler context on every arriving TLP.
+//
+//xssd:hotpath
 func (r *Region) deliverNext() {
 	d := r.pendq[r.pendPos]
 	r.pendq[r.pendPos] = delivery{}

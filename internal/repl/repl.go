@@ -137,6 +137,8 @@ func setMode(p *sim.Proc, d *villars.Device, mode core.TransportMode) error {
 
 // Setup elects devices[primaryIdx] primary with the given scheme and turns
 // the rest into secondaries. Must run in process context.
+//
+//xssd:conduit cluster bring-up: devices are quiescent until roles are assigned
 func (c *Cluster) Setup(p *sim.Proc, primaryIdx int, scheme core.ReplicationScheme) error {
 	if primaryIdx < 0 || primaryIdx >= len(c.devices) {
 		return fmt.Errorf("%w: primary %d of %d devices", ErrIndexRange, primaryIdx, len(c.devices))
@@ -163,6 +165,8 @@ func (c *Cluster) Setup(p *sim.Proc, primaryIdx int, scheme core.ReplicationSche
 // devices[0] is the head (primary), each member mirrors to its successor
 // and reports whole-chain persistence upstream, and the head reports the
 // chain-combined counter to the database.
+//
+//xssd:conduit cluster bring-up: devices are quiescent until roles are assigned
 func (c *Cluster) SetupChain(p *sim.Proc) error {
 	if len(c.devices) < 2 {
 		return fmt.Errorf("%w: have %d", ErrChainTooShort, len(c.devices))
@@ -195,6 +199,8 @@ func (c *Cluster) SetupChain(p *sim.Proc) error {
 // demoted to secondary and the peer set is rebuilt around the new primary.
 // The paper (§7.1) leaves catch-up data transfer to the database; Promote
 // only performs the role changes.
+//
+//xssd:conduit role change at the failover barrier: no host traffic flows while peers are re-wired
 func (c *Cluster) Promote(p *sim.Proc, newPrimary int) error {
 	if newPrimary < 0 || newPrimary >= len(c.devices) {
 		return fmt.Errorf("%w: promote %d of %d devices", ErrIndexRange, newPrimary, len(c.devices))
@@ -289,6 +295,8 @@ func (c *Cluster) Elect() (int, error) {
 // downstream heal through the ordinary repair path — and the dead prefix
 // of the chain is simply cut off. As with Promote, catch-up data transfer
 // is the database's job (paper §7.1; see the failover manager).
+//
+//xssd:conduit role change at the failover barrier: no host traffic flows while peers are re-wired
 func (c *Cluster) Reconfigure(p *sim.Proc, newPrimary int) error {
 	if c.scheme != core.Chain || c.order == nil {
 		return c.Promote(p, newPrimary)

@@ -189,6 +189,8 @@ func (s *Scheduler) Policy() Policy { return s.policy }
 func (s *Scheduler) SetPolicy(p Policy) { s.policy = p }
 
 // Submit queues a request for dispatch.
+//
+//xssd:hotpath
 func (s *Scheduler) Submit(r *Request) {
 	r.enqueued = s.env.Now()
 	s.queues[r.Addr.Channel][r.Source].push(r)
@@ -217,6 +219,8 @@ func (s *Scheduler) classOrder() [3]Source {
 
 // pick removes and returns the next dispatchable request on ch (target die
 // idle), or nil.
+//
+//xssd:hotpath
 func (s *Scheduler) pick(ch int) *Request {
 	q := &s.queues[ch]
 	if s.policy == Neutral {

@@ -56,6 +56,8 @@ type event struct {
 }
 
 // heapPush inserts ev into the time-ordered heap (sift-up, no boxing).
+//
+//xssd:hotpath
 func (e *Env) heapPush(ev event) {
 	h := append(e.heap, ev)
 	i := len(h) - 1
@@ -71,6 +73,8 @@ func (e *Env) heapPush(ev event) {
 }
 
 // heapPop removes and returns the earliest (time, seq) heap event.
+//
+//xssd:hotpath
 func (e *Env) heapPop() event {
 	h := e.heap
 	top := h[0]
@@ -137,6 +141,7 @@ func (e *Env) Attach(key string, v interface{}) {
 // Attachment returns the value stored under key by Attach, or nil.
 func (e *Env) Attachment(key string) interface{} { return e.attachments[key] }
 
+//xssd:hotpath
 func (e *Env) schedule(at int64, p *Proc, fn func()) {
 	e.seq++
 	if at <= e.now {
@@ -234,6 +239,8 @@ func (e *Env) addProc(p *Proc) {
 // yieldToScheduler hands control back and blocks until resumed. The two
 // batons have capacity 1, so neither side ever blocks sending — each
 // handoff costs one park and one wake, not two of each.
+//
+//xssd:hotpath
 func (p *Proc) yieldToScheduler() {
 	e := p.env
 	if e.closed {
@@ -304,6 +311,8 @@ func (e *Env) NewSignal() *Signal { return &Signal{env: e} }
 
 // Broadcast wakes every process currently waiting on s. The wake-ups are
 // scheduled at the current instant, after events already due.
+//
+//xssd:hotpath
 func (s *Signal) Broadcast() {
 	for _, p := range s.waiters {
 		s.env.blocked--
@@ -313,6 +322,8 @@ func (s *Signal) Broadcast() {
 }
 
 // Wait blocks the process until the next Broadcast on s.
+//
+//xssd:hotpath
 func (p *Proc) Wait(s *Signal) {
 	s.waiters = append(s.waiters, p)
 	p.env.blocked++
@@ -340,6 +351,7 @@ func (e *Env) RunUntil(t time.Duration) int { return e.run(int64(t)) }
 // RunFor drives the simulation for d of virtual time from now.
 func (e *Env) RunFor(d time.Duration) int { return e.RunUntil(e.Now() + d) }
 
+//xssd:hotpath
 func (e *Env) run(until int64) int {
 	if e.running {
 		panic("sim: Run called reentrantly")
@@ -348,6 +360,7 @@ func (e *Env) run(until int64) int {
 		panic("sim: Run on closed Env")
 	}
 	e.running = true
+	//xssd:ignore hotpathalloc once-per-run prologue, not per-event work
 	defer func() { e.running = false }()
 	for {
 		// Pick the next event in global (time, seq) order: heap events due

@@ -22,6 +22,7 @@ type cmbModule struct {
 	bank *pm.Bank
 	ring *ring.Ring
 
+	//xssd:pool retain
 	queue     []cmbChunk
 	queuePos  int // queue[:queuePos] already drained
 	queueUsed int
@@ -30,10 +31,12 @@ type cmbModule struct {
 	// so every completion fires persistNext (bound once) — no per-chunk
 	// closure. chunkBufs recycles payload buffers between intake and
 	// persist.
+	//xssd:pool retain
 	persistq    []cmbChunk
 	persistPos  int
 	persistNext func()
-	chunkBufs   [][]byte
+	//xssd:pool put
+	chunkBufs [][]byte
 
 	arrived       *sim.Signal // intake queue received data
 	CreditChanged *sim.Signal // frontier advanced
@@ -90,6 +93,8 @@ func newCMBModule(d *Device, fs *fastSide, bank *pm.Bank) *cmbModule {
 
 // MemWrite implements pcie.Target: a TLP payload arrived on the CMB
 // interface. Runs in scheduler context; must not block.
+//
+//xssd:hotpath
 func (m *cmbModule) MemWrite(off int64, data []byte) {
 	// Fault plan: byte-weighted power-loss trigger — "cut power on the
 	// Nth CMB byte" counts every fast side's arriving payload.
@@ -142,6 +147,8 @@ func (m *cmbModule) MemRead(off int64, n int) []byte {
 // and commits to the ring one access latency later (bus FIFO keeps those
 // completions in order), so back-to-back chunks stream at full bus
 // bandwidth instead of serializing on the access latency.
+//
+//xssd:hotpath
 func (m *cmbModule) drain(p *sim.Proc) {
 	for {
 		if m.queuePos == len(m.queue) {
@@ -167,6 +174,8 @@ func (m *cmbModule) drain(p *sim.Proc) {
 }
 
 // getChunkBuf returns a pooled intake buffer of length n.
+//
+//xssd:pool get
 func (m *cmbModule) getChunkBuf(n int) []byte {
 	for len(m.chunkBufs) > 0 {
 		b := m.chunkBufs[len(m.chunkBufs)-1]
@@ -180,6 +189,8 @@ func (m *cmbModule) getChunkBuf(n int) []byte {
 
 // persistOldest lands the oldest in-flight chunk in the backing ring
 // (scheduler context, in bus completion order) and recycles its buffer.
+//
+//xssd:hotpath
 func (m *cmbModule) persistOldest() {
 	c := m.persistq[m.persistPos]
 	m.persistq[m.persistPos] = cmbChunk{}

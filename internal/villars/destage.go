@@ -53,14 +53,17 @@ type destageModule struct {
 	destagedStream int64 // stream bytes durable on the conventional side
 
 	// pipeline state
-	carved      int64 // stream offset carved into in-flight pages
+	carved int64 // stream offset carved into in-flight pages
+	//xssd:pool retain
 	inflight    []*destagePage
 	inflightPos int // inflight[:inflightPos] already retired
 
 	// recycled buffers: flash-page payloads and pipeline entries. A page
 	// buffer is free once its program completed (nand copies the payload
 	// at program time); an entry once it retired.
-	pageBufs    [][]byte
+	//xssd:pool put
+	pageBufs [][]byte
+	//xssd:pool put
 	freeEntries []*destagePage
 	procName    string // per-page worker name, built once
 
@@ -181,6 +184,8 @@ func (m *destageModule) loop(p *sim.Proc) {
 
 // carveOne bundles n bytes at the carve point into one flash page and
 // issues its program; completion is retired in order by retire().
+//
+//xssd:hotpath
 func (m *destageModule) carveOne(p *sim.Proc, n int64) {
 	cmb := m.fs.cmb
 	page := m.getPage()
@@ -213,6 +218,7 @@ func (m *destageModule) carveOne(p *sim.Proc, n int64) {
 	m.carved += n
 	lba := m.baseLBA + m.tail%m.lbaCount
 	m.tail++
+	//xssd:ignore hotpathalloc the per-page worker closure is the pipeline's unit of work
 	m.dev.env.Go(m.procName, func(w *sim.Proc) {
 		for attempt := 0; ; attempt++ {
 			if d := fault.CheckEnv(m.dev.env, fault.DestageWrite, m.fs.name, 1); d.Fail() {
@@ -238,6 +244,8 @@ func (m *destageModule) carveOne(p *sim.Proc, n int64) {
 }
 
 // getPage returns a pooled page-sized buffer.
+//
+//xssd:pool get
 func (m *destageModule) getPage() []byte {
 	if len(m.pageBufs) == 0 {
 		return make([]byte, m.dev.cfg.Geometry.PageSize)
@@ -248,6 +256,8 @@ func (m *destageModule) getPage() []byte {
 }
 
 // getEntry returns a recycled pipeline entry.
+//
+//xssd:pool get
 func (m *destageModule) getEntry() *destagePage {
 	if len(m.freeEntries) == 0 {
 		return &destagePage{}
@@ -260,12 +270,13 @@ func (m *destageModule) getEntry() *destagePage {
 
 // retire releases completed pages from the head of the pipeline, in order,
 // freeing the PM ring and advancing the destaged-stream counter.
+//
+//xssd:hotpath
 func (m *destageModule) retire(cmb *cmbModule) {
 	for m.inflightPos < len(m.inflight) && m.inflight[m.inflightPos].done {
 		e := m.inflight[m.inflightPos]
 		m.inflight[m.inflightPos] = nil
 		m.inflightPos++
-		m.freeEntries = append(m.freeEntries, e)
 		if e.err != nil {
 			// The page proc already retried with backoff; a persistent
 			// failure surfacing here is fatal for this page. Drop it but
@@ -275,6 +286,7 @@ func (m *destageModule) retire(cmb *cmbModule) {
 		}
 		if err := cmb.ring.Release(e.n); err != nil {
 			m.mErrors.Inc()
+			m.freeEntries = append(m.freeEntries, e)
 			continue
 		}
 		m.destagedStream = cmb.ring.Head()
@@ -283,5 +295,8 @@ func (m *destageModule) retire(cmb *cmbModule) {
 		m.mPageLat.Since(e.carvedAt)
 		m.Advanced.Broadcast()
 		m.mPages.Inc()
+		// Recycle the entry only after its last field read: bufownership
+		// treats the free-list append as the end of this side's lease.
+		m.freeEntries = append(m.freeEntries, e)
 	}
 }

@@ -144,7 +144,13 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Device is one Villars X-SSD.
+// Device is one Villars X-SSD. Every piece of state reachable from a
+// Device belongs to the sim.Env it was created on; a simulated process
+// must not touch two devices' state unless it runs inside an
+// //xssd:conduit (envaffinity enforces this, clearing the way for the
+// parallel engine to run each Env on its own thread).
+//
+//xssd:envroot
 type Device struct {
 	env *sim.Env
 	cfg Config

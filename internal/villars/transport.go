@@ -54,20 +54,27 @@ type transportModule struct {
 
 // peerLink is the primary's view of one secondary.
 type peerLink struct {
-	id         int
-	dev        *Device
-	window     *ntb.Window // primary -> secondary CMB data
-	shadow     int64       // last reported secondary credit counter
-	lastSeen   time.Duration
+	id int
+	//xssd:foreign
+	dev      *Device
+	window   *ntb.Window // primary -> secondary CMB data
+	shadow   int64       // last reported secondary credit counter
+	lastSeen time.Duration
+	//xssd:pool retain
 	unacked    []mirrorChunk // sent but not yet covered by the shadow counter
 	unackedPos int           // unacked[:unackedPos] already covered
-	bufFree    [][]byte      // recycled chunk payloads
+	//xssd:pool put
+	bufFree [][]byte // recycled chunk payloads
 }
 
 // pending returns the not-yet-covered retransmission window.
+//
+//xssd:pool alias
 func (pl *peerLink) pending() []mirrorChunk { return pl.unacked[pl.unackedPos:] }
 
 // getBuf returns a pooled chunk buffer of length n.
+//
+//xssd:pool get
 func (pl *peerLink) getBuf(n int) []byte {
 	for len(pl.bufFree) > 0 {
 		b := pl.bufFree[len(pl.bufFree)-1]
@@ -217,6 +224,8 @@ func (t *transportModule) Peers() int { return len(t.peers) }
 // Every chunk is retained per peer until that peer's shadow counter
 // covers it, so the repair process can resend traffic a fault plan drops
 // or delays (ring rewrites of the same bytes are idempotent).
+//
+//xssd:hotpath
 func (t *transportModule) mirror(off int64, data []byte) {
 	if t.mode == core.Standalone || len(t.peers) == 0 {
 		return
@@ -238,8 +247,10 @@ func (t *transportModule) mirror(off int64, data []byte) {
 			t.mMirrorDelays.Inc()
 			// The delayed send needs its own copy: the pooled unacked
 			// buffer may be covered and recycled before the timer fires.
+			//xssd:ignore hotpathalloc delayed-fault path must take the §9 private copy
 			delayed := append([]byte(nil), data...)
 			pl := pl
+			//xssd:ignore hotpathalloc delayed-fault timer fires off the fast path
 			t.dev.env.After(d.Dur, func() { pl.window.Write(off, delayed, nil) })
 		default:
 			pl.window.Write(off, buf, nil)
@@ -419,6 +430,8 @@ const backfillChunk = 1024
 // traffic, so dropped backfill heals through the repair process. The call
 // paces itself against the peer's shadow counter and blocks until the
 // whole range is covered. It returns the number of bytes sent.
+//
+//xssd:conduit catch-up transfer driven by the promoted primary; the laggard peer is reached only through its NTB window and power/shadow state
 func (t *transportModule) Backfill(p *sim.Proc, sec *Device, off int64, data []byte) (int64, error) {
 	var pl *peerLink
 	for _, cand := range t.peers {
@@ -481,6 +494,17 @@ func (t *transportModule) Shadow(id int) int64 {
 		return 0
 	}
 	return t.peers[id].shadow
+}
+
+// PeerLastSeen returns the simulated time of the last shadow-counter
+// update received from peer id (zero before any update). The stall
+// oracle in the chaos suite reads it on the primary's side instead of
+// reaching into the secondaries' fault counters.
+func (t *transportModule) PeerLastSeen(id int) time.Duration {
+	if id < 0 || id >= len(t.peers) {
+		return 0
+	}
+	return t.peers[id].lastSeen
 }
 
 // stalled reports whether any peer's shadow counter lags while data is

@@ -125,6 +125,7 @@ type Log struct {
 	sink Sink
 	cfg  Config
 
+	//xssd:pool retain
 	buf        []byte // accumulating batch
 	batch      []byte // reusable flush buffer (sinks do not retain it)
 	bufStart   int64  // LSN of buf[0]
@@ -134,6 +135,7 @@ type Log struct {
 	// failover retention (Config.Retain): the flushed stream's bytes in
 	// [retainBase, durableLSN), kept so Resume can re-drive the tail a
 	// promoted device is missing.
+	//xssd:pool retain
 	retained   []byte
 	retainBase int64
 
@@ -370,7 +372,11 @@ func (l *Log) Resume(p *sim.Proc, sink Sink, fr int64) (int64, error) {
 			return 0, fmt.Errorf("%w: need [%d, %d), retained from %d",
 				ErrTailUnavailable, fr, l.durableLSN, l.retainBase)
 		}
-		tail := l.retained[fr-l.retainBase : l.durableLSN-l.retainBase]
+		// Private copy (DESIGN.md §9): the replay loop yields in
+		// sink.Write, and a concurrent TrimRetained or a resumed flusher
+		// appending to l.retained can reallocate the backing array under
+		// the yield — a bare alias would then replay stale bytes.
+		tail := append([]byte(nil), l.retained[fr-l.retainBase:l.durableLSN-l.retainBase]...)
 		for len(tail) > 0 {
 			n := len(tail)
 			if n > l.cfg.GroupBytes {

@@ -275,3 +275,74 @@ func TestNullSink(t *testing.T) {
 		t.Fatal("name")
 	}
 }
+
+// trimmingSink acks each replayed batch and immediately trims the
+// retained copy up to the acked prefix — reallocating the retained
+// buffer's backing array while Resume's replay loop is still walking the
+// stream.
+type trimmingSink struct {
+	log     *Log
+	delay   time.Duration
+	batches [][]byte
+	acked   int64
+}
+
+func (s *trimmingSink) Write(p *sim.Proc, data []byte) error {
+	p.Sleep(s.delay)
+	s.batches = append(s.batches, append([]byte(nil), data...))
+	s.acked += int64(len(data))
+	s.log.TrimRetained(s.acked)
+	return nil
+}
+
+func (s *trimmingSink) Name() string { return "trimming" }
+
+// Regression for the Resume replay alias: the replay loop yields inside
+// sink.Write, and the retained copy can be trimmed (reallocated) under
+// that yield. Resume must replay from a private copy so the new sink
+// receives the exact original stream — the bug class xvet's bufownership
+// analyzer flags as "alias used across a blocking call".
+func TestResumeReplaySurvivesTrim(t *testing.T) {
+	env := sim.NewEnv(7)
+	old := &countingSink{delay: 10 * time.Microsecond}
+	log := NewLog(env, old, Config{GroupBytes: 512, GroupTimeout: time.Millisecond, Retain: true})
+
+	var stream []byte
+	env.Go("writer", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			r := Record{TxID: int64(i), Payload: bytes.Repeat([]byte{byte(i)}, 64)}
+			stream = r.Encode(stream)
+			log.Commit(p, r)
+		}
+		log.Halt()
+	})
+	env.RunUntil(time.Second)
+	if log.DurableLSN() != int64(len(stream)) {
+		t.Fatalf("durable %d, appended %d", log.DurableLSN(), len(stream))
+	}
+
+	sink := &trimmingSink{log: log, delay: 20 * time.Microsecond}
+	var replayed int64
+	env.Go("failover", func(p *sim.Proc) {
+		n, err := log.Resume(p, sink, 0)
+		if err != nil {
+			t.Errorf("resume: %v", err)
+		}
+		replayed = n
+	})
+	env.RunUntil(2 * time.Second)
+
+	if replayed != int64(len(stream)) {
+		t.Fatalf("replayed %d of %d bytes", replayed, len(stream))
+	}
+	var got []byte
+	for _, b := range sink.batches {
+		got = append(got, b...)
+	}
+	if !bytes.Equal(got, stream) {
+		t.Fatal("replayed stream diverges from the original despite mid-replay trims")
+	}
+	if recs := DecodeAll(got); len(recs) != 40 {
+		t.Fatalf("replayed stream decodes to %d records, want 40", len(recs))
+	}
+}

@@ -13,10 +13,14 @@
 // Add -metrics out.json to any experiment run to also dump a per-cell
 // metrics snapshot (canonical JSON, byte-identical across same-seed runs).
 //
+// Add -workers N to run the simulations on the parallel group engine with
+// N quantum executors (0, the default, is the classic single-Env
+// scheduler). Same-seed results are byte-identical for every N >= 1.
+//
 // Performance modes:
 //
-//	xbench -suite perf -o BENCH_PR4.json   # time one cell per figure + a chaos seed
-//	xbench -compare baseline.json new.json # gate: fail on >15% events/sec regression
+//	xbench -suite perf -workers 8 -o BENCH_PR7.json   # time one cell per figure + a chaos seed + the pargroup twins
+//	xbench -compare baseline.json new.json # gate: fail on >15% events/sec regression or serial/parallel event drift
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 	failoverRun := flag.Bool("failover", false, "run the failover sweep (randomized primary kills, invariants I6-I7)")
 	seeds := flag.Int("seeds", 20, "number of seeds for -chaos/-failover")
 	metricsOut := flag.String("metrics", "", "write per-cell metrics snapshots to this file as JSON")
+	workers := flag.Int("workers", 0, "simulation engine: 0 = classic single-Env scheduler, n >= 1 = parallel group runner with n quantum executors (figures, sweeps, and the perf suite)")
 	suite := flag.String("suite", "", "run a timed suite (only \"perf\")")
 	out := flag.String("o", "BENCH_PR4.json", "output file for -suite perf")
 	compare := flag.Bool("compare", false, "compare two perf result files: -compare baseline.json new.json")
@@ -53,6 +58,8 @@ func main() {
 	// Results are untouched by this: the engine runs on virtual time, so
 	// collector pacing can never leak into event order or metrics.
 	debug.SetGCPercent(*gogc)
+
+	bench.SetEngineWorkers(*workers)
 
 	if *memprofile != "" {
 		path := *memprofile
@@ -108,12 +115,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xbench: unknown suite %q (only \"perf\")\n", *suite)
 		os.Exit(2)
 	case *chaosRun:
-		if err := chaos.Sweep(os.Stdout, *seeds); err != nil {
+		if err := chaos.SweepWorkers(os.Stdout, *seeds, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	case *failoverRun:
-		if err := chaos.SweepFailover(os.Stdout, *seeds); err != nil {
+		if err := chaos.SweepFailoverWorkers(os.Stdout, *seeds, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -161,6 +168,12 @@ func main() {
 	}
 }
 
+// perfRepeatBelow: cells whose first run finishes faster than this are
+// re-timed (best of three). Short cells are dominated by scheduler and
+// timer noise, and the compare gate's 15% tolerance assumes the noise is
+// smaller than that; best-of-N clips the one-sided slow tail.
+const perfRepeatBelow = 2 * time.Second
+
 // runPerfSuite times every perf cell against the wall clock and writes the
 // canonical results file. Timing lives here, not in internal/bench: the
 // simulation packages are virtual-time only (the simdeterminism analyzer
@@ -169,34 +182,57 @@ func runPerfSuite(path string) error {
 	cells := bench.PerfCells()
 	results := make([]bench.PerfResult, 0, len(cells))
 	for _, c := range cells {
-		var before, after runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		events, err := c.Run()
-		wall := time.Since(start)
-		runtime.ReadMemStats(&after)
+		best, err := timePerfCell(c)
 		if err != nil {
 			return fmt.Errorf("perf suite: %s: %w", c.Name, err)
 		}
-		r := bench.PerfResult{
-			Bench:  c.Name,
-			WallNS: wall.Nanoseconds(),
-			Events: events,
-			Allocs: int64(after.Mallocs - before.Mallocs),
-		}
-		if wall > 0 {
-			r.EventsPerSec = float64(events) / wall.Seconds()
+		for rep := 1; rep < 3 && best.WallNS < int64(perfRepeatBelow); rep++ {
+			again, err := timePerfCell(c)
+			if err != nil {
+				return fmt.Errorf("perf suite: %s (rep %d): %w", c.Name, rep, err)
+			}
+			if again.Events != best.Events {
+				return fmt.Errorf("perf suite: %s: event count drifted across repeats: %d vs %d",
+					c.Name, again.Events, best.Events)
+			}
+			if again.WallNS < best.WallNS {
+				best = again
+			}
 		}
 		fmt.Printf("%-28s %10.0f events/s  (%d events, %v, %d allocs)\n",
-			r.Bench, r.EventsPerSec, r.Events, wall.Round(time.Millisecond), r.Allocs)
-		results = append(results, r)
+			best.Bench, best.EventsPerSec, best.Events,
+			time.Duration(best.WallNS).Round(time.Millisecond), best.Allocs)
+		results = append(results, best)
 	}
 	if err := bench.WritePerfFile(path, results); err != nil {
 		return err
 	}
 	fmt.Printf("perf: wrote %d cells to %s\n", len(results), path)
 	return nil
+}
+
+// timePerfCell runs one cell once under the wall clock.
+func timePerfCell(c bench.PerfCell) (bench.PerfResult, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	events, err := c.Run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return bench.PerfResult{}, err
+	}
+	r := bench.PerfResult{
+		Bench:  c.Name,
+		WallNS: wall.Nanoseconds(),
+		Events: events,
+		Allocs: int64(after.Mallocs - before.Mallocs),
+	}
+	if wall > 0 {
+		r.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	return r, nil
 }
 
 // runCompare gates new against baseline with the given tolerance.

@@ -77,3 +77,51 @@ func localOnly(p *sim.Proc, d, peer *Device) {
 	d.n++
 	_ = peer
 }
+
+// port models the parallel engine's group mailbox: it holds the peer for
+// addressing only, and its Post method is the sanctioned crossing (the
+// value lands in the peer's Env at the next barrier).
+type port struct {
+	//xssd:foreign
+	dst *Device
+
+	posted int
+}
+
+// Post ships one value through the mailbox.
+//
+//xssd:conduit delivered through the group mailbox at the barrier
+func (pt *port) Post(v int) {
+	pt.dst.n = v
+}
+
+// sendViaMailbox is the legal parallel-engine pattern: the proc touches
+// only its local Device; the peer is reached exclusively through the
+// mailbox conduit. No report.
+func sendViaMailbox(p *sim.Proc, local *Device, pt *port) {
+	local.n++
+	pt.posted++
+	pt.Post(local.n)
+}
+
+// mailboxClosure does the same from an Env.Go closure; also legal.
+func mailboxClosure(local *Device, pt *port) {
+	local.env.Go("mirror", func(p *sim.Proc) {
+		local.n++
+		pt.Post(local.n)
+	})
+}
+
+// peekPeer bypasses the mailbox and reads the peer's state directly —
+// under the parallel engine this is a data race with the peer's worker.
+func peekPeer(p *sim.Proc, local *Device, pt *port) {
+	local.n = pt.dst.n // want "reaches through //xssd:foreign field dst"
+}
+
+// pokePeer writes the peer's state directly from a closure instead of
+// posting; a finding for the same reason.
+func pokePeer(local *Device, pt *port) {
+	local.env.Go("poke", func(p *sim.Proc) {
+		pt.dst.n = local.n // want "reaches through //xssd:foreign field dst"
+	})
+}

@@ -49,15 +49,17 @@ func AblationScheme() *Table {
 }
 
 func ablationSchemeCell(scheme core.ReplicationScheme) metrics.Candlestick {
-	env := sim.NewEnv(5)
+	c := newCellSim(5)
+	defer c.close()
+	env := c.env()
 	prim := fig13Device(env, "prim", 400*time.Nanosecond)
-	sec1 := fig13Device(env, "sec1", 400*time.Nanosecond)
-	sec2 := fig13Device(env, "sec2", 400*time.Nanosecond)
+	sec1 := fig13Device(c.member("sec1", 6), "sec1", 400*time.Nanosecond)
+	sec2 := fig13Device(c.member("sec2", 7), "sec2", 400*time.Nanosecond)
 	for i, sec := range []*villars.Device{sec1, sec2} {
 		prim.Transport().AddPeer(sec,
-			ntb.NewDefaultBridge(env, fmt.Sprintf("p-s%d", i)),
-			ntb.NewDefaultBridge(env, fmt.Sprintf("s%d-p", i)))
-		setRoles(env, prim, sec)
+			ntb.NewDefaultBridgeTo(env, sec.Env(), fmt.Sprintf("p-s%d", i)),
+			ntb.NewDefaultBridgeTo(sec.Env(), env, fmt.Sprintf("s%d-p", i)))
+		setRoles(c, prim, sec)
 	}
 	prim.Transport().SetScheme(scheme)
 	var sample metrics.Sample
@@ -74,8 +76,9 @@ func ablationSchemeCell(scheme core.ReplicationScheme) metrics.Candlestick {
 			p.Sleep(2 * time.Microsecond)
 		}
 	})
-	env.RunUntil(env.Now() + 4*time.Millisecond)
-	captureCell("ablation-scheme/"+scheme.String(), env)
+	c.release()
+	c.runUntil(c.now() + 4*time.Millisecond)
+	c.capture("ablation-scheme/" + scheme.String())
 	return sample.Candlestick()
 }
 

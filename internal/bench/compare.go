@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -41,12 +43,20 @@ func ReadPerfFile(path string) ([]PerfResult, error) {
 	return out, nil
 }
 
+// compareWallFloorNS: the events/second tolerance only applies to cells
+// whose baseline run lasted at least this long. Below it, scheduler and
+// timer noise on a shared CI host routinely exceeds any reasonable
+// tolerance, so a throughput gate on such a cell measures the machine,
+// not the code. The event-count equality check (the determinism gate)
+// applies to every cell regardless of duration.
+const compareWallFloorNS = int64(500_000_000)
+
 // Compare gates a new perf run against a baseline: it fails if any
 // baseline cell is missing from the new run, dispatched a different event
 // count (a determinism break — event counts are machine-independent), or
-// regressed in events/second by more than tol (a fraction, e.g. 0.15).
-// Cells present only in the new run are ignored, so adding cells does not
-// require regenerating history.
+// regressed in events/second by more than tol (a fraction, e.g. 0.15) on
+// cells running past compareWallFloorNS. Cells present only in the new
+// run are ignored, so adding cells does not require regenerating history.
 func Compare(baseline, current []PerfResult, tol float64) error {
 	byName := make(map[string]PerfResult, len(current))
 	for _, r := range current {
@@ -64,14 +74,53 @@ func Compare(baseline, current []PerfResult, tol float64) error {
 				"%s: dispatched %d events, baseline %d (determinism break?)", b.Bench, c.Events, b.Events))
 			continue
 		}
-		if b.EventsPerSec > 0 && c.EventsPerSec < b.EventsPerSec*(1-tol) {
+		if b.WallNS >= compareWallFloorNS && b.EventsPerSec > 0 && c.EventsPerSec < b.EventsPerSec*(1-tol) {
 			problems = append(problems, fmt.Sprintf(
 				"%s: %.0f events/s, >%.0f%% below baseline %.0f",
 				b.Bench, c.EventsPerSec, tol*100, b.EventsPerSec))
 		}
 	}
+	problems = append(problems, workerParityProblems(current)...)
 	if len(problems) > 0 {
 		return fmt.Errorf("bench: perf regression vs baseline:\n  %s", strings.Join(problems, "\n  "))
 	}
 	return nil
+}
+
+// swSuffix marks cells that run the same topology under different numbers
+// of simulation workers (the /swN twins of the perf suite).
+var swSuffix = regexp.MustCompile(`/sw\d+$`)
+
+// workerParityProblems enforces the differential-determinism contract on a
+// result set: cells whose names differ only in their /swN suffix execute
+// the identical simulation under different worker counts, so a drift in
+// their event counts is a determinism break in the parallel engine — a
+// hard failure regardless of tolerance.
+func workerParityProblems(results []PerfResult) []string {
+	groups := make(map[string][]PerfResult)
+	for _, r := range results {
+		base := swSuffix.ReplaceAllString(r.Bench, "")
+		if base != r.Bench {
+			groups[base] = append(groups[base], r)
+		}
+	}
+	bases := make([]string, 0, len(groups))
+	for base, rs := range groups {
+		if len(rs) > 1 {
+			bases = append(bases, base)
+		}
+	}
+	sort.Strings(bases)
+	var problems []string
+	for _, base := range bases {
+		rs := groups[base]
+		for _, r := range rs[1:] {
+			if r.Events != rs[0].Events {
+				problems = append(problems, fmt.Sprintf(
+					"%s: dispatched %d events but its worker twin %s dispatched %d (serial/parallel drift)",
+					r.Bench, r.Events, rs[0].Bench, rs[0].Events))
+			}
+		}
+	}
+	return problems
 }

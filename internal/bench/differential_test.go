@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"xssd/internal/pm"
+)
+
+// The figure-cell differential suite: every cell must produce the same
+// measurements, metrics JSON, and event count at every worker count of the
+// parallel runner; single-member figures must additionally match the plain
+// single-Env runner byte for byte (quantum chopping is invisible to a lone
+// member). Runner modes: -1 encodes the plain runner, n >= 1 a group with
+// n executors.
+
+type cellRun struct {
+	events  int64
+	metrics []byte
+	values  []float64
+}
+
+// runCellDifferential executes cell under each mode and returns the runs.
+func runCellDifferential(t *testing.T, modes []int, cell func() []float64) []cellRun {
+	t.Helper()
+	prev := EngineWorkers()
+	defer SetEngineWorkers(prev)
+	out := make([]cellRun, 0, len(modes))
+	for _, mode := range modes {
+		if mode < 0 {
+			SetEngineWorkers(0)
+		} else {
+			SetEngineWorkers(mode)
+		}
+		cap := StartCapture()
+		values := cell()
+		StopCapture()
+		var buf bytes.Buffer
+		if err := cap.WriteJSON(&buf); err != nil {
+			t.Fatalf("mode %d: metrics: %v", mode, err)
+		}
+		out = append(out, cellRun{events: LastCellEvents(), metrics: buf.Bytes(), values: values})
+	}
+	return out
+}
+
+func checkRunsIdentical(t *testing.T, name string, modes []int, runs []cellRun) {
+	t.Helper()
+	for i := 1; i < len(runs); i++ {
+		if runs[i].events != runs[0].events {
+			t.Errorf("%s: mode %d dispatched %d events, mode %d %d",
+				name, modes[i], runs[i].events, modes[0], runs[0].events)
+		}
+		if !bytes.Equal(runs[i].metrics, runs[0].metrics) {
+			t.Errorf("%s: mode %d metrics JSON diverges from mode %d", name, modes[i], modes[0])
+		}
+		for j := range runs[i].values {
+			if runs[i].values[j] != runs[0].values[j] {
+				t.Errorf("%s: mode %d measurement[%d] = %v, mode %d %v",
+					name, modes[i], j, runs[i].values[j], modes[0], runs[0].values[j])
+			}
+		}
+	}
+}
+
+// TestSingleMemberFigsMatchPlainRunner demands full byte-identity between
+// the plain runner and the group runner at workers {1, 2, 8} for one cell
+// of each single-device figure.
+func TestSingleMemberFigsMatchPlainRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short mode")
+	}
+	modes := []int{-1, 1, 2, 8}
+	t.Run("fig10", func(t *testing.T) {
+		runs := runCellDifferential(t, modes, func() []float64 {
+			return []float64{Fig10Cell(pm.SRAMSpec, false, 64)}
+		})
+		checkRunsIdentical(t, "fig10", modes, runs)
+	})
+	t.Run("fig11", func(t *testing.T) {
+		runs := runCellDifferential(t, modes, func() []float64 {
+			lat, mbps := Fig11Cell(32<<10, 16<<10)
+			return []float64{float64(lat), mbps}
+		})
+		checkRunsIdentical(t, "fig11", modes, runs)
+	})
+	t.Run("fig9", func(t *testing.T) {
+		runs := runCellDifferential(t, modes, func() []float64 {
+			lat, ktps := Fig09Cell("Villars-SRAM", 2)
+			return []float64{float64(lat), ktps}
+		})
+		checkRunsIdentical(t, "fig9", modes, runs)
+	})
+}
+
+// TestFig13WorkerCountInvariant runs the genuinely multi-member figure
+// under the group runner only: the secondary lives on its own member and
+// all pair traffic crosses at barriers, so the executor count must not be
+// observable. (The plain runner is a different topology — one Env for both
+// devices — and is not compared.)
+func TestFig13WorkerCountInvariant(t *testing.T) {
+	modes := []int{1, 2, 8}
+	runs := runCellDifferential(t, modes, func() []float64 {
+		c, share := Fig13Cell(400 * time.Nanosecond)
+		return []float64{float64(c.Min), float64(c.P50), float64(c.Max), float64(c.N), share}
+	})
+	checkRunsIdentical(t, "fig13", modes, runs)
+	for _, r := range runs {
+		if r.values[3] == 0 {
+			t.Fatal("fig13 under the group runner collected no samples")
+		}
+	}
+}
+
+// TestPargroupCellWorkerParity pins the contract Compare enforces on the
+// /swN perf twins: identical topology, identical events, any executor
+// count.
+func TestPargroupCellWorkerParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short mode")
+	}
+	e1 := PargroupCell(3, 1)
+	e2 := PargroupCell(3, 2)
+	if e1 != e2 {
+		t.Fatalf("pargroup events drift across workers: %d vs %d", e1, e2)
+	}
+	if e1 == 0 {
+		t.Fatal("pargroup dispatched no events")
+	}
+}
+
+// TestCompareFlagsWorkerTwinDrift checks that Compare hard-fails when two
+// /swN twins disagree on events, independent of the tolerance.
+func TestCompareFlagsWorkerTwinDrift(t *testing.T) {
+	baseline := []PerfResult{{Bench: "pargroup/d8/sw1", Events: 100, EventsPerSec: 1}}
+	current := []PerfResult{
+		{Bench: "pargroup/d8/sw1", Events: 100, EventsPerSec: 1},
+		{Bench: "pargroup/d8/sw8", Events: 101, EventsPerSec: 1},
+	}
+	err := Compare(baseline, current, 0.99)
+	if err == nil {
+		t.Fatal("Compare accepted serial/parallel event drift")
+	}
+	if !strings.Contains(err.Error(), "drift") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	current[1].Events = 100
+	if err := Compare(baseline, current, 0.99); err != nil {
+		t.Fatalf("Compare rejected matching twins: %v", err)
+	}
+}
+
+// TestCompareWallFloor checks the throughput tolerance only gates cells
+// whose baseline run lasted past compareWallFloorNS; shorter cells are
+// noise-bound and only their event counts are compared.
+func TestCompareWallFloor(t *testing.T) {
+	short := []PerfResult{{Bench: "c", WallNS: compareWallFloorNS - 1, Events: 10, EventsPerSec: 1000}}
+	long := []PerfResult{{Bench: "c", WallNS: compareWallFloorNS, Events: 10, EventsPerSec: 1000}}
+	slow := []PerfResult{{Bench: "c", WallNS: compareWallFloorNS, Events: 10, EventsPerSec: 100}}
+	if err := Compare(short, slow, 0.15); err != nil {
+		t.Fatalf("Compare gated throughput on a sub-floor cell: %v", err)
+	}
+	if err := Compare(long, slow, 0.15); err == nil {
+		t.Fatal("Compare ignored a real regression on a cell past the floor")
+	}
+	slow[0].Events = 11
+	if err := Compare(short, slow, 0.15); err == nil {
+		t.Fatal("Compare ignored an event-count drift on a sub-floor cell")
+	}
+}

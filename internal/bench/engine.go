@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"time"
+
+	"xssd/internal/obs"
+	"xssd/internal/sim"
+)
+
+// engineWorkers selects the runner for every figure cell: 0 runs each cell
+// on a plain single Env (the classic scheduler); n >= 1 runs it inside a
+// sim.Group with n quantum executors. Single-device figures (9-12) keep
+// one member, so their event streams are byte-identical to the plain
+// runner (quantum chopping is invisible to a lone member); fig13 puts the
+// secondary on its own member and exchanges NTB traffic at barriers.
+var engineWorkers int
+
+// SetEngineWorkers picks the cell runner (the xbench -workers flag). The
+// harness is single-threaded, so a package-level switch is acceptable —
+// one experiment cell runs at a time.
+func SetEngineWorkers(n int) { engineWorkers = n }
+
+// EngineWorkers reports the current cell runner.
+func EngineWorkers() int { return engineWorkers }
+
+// cellSim is the per-cell simulation handle: a plain Env under the classic
+// runner, a sim.Group (started inline for bring-up) under the parallel
+// one. Cells build their topology against env()/member(), call release()
+// once setup is done, and drive time through runUntil.
+type cellSim struct {
+	group *sim.Group
+	envs  []*sim.Env
+}
+
+// newCellSim opens the cell's root environment with the figure's seed.
+func newCellSim(seed int64) *cellSim {
+	c := &cellSim{}
+	if engineWorkers > 0 {
+		c.group = sim.NewGroup(sim.GroupConfig{Workers: engineWorkers, StartInline: true})
+		c.envs = []*sim.Env{c.group.NewEnv("m0", seed)}
+	} else {
+		c.envs = []*sim.Env{sim.NewEnv(seed)}
+	}
+	return c
+}
+
+// env returns the root environment (member 0).
+func (c *cellSim) env() *sim.Env { return c.envs[0] }
+
+// member returns a new group member under the parallel runner, or the
+// root environment under the classic one — cells place each extra device
+// on a member() so the same wiring code builds both topologies.
+func (c *cellSim) member(name string, seed int64) *sim.Env {
+	if c.group == nil {
+		return c.envs[0]
+	}
+	e := c.group.NewEnv(name, seed)
+	c.envs = append(c.envs, e)
+	return e
+}
+
+// release ends the bring-up phase: group members run concurrently from
+// the next barrier on. No-op under the classic runner.
+func (c *cellSim) release() {
+	if c.group != nil {
+		c.group.Parallelize()
+	}
+}
+
+// runUntil drives the cell to absolute virtual time t.
+func (c *cellSim) runUntil(t time.Duration) {
+	if c.group != nil {
+		c.group.RunUntil(t)
+		return
+	}
+	c.envs[0].RunUntil(t)
+}
+
+// now returns the cell's virtual time.
+func (c *cellSim) now() time.Duration {
+	if c.group != nil {
+		return c.group.Now()
+	}
+	return c.envs[0].Now()
+}
+
+// events returns total dispatched events across the cell's members.
+func (c *cellSim) events() int64 {
+	if c.group != nil {
+		return c.group.Events()
+	}
+	return c.envs[0].Events()
+}
+
+// capture records the cell's merged metrics snapshot (the group analogue
+// of captureCell; identical bytes for a single member, since snapshots
+// are name-sorted either way).
+func (c *cellSim) capture(cell string) {
+	lastEvents = c.events()
+	if activeCapture == nil {
+		return
+	}
+	snaps := make([]*obs.Snapshot, len(c.envs))
+	for i, e := range c.envs {
+		snaps[i] = obs.For(e).Snapshot()
+	}
+	activeCapture.cells = append(activeCapture.cells,
+		CellMetrics{Cell: cell, Snapshot: obs.Merge(snaps...)})
+}
+
+// close releases every parked process goroutine (and the group's worker
+// pool); cells defer it so back-to-back cells do not accumulate parked
+// goroutines.
+func (c *cellSim) close() {
+	if c.group != nil {
+		c.group.Close()
+		return
+	}
+	c.envs[0].Close()
+}

@@ -66,7 +66,9 @@ var fig9DRAMBacking = pm.Spec{
 // Fig09Cell runs one (setup, workers) cell and reports mean latency and
 // committed-transaction throughput.
 func Fig09Cell(setup string, workers int) (lat time.Duration, ktps float64) {
-	env := sim.NewEnv(42)
+	c := newCellSim(42)
+	defer c.close()
+	env := c.env()
 	hostMem := pcie.NewHostMemory(1 << 20)
 
 	var log *wal.Log
@@ -89,7 +91,7 @@ func Fig09Cell(setup string, workers int) (lat time.Duration, ktps float64) {
 			log = mkLog(wal.NewVillarsSink(p, dev, setup))
 			ready <- struct{}{}
 		})
-		env.RunUntil(time.Microsecond)
+		c.runUntil(time.Microsecond)
 		<-ready
 	case "NVMe":
 		dev := villars.New(env, fig9DeviceConfig("fig9", pm.SRAMSpec), hostMem)
@@ -153,8 +155,9 @@ func Fig09Cell(setup string, workers int) (lat time.Duration, ktps float64) {
 			}
 		})
 	}
-	env.RunUntil(fig9Window)
-	captureCell(fmt.Sprintf("fig9/%s/w%d", setup, workers), env)
+	c.release()
+	c.runUntil(fig9Window)
+	c.capture(fmt.Sprintf("fig9/%s/w%d", setup, workers))
 	window := (fig9Window - fig9Warmup).Seconds()
 	return sample.Mean(), float64(committed) / window / 1000
 }

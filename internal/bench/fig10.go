@@ -42,7 +42,9 @@ func fig10Device(env *sim.Env, backing pm.Spec) *villars.Device {
 // Fig10Cell measures sustained fast-side intake (bytes persisted to the
 // backing ring per second) for one (backing, mode, size) cell.
 func Fig10Cell(backing pm.Spec, uncached bool, size int) float64 {
-	env := sim.NewEnv(1)
+	c := newCellSim(1)
+	defer c.close()
+	env := c.env()
 	dev := fig10Device(env, backing)
 	env.Go("writer", func(p *sim.Proc) {
 		l := xapi.Open(p, dev, xapi.Options{Uncached: uncached})
@@ -51,12 +53,13 @@ func Fig10Cell(backing pm.Spec, uncached bool, size int) float64 {
 			l.XPwrite(p, buf)
 		}
 	})
-	env.RunUntil(fig10Window)
+	c.release()
+	c.runUntil(fig10Window)
 	mode := "wc"
 	if uncached {
 		mode = "uc"
 	}
-	captureCell(fmt.Sprintf("fig10/%s/%s/%dB", backing.Class, mode, size), env)
+	c.capture(fmt.Sprintf("fig10/%s/%s/%dB", backing.Class, mode, size))
 	return float64(dev.CMB().Ring().Frontier()) / fig10Window.Seconds()
 }
 

@@ -27,7 +27,9 @@ var (
 const fig11Window = 30 * time.Millisecond
 
 func Fig11Cell(queueSize, groupSize int) (lat time.Duration, mbps float64) {
-	env := sim.NewEnv(1)
+	c := newCellSim(1)
+	defer c.close()
+	env := c.env()
 	cfg := villars.DefaultConfig("fig11")
 	cfg.Backing = pm.SRAMSpec
 	// A roomy ring keeps the destage pipeline off the critical path so the
@@ -53,8 +55,9 @@ func Fig11Cell(queueSize, groupSize int) (lat time.Duration, mbps float64) {
 			bytes += int64(groupSize)
 		}
 	})
-	env.RunUntil(fig11Window)
-	captureCell(fmt.Sprintf("fig11/q%dK/g%dK", queueSize>>10, groupSize>>10), env)
+	c.release()
+	c.runUntil(fig11Window)
+	c.capture(fmt.Sprintf("fig11/q%dK/g%dK", queueSize>>10, groupSize>>10))
 	return sample.Mean(), float64(bytes) / fig11Window.Seconds() / 1e6
 }
 

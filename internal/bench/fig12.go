@@ -41,7 +41,9 @@ func fig12Device(env *sim.Env, policy sched.Policy) *villars.Device {
 // Fig12Cell returns achieved (conventional, fast) throughput as fractions
 // of the array program bandwidth.
 func Fig12Cell(policy sched.Policy, fastOffer float64) (conv, fast float64) {
-	env := sim.NewEnv(3)
+	c := newCellSim(3)
+	defer c.close()
+	env := c.env()
 	dev := fig12Device(env, policy)
 	geo := dev.Array().Geometry()
 	progBW := geo.ProgramBandwidth(dev.Array().Timing())
@@ -86,12 +88,13 @@ func Fig12Cell(policy sched.Policy, fastOffer float64) (conv, fast float64) {
 	})
 
 	// Measure steady state: skip the first quarter of the window.
+	c.release()
 	warm := fig12Window / 4
-	env.RunUntil(warm)
+	c.runUntil(warm)
 	convStart := dev.Scheduler().BytesBySource(sched.Conventional)
 	fastStart := dev.Scheduler().BytesBySource(sched.Destage)
-	env.RunUntil(fig12Window)
-	captureCell(fmt.Sprintf("fig12/%s/offer%.0f", policy, fastOffer*100), env)
+	c.runUntil(fig12Window)
+	c.capture(fmt.Sprintf("fig12/%s/offer%.0f", policy, fastOffer*100))
 	window := (fig12Window - warm).Seconds()
 	conv = float64(dev.Scheduler().BytesBySource(sched.Conventional)-convStart) / window / progBW
 	fast = float64(dev.Scheduler().BytesBySource(sched.Destage)-fastStart) / window / progBW

@@ -47,13 +47,19 @@ func fig13Device(env *sim.Env, name string, period time.Duration) *villars.Devic
 // Fig13Cell measures the shadow-counter confirmation delay distribution
 // and the counter-update bandwidth share for one period.
 func Fig13Cell(period time.Duration) (metrics.Candlestick, float64) {
-	env := sim.NewEnv(5)
+	c := newCellSim(5)
+	defer c.close()
+	env := c.env()
 	prim := fig13Device(env, "prim", period)
-	sec := fig13Device(env, "sec", period)
-	toSec := ntb.NewDefaultBridge(env, "p-s")
-	toPrim := ntb.NewDefaultBridge(env, "s-p")
+	// Under the parallel runner the secondary lives on its own member and
+	// all pair traffic — mirrored writes one way, counter updates the
+	// other — crosses at barriers through the bridges.
+	secEnv := c.member("sec", 6)
+	sec := fig13Device(secEnv, "sec", period)
+	toSec := ntb.NewDefaultBridgeTo(env, secEnv, "p-s")
+	toPrim := ntb.NewDefaultBridgeTo(secEnv, env, "s-p")
 	prim.Transport().AddPeer(sec, toSec, toPrim)
-	setRoles(env, prim, sec)
+	setRoles(c, prim, sec)
 
 	var sample metrics.Sample
 	target := int64(0)
@@ -79,8 +85,9 @@ func Fig13Cell(period time.Duration) (metrics.Candlestick, float64) {
 			}
 		}
 	})
-	env.RunUntil(fig13Window)
-	captureCell(fmt.Sprintf("fig13/period%v", period), env)
+	c.release()
+	c.runUntil(fig13Window)
+	c.capture(fmt.Sprintf("fig13/period%v", period))
 	updates := sec.Transport().UpdatesSent()
 	wire := float64(updates) * float64(core.CounterUpdateBytes)
 	share := wire / (ntb.DefaultBandwidth * fig13Window.Seconds())
@@ -88,12 +95,15 @@ func Fig13Cell(period time.Duration) (metrics.Candlestick, float64) {
 }
 
 // setRoles flips the pair into secondary/primary through the admin path.
-func setRoles(env *sim.Env, prim, sec *villars.Device) {
-	env.Go("set-roles", func(p *sim.Proc) {
+// It runs during bring-up (the group is still inline), so the admin proc
+// may drive the secondary's queues directly even when it lives on another
+// member.
+func setRoles(c *cellSim, prim, sec *villars.Device) {
+	c.env().Go("set-roles", func(p *sim.Proc) {
 		submitMode(p, sec, core.Secondary)
 		submitMode(p, prim, core.Primary)
 	})
-	env.RunUntil(env.Now() + 100*time.Microsecond)
+	c.runUntil(c.now() + 100*time.Microsecond)
 }
 
 func submitMode(p *sim.Proc, d *villars.Device, mode core.TransportMode) {

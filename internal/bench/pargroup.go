@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"xssd/internal/pm"
+	"xssd/internal/sim"
+	"xssd/internal/xapi"
+)
+
+// The pargroup cells measure what the parallel engine buys on aggregate
+// simulation throughput: N independent devices, each on its own group
+// member with its own fast-side writer, no cross-member traffic. The
+// topology is identical at every worker count, so the event count is too
+// (Compare enforces it across /swN twins); only the wall clock moves.
+
+const (
+	pargroupDevices = 8
+	pargroupWindow  = 20 * time.Millisecond
+	// With no cross-member traffic there is no lookahead bound, so the
+	// quantum only sets barrier overhead. Keep it large.
+	pargroupQuantum = 100 * time.Microsecond
+)
+
+// PargroupCell runs devices independent members under simWorkers quantum
+// executors and reports the total events dispatched.
+func PargroupCell(devices, simWorkers int) int64 {
+	g := sim.NewGroup(sim.GroupConfig{Workers: simWorkers, Quantum: pargroupQuantum})
+	defer g.Close()
+	for i := 0; i < devices; i++ {
+		env := g.NewEnv(fmt.Sprintf("d%d", i), int64(1000+i))
+		dev := fig10Device(env, pm.SRAMSpec)
+		env.Go("writer", func(p *sim.Proc) {
+			l := xapi.Open(p, dev, xapi.Options{})
+			buf := make([]byte, 256)
+			for {
+				l.XPwrite(p, buf)
+			}
+		})
+	}
+	g.RunUntil(pargroupWindow)
+	return g.Events()
+}

@@ -52,7 +52,9 @@ func PerfCells() []PerfCell {
 			return LastCellEvents(), nil
 		}},
 		{Name: fmt.Sprintf("chaos/seed%d", perfChaosSeed), Run: func() (int64, error) {
-			r, err := chaos.Run(chaos.DefaultScenario(perfChaosSeed))
+			sc := chaos.DefaultScenario(perfChaosSeed)
+			sc.SimWorkers = engineWorkers
+			r, err := chaos.Run(sc)
 			if err != nil {
 				return 0, err
 			}
@@ -60,6 +62,16 @@ func PerfCells() []PerfCell {
 				return 0, fmt.Errorf("bench: chaos seed %d violated invariants: %v", perfChaosSeed, r.Violations)
 			}
 			return r.Events, nil
+		}},
+		// The /swN twins pin the engine explicitly (independent of
+		// -workers): same multi-device topology, different executor
+		// counts. Compare demands identical event counts across twins and
+		// the wall-clock ratio is the parallel speedup.
+		{Name: fmt.Sprintf("pargroup/d%d/sw1", pargroupDevices), Run: func() (int64, error) {
+			return PargroupCell(pargroupDevices, 1), nil
+		}},
+		{Name: fmt.Sprintf("pargroup/d%d/sw8", pargroupDevices), Run: func() (int64, error) {
+			return PargroupCell(pargroupDevices, 8), nil
 		}},
 	}
 }

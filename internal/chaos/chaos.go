@@ -33,7 +33,6 @@ import (
 	"xssd/internal/fault"
 	"xssd/internal/metrics"
 	"xssd/internal/nand"
-	"xssd/internal/obs"
 	"xssd/internal/pcie"
 	"xssd/internal/repl"
 	"xssd/internal/sim"
@@ -75,6 +74,16 @@ type Scenario struct {
 	// Settle is how long the stack gets to quiesce after the workload
 	// stops (flush, destage, repair, catch-up); 0 means 20 ms.
 	Settle time.Duration
+	// SimWorkers selects the simulation engine. 0 runs the classic
+	// single-Env scheduler (all devices plus the host workload on one
+	// event loop). n >= 1 runs the parallel group engine: the primary and
+	// the host side share member Env 0, each secondary gets its own
+	// member, and n workers execute quanta — n == 1 being the serial
+	// runner over the identical topology. Runs with the same (Seed, Plan,
+	// shape) and any SimWorkers >= 1 are byte-identical to each other;
+	// they are a different topology (hence different fingerprints) than
+	// SimWorkers == 0.
+	SimWorkers int
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -216,16 +225,17 @@ func Run(s Scenario) (*Result, error) {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
 
-	env := sim.NewEnv(s.Seed)
-	// Attach before building devices so at-time power-loss rules arm.
-	inj := fault.New(env, s.Plan)
-	fault.Attach(env, inj)
-	defer fault.Detach(env)
+	// Injectors attach inside newEngine, before building devices, so
+	// at-time power-loss rules arm.
+	en := newEngine(s.Seed, s.SimWorkers, s.Secondaries, s.Plan)
+	defer en.detach()
+	defer en.close()
+	env := en.host
 
 	prim := chaosDevice(env, PrimaryName)
 	devices := []*villars.Device{prim}
 	for i := 0; i < s.Secondaries; i++ {
-		devices = append(devices, chaosDevice(env, fmt.Sprintf("s%d", i)))
+		devices = append(devices, chaosDevice(en.deviceEnv(i+1), fmt.Sprintf("s%d", i)))
 	}
 	var cluster *repl.Cluster
 	if len(devices) > 1 {
@@ -281,6 +291,9 @@ func Run(s Scenario) (*Result, error) {
 				}
 			})
 		}
+		// Bring-up walked every member's state directly (role commands,
+		// peer wiring); only now may members run concurrently.
+		en.release()
 	})
 
 	mon := &stallMonitor{}
@@ -340,17 +353,17 @@ func Run(s Scenario) (*Result, error) {
 		})
 	}
 
-	env.RunUntil(s.Window)
+	en.runUntil(s.Window)
 	if bootErr != nil {
 		return nil, fmt.Errorf("chaos: boot: %w", bootErr)
 	}
 	stop = true
-	env.RunUntil(s.Window + s.Settle)
+	en.runUntil(s.Window + s.Settle)
 
 	r := &Result{Seed: s.Seed, Secondaries: s.Secondaries, Scheme: s.Scheme}
 	r.PowerLost = prim.PowerLost()
 	if r.PowerLost && !prim.Drained() {
-		env.RunUntil(env.Now() + 300*time.Millisecond)
+		en.runUntil(en.now() + 300*time.Millisecond)
 	}
 	violate := func(format string, args ...any) {
 		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
@@ -364,7 +377,7 @@ func Run(s Scenario) (*Result, error) {
 	if eng != nil {
 		r.Commits, _ = eng.Stats()
 	}
-	r.Firings = len(inj.Firings())
+	r.Firings = en.firings()
 	r.StallSeen = mon.seen
 	r.MaxSuppressed = mon.maxSuppressed
 
@@ -427,7 +440,7 @@ func Run(s Scenario) (*Result, error) {
 		// Scenario parameters are sized to keep this from happening.
 		return nil, fmt.Errorf("chaos: stream wrapped the destage ring (%d slots): shrink the window or workload", slots)
 	}
-	prefix, err := flashPrefix(env, prim)
+	prefix, err := flashPrefix(prim)
 	if err != nil {
 		violate("I1: %v", err)
 	} else {
@@ -464,7 +477,7 @@ func Run(s Scenario) (*Result, error) {
 
 	// ---- I5 ingredients: event-history fingerprint + metrics snapshot -
 	r.MixLatency = mixLat.Candlestick()
-	snap := obs.For(env).Snapshot()
+	snap := en.snapshot()
 	r.Metrics = snap.Encode()
 	fp := uint64(fnvOffset)
 	for _, d := range devices {
@@ -479,14 +492,19 @@ func Run(s Scenario) (*Result, error) {
 	fp = mix64(fp, uint64(r.Firings))
 	fp = mix64(fp, snap.Fingerprint())
 	r.Fingerprint = fp
-	r.Events = env.Events()
+	r.Events = en.events()
 	return r, nil
 }
 
 // flashPrefix reads the destage ring back through the FTL and reassembles
 // the stream prefix the conventional side holds, failing on any gap or
-// malformed page (the read itself runs in virtual time).
-func flashPrefix(env *sim.Env, d *villars.Device) ([]byte, error) {
+// malformed page (the read itself runs in virtual time). The verifier
+// process runs on the device's own Env: under the group runner a promoted
+// device lives in its own member, and its NAND timers must dispatch on
+// the same event loop the verifier sleeps on. The run is post-mortem
+// (single-threaded), so driving one member directly is race-free.
+func flashPrefix(d *villars.Device) ([]byte, error) {
+	env := d.Env()
 	base, count := d.Destage().LBARing()
 	var got []byte
 	var rerr error
@@ -529,9 +547,18 @@ type SeedResult struct {
 // across the pair — and returns the per-seed outcomes for callers that
 // post-process them (the CLI prints them; tests pin the sweep's Fold).
 func SweepResults(seeds int) ([]SeedResult, error) {
+	return SweepResultsWorkers(seeds, 0)
+}
+
+// SweepResultsWorkers is SweepResults under a chosen engine: simWorkers is
+// copied into every scenario (0 = classic single-Env scheduler, n >= 1 =
+// parallel group runner with n quantum executors). Both runs of a pair use
+// the same engine; cross-engine equivalence is the differential suite's job.
+func SweepResultsWorkers(seeds, simWorkers int) ([]SeedResult, error) {
 	out := make([]SeedResult, 0, seeds)
 	for seed := 0; seed < seeds; seed++ {
 		sc := DefaultScenario(int64(seed))
+		sc.SimWorkers = simWorkers
 		r1, err := Run(sc)
 		if err != nil {
 			return nil, err
@@ -572,7 +599,12 @@ func Fold(results []SeedResult) uint64 {
 // final fold. It returns an error listing every violation, or nil when
 // all seeds hold.
 func Sweep(w io.Writer, seeds int) error {
-	results, err := SweepResults(seeds)
+	return SweepWorkers(w, seeds, 0)
+}
+
+// SweepWorkers is Sweep under a chosen engine (see SweepResultsWorkers).
+func SweepWorkers(w io.Writer, seeds, simWorkers int) error {
+	results, err := SweepResultsWorkers(seeds, simWorkers)
 	if err != nil {
 		return err
 	}

@@ -20,7 +20,6 @@ import (
 	"xssd/internal/db"
 	"xssd/internal/failover"
 	"xssd/internal/fault"
-	"xssd/internal/obs"
 	"xssd/internal/repl"
 	"xssd/internal/sim"
 	"xssd/internal/tpcc"
@@ -53,6 +52,13 @@ type FailoverScenario struct {
 	Settle time.Duration
 	// Manager tunes the failover manager; zero fields take defaults.
 	Manager failover.Config
+	// SimWorkers selects the engine exactly as Scenario.SimWorkers does:
+	// 0 = classic single-Env scheduler, n >= 1 = parallel group runner
+	// with one member per device (host side with the primary) and n
+	// quantum executors. The takeover serializes the group permanently at
+	// its barrier, so promotion rewiring and the re-bound host stream are
+	// race-free under any worker count.
+	SimWorkers int
 }
 
 func (s FailoverScenario) withDefaults() FailoverScenario {
@@ -140,15 +146,15 @@ func RunFailover(s FailoverScenario) (*FailoverResult, error) {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
 
-	env := sim.NewEnv(s.Seed)
-	inj := fault.New(env, plan)
-	fault.Attach(env, inj)
-	defer fault.Detach(env)
+	en := newEngine(s.Seed, s.SimWorkers, s.Secondaries, plan)
+	defer en.detach()
+	defer en.close()
+	env := en.host
 
 	prim := chaosDevice(env, PrimaryName)
 	devices := []*villars.Device{prim}
 	for i := 0; i < s.Secondaries; i++ {
-		devices = append(devices, chaosDevice(env, fmt.Sprintf("s%d", i)))
+		devices = append(devices, chaosDevice(en.deviceEnv(i+1), fmt.Sprintf("s%d", i)))
 	}
 	cluster, err := repl.New(env, devices)
 	if err != nil {
@@ -167,7 +173,10 @@ func RunFailover(s FailoverScenario) (*FailoverResult, error) {
 
 	// The kill: resolve "the current primary" when the rule fires, and
 	// snapshot the committed state the takeover must preserve.
-	inj.OnTime(fault.PrimaryKill, "", func() {
+	// The kill rule is armed on the host member's injector: the hook reads
+	// host-side state (engine stats, durable LSN) and the primary lives on
+	// the host member, so the power loss lands on the victim's own Env.
+	en.injs[0].OnTime(fault.PrimaryKill, "", func() {
 		p := cluster.Primary()
 		if p == nil || p.PowerLost() {
 			return
@@ -215,14 +224,15 @@ func RunFailover(s FailoverScenario) (*FailoverResult, error) {
 				}
 			})
 		}
+		en.release()
 	})
 
-	env.RunUntil(s.Window)
+	en.runUntil(s.Window)
 	if bootErr != nil {
 		return nil, fmt.Errorf("chaos: boot: %w", bootErr)
 	}
 	stop = true
-	env.RunUntil(s.Window + s.Settle)
+	en.runUntil(s.Window + s.Settle)
 	if mgr != nil {
 		mgr.Stop()
 	}
@@ -231,7 +241,7 @@ func RunFailover(s FailoverScenario) (*FailoverResult, error) {
 		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
 	}
 
-	r.Firings = len(inj.Firings())
+	r.Firings = en.firings()
 	if eng != nil {
 		r.Commits, _ = eng.Stats()
 	}
@@ -293,7 +303,7 @@ func RunFailover(s FailoverScenario) (*FailoverResult, error) {
 		if newPrim.Destage().TailLBA() > slots {
 			return nil, fmt.Errorf("chaos: stream wrapped the destage ring (%d slots): shrink the window or workload", slots)
 		}
-		prefix, err := flashPrefix(env, newPrim)
+		prefix, err := flashPrefix(newPrim)
 		if err != nil {
 			violate("I6: %v", err)
 		} else {
@@ -366,7 +376,7 @@ func RunFailover(s FailoverScenario) (*FailoverResult, error) {
 	}
 
 	// ---- I7 ingredients: fingerprint + metrics snapshot ---------------
-	snap := obs.For(env).Snapshot()
+	snap := en.snapshot()
 	r.Metrics = snap.Encode()
 	fp := uint64(fnvOffset)
 	for _, d := range devices {
@@ -384,7 +394,7 @@ func RunFailover(s FailoverScenario) (*FailoverResult, error) {
 	fp = mix64(fp, uint64(r.Firings))
 	fp = mix64(fp, snap.Fingerprint())
 	r.Fingerprint = fp
-	r.Events = env.Events()
+	r.Events = en.events()
 	return r, nil
 }
 
@@ -402,9 +412,17 @@ type FailoverSeedResult struct {
 // SweepFailoverResults runs DefaultFailoverScenario for each seed twice —
 // I6 inside each run, I7 across the pair — returning per-seed outcomes.
 func SweepFailoverResults(seeds int) ([]FailoverSeedResult, error) {
+	return SweepFailoverResultsWorkers(seeds, 0)
+}
+
+// SweepFailoverResultsWorkers is SweepFailoverResults under a chosen
+// engine: simWorkers is copied into every scenario (see
+// SweepResultsWorkers for the convention).
+func SweepFailoverResultsWorkers(seeds, simWorkers int) ([]FailoverSeedResult, error) {
 	out := make([]FailoverSeedResult, 0, seeds)
 	for seed := 0; seed < seeds; seed++ {
 		sc := DefaultFailoverScenario(int64(seed))
+		sc.SimWorkers = simWorkers
 		r1, err := RunFailover(sc)
 		if err != nil {
 			return nil, err
@@ -442,7 +460,12 @@ func FoldFailover(results []FailoverSeedResult) uint64 {
 // SweepFailover runs the failover sweep, writes one summary line per seed
 // plus the final fold, and returns an error listing every violation.
 func SweepFailover(w io.Writer, seeds int) error {
-	results, err := SweepFailoverResults(seeds)
+	return SweepFailoverWorkers(w, seeds, 0)
+}
+
+// SweepFailoverWorkers is SweepFailover under a chosen engine.
+func SweepFailoverWorkers(w io.Writer, seeds, simWorkers int) error {
+	results, err := SweepFailoverResultsWorkers(seeds, simWorkers)
 	if err != nil {
 		return err
 	}

@@ -23,12 +23,18 @@ const (
 )
 
 // Bridge is an NTB adapter pair connecting the local PCIe system to one
-// remote host, possibly across several daisy-chain hops.
+// remote host, possibly across several daisy-chain hops. A bridge belongs
+// to the sender's Env; when the remote end lives in a different member of
+// a sim.Group (NewBridgeTo), deliveries cross through the group mailbox at
+// their arrival time instead of the local event queue. The hop latency
+// (1.1µs default) exceeds the group's 1µs quantum, so barrier clamping
+// never distorts arrival times.
 type Bridge struct {
-	env  *sim.Env
-	link *sim.Link
-	hops int
-	name string
+	env    *sim.Env
+	remote *sim.Env // Env the window targets live in; == env when intra-env
+	link   *sim.Link
+	hops   int
+	name   string
 
 	// pendq holds TLP chunks in flight on the link. Link completions fire
 	// in send order (serialization is monotone, latency constant), so every
@@ -97,14 +103,23 @@ func (b *Bridge) deliverNext() {
 // NewBridge creates a bridge with the given bandwidth and per-hop latency
 // over hops daisy-chained adapters (hops >= 1).
 func NewBridge(env *sim.Env, name string, bandwidth float64, hopLatency time.Duration, hops int) *Bridge {
+	return NewBridgeTo(env, env, name, bandwidth, hopLatency, hops)
+}
+
+// NewBridgeTo creates a bridge whose window targets live in remote — a
+// different member of the sender's sim.Group. With remote == env it is
+// exactly NewBridge. The bridge and its link, buffers, and metrics belong
+// to env (the sender); only the final chunk landing crosses to remote.
+func NewBridgeTo(env, remote *sim.Env, name string, bandwidth float64, hopLatency time.Duration, hops int) *Bridge {
 	if hops < 1 {
 		hops = 1
 	}
 	b := &Bridge{
-		env:  env,
-		link: env.NewLink("ntb-"+name, bandwidth, time.Duration(hops)*hopLatency),
-		hops: hops,
-		name: name,
+		env:    env,
+		remote: remote,
+		link:   env.NewLink("ntb-"+name, bandwidth, time.Duration(hops)*hopLatency),
+		hops:   hops,
+		name:   name,
 	}
 	b.deliver = b.deliverNext
 	sc := obs.For(env).Scope("ntb/" + name)
@@ -122,6 +137,29 @@ func (b *Bridge) Dropped() int64 { return b.mDropped.Value() }
 // parameters.
 func NewDefaultBridge(env *sim.Env, name string) *Bridge {
 	return NewBridge(env, name, DefaultBandwidth, DefaultHopLatency, 1)
+}
+
+// NewDefaultBridgeTo is NewDefaultBridge with a remote-Env far end.
+func NewDefaultBridgeTo(env, remote *sim.Env, name string) *Bridge {
+	return NewBridgeTo(env, remote, name, DefaultBandwidth, DefaultHopLatency, 1)
+}
+
+// sendCross ships one chunk to a remote-Env target: the link is occupied
+// locally (timing and bandwidth accounting belong to the sender) and the
+// arrival is posted through the group mailbox carrying a private buffer
+// the remote target copies from — pooled buffers never cross Envs. done,
+// if non-nil, fires in the *sender's* Env at the arrival instant:
+// completion callbacks drive sender-side state (retransmission windows,
+// WriteBlocking signals) and must not run remotely.
+//
+//xssd:conduit NTB delivery is the wire itself: bytes land at the remote Env's target at the barrier-merged arrival time
+func (b *Bridge) sendCross(target pcie.Target, dst int64, data []byte, wireBytes int, done func()) {
+	buf := append([]byte(nil), data...)
+	at := b.link.SendTimed(wireBytes)
+	b.env.PostTo(b.remote, at, func() { target.MemWrite(dst, buf) })
+	if done != nil {
+		b.env.At(at, done)
+	}
 }
 
 // Link exposes the bridge's link for bandwidth accounting (Fig 13 reports
@@ -173,6 +211,11 @@ func (w *Window) Write(off int64, data []byte, done func()) {
 			// traffic) and carry a private copy the closure owns.
 			chunk := append([]byte(nil), data[:n]...)
 			delay := d.Dur
+			if b.remote != b.env {
+				b.env.After(delay, func() { b.sendCross(w.target, dst, chunk, pcie.WireBytes(n), cb) })
+				data = data[n:]
+				continue
+			}
 			b.env.After(delay, func() {
 				b.link.Send(pcie.WireBytes(n), func() {
 					w.target.MemWrite(dst, chunk)
@@ -182,6 +225,11 @@ func (w *Window) Write(off int64, data []byte, done func()) {
 				})
 			})
 		default:
+			if b.remote != b.env {
+				b.sendCross(w.target, dst, data[:n], pcie.WireBytes(n), cb)
+				data = data[n:]
+				continue
+			}
 			buf := b.getBuf(n)
 			copy(buf, data[:n])
 			b.pend(w.target, dst, buf, cb)
@@ -197,9 +245,13 @@ func (w *Window) Write(off int64, data []byte, done func()) {
 // updates, whose cost the paper quantifies in Fig 13).
 func (w *Window) WriteRaw(off int64, data []byte, wireBytes int, done func()) {
 	b := w.bridge
+	b.mChunks.Inc()
+	if b.remote != b.env {
+		b.sendCross(w.target, w.base+off, data, wireBytes, done)
+		return
+	}
 	buf := b.getBuf(len(data))
 	copy(buf, data)
-	b.mChunks.Inc()
 	b.pend(w.target, w.base+off, buf, done)
 	b.link.Send(wireBytes, b.deliver)
 }

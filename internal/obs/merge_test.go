@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"xssd/internal/sim"
+)
+
+func TestMergeIsOrderCanonical(t *testing.T) {
+	build := func(seed int64, names ...string) *Snapshot {
+		e := sim.NewEnv(seed)
+		r := For(e)
+		for i, n := range names {
+			r.Scope(n).Counter("ops").Add(int64(10 + i))
+			r.Scope(n).Histogram("lat").Observe(int64(100 * (i + 1)))
+		}
+		return r.Snapshot()
+	}
+	a := build(1, "dev-a", "dev-c")
+	b := build(2, "dev-b")
+	m1 := Merge(a, b)
+	m2 := Merge(b, a)
+	if !bytes.Equal(m1.Encode(), m2.Encode()) {
+		t.Error("merge encoding depends on argument order")
+	}
+	if len(m1.Counters) != 3 || len(m1.Histograms) != 3 {
+		t.Fatalf("merged series missing: %d counters, %d histograms", len(m1.Counters), len(m1.Histograms))
+	}
+	for i := 1; i < len(m1.Counters); i++ {
+		if m1.Counters[i-1].Name >= m1.Counters[i].Name {
+			t.Errorf("counters not sorted: %q >= %q", m1.Counters[i-1].Name, m1.Counters[i].Name)
+		}
+	}
+}
+
+func TestMergePanicsOnDuplicateSeries(t *testing.T) {
+	mk := func() *Snapshot {
+		e := sim.NewEnv(1)
+		r := For(e)
+		r.Scope("dev").Counter("ops").Add(1)
+		return r.Snapshot()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge accepted duplicate series silently")
+		}
+	}()
+	Merge(mk(), mk())
+}

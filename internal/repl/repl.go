@@ -67,7 +67,11 @@ func New(env *sim.Env, devices []*villars.Device) (*Cluster, error) {
 			if i == j {
 				continue
 			}
-			c.bridges[i][j] = ntb.NewDefaultBridge(env, fmt.Sprintf("%s->%s", devices[i].Name(), devices[j].Name()))
+			// Each bridge belongs to the sending device's Env: in a
+			// multi-env group the far end is a different member and
+			// deliveries cross through the group mailbox; with every device
+			// on one Env this reduces to the classic intra-env bridge.
+			c.bridges[i][j] = ntb.NewDefaultBridgeTo(devices[i].Env(), devices[j].Env(), fmt.Sprintf("%s->%s", devices[i].Name(), devices[j].Name()))
 		}
 	}
 	sc := obs.For(env).Scope("repl")

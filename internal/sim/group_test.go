@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// groupTrace is one observed delivery: who sent, what, and when it landed.
+type groupTrace struct {
+	Src, Val int
+	At       time.Duration
+}
+
+// runCrossTraffic builds a k-member group where every member runs a
+// deterministic proc that computes, burns randomness from its own Env, and
+// posts values to the other members over a 2µs mailbox latency. It returns
+// the per-member delivery logs, the total event count, and one final rng
+// draw per member.
+func runCrossTraffic(k, workers int, until time.Duration) ([][]groupTrace, int64, []int64) {
+	g := NewGroup(GroupConfig{Workers: workers})
+	envs := make([]*Env, k)
+	for i := 0; i < k; i++ {
+		envs[i] = g.NewEnv(fmt.Sprintf("m%d", i), int64(1000+i))
+	}
+	logs := make([][]groupTrace, k)
+	for i := 0; i < k; i++ {
+		i := i
+		e := envs[i]
+		e.Go("talker", func(p *Proc) {
+			val := 0
+			for {
+				p.Sleep(time.Duration(100 + e.Rand().Intn(900)))
+				val++
+				dst := envs[(i+1+e.Rand().Intn(k-1))%k]
+				src, v, at := i, val, p.Now()+2*time.Microsecond
+				e.PostTo(dst, at, func() {
+					logs[dst.gidx] = append(logs[dst.gidx], groupTrace{Src: src, Val: v, At: dst.Now()})
+				})
+			}
+		})
+	}
+	g.RunUntil(until)
+	events := g.Events()
+	draws := make([]int64, k)
+	for i, e := range envs {
+		draws[i] = e.Rand().Int63()
+	}
+	g.Close()
+	return logs, events, draws
+}
+
+// TestGroupCrossEnvDeterminism is the heart of the differential contract:
+// the same seeded program yields byte-identical delivery logs, event
+// counts, and rng states whether the group runs with 1, 2, or 8 workers.
+func TestGroupCrossEnvDeterminism(t *testing.T) {
+	refLogs, refEvents, refDraws := runCrossTraffic(5, 1, 3*time.Millisecond)
+	if refEvents == 0 || len(refLogs[0]) == 0 {
+		t.Fatalf("reference run did nothing: events=%d log0=%d", refEvents, len(refLogs[0]))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		logs, events, draws := runCrossTraffic(5, workers, 3*time.Millisecond)
+		if events != refEvents {
+			t.Errorf("workers=%d: events %d, want %d", workers, events, refEvents)
+		}
+		if !reflect.DeepEqual(draws, refDraws) {
+			t.Errorf("workers=%d: rng states diverged", workers)
+		}
+		if !reflect.DeepEqual(logs, refLogs) {
+			t.Errorf("workers=%d: delivery logs diverged", workers)
+		}
+	}
+}
+
+// TestGroupSingleMemberMatchesEnv proves quantum chopping is invisible: a
+// single-member group produces the exact trace of a standalone Env with the
+// same seed — the property the fig 9-12 differential cells rely on.
+func TestGroupSingleMemberMatchesEnv(t *testing.T) {
+	program := func(e *Env, log *[]groupTrace) {
+		e.Go("worker", func(p *Proc) {
+			for i := 0; ; i++ {
+				p.Sleep(time.Duration(50 + e.Rand().Intn(500)))
+				*log = append(*log, groupTrace{Val: i, At: p.Now()})
+				e.After(time.Duration(e.Rand().Intn(300)), func() {
+					*log = append(*log, groupTrace{Src: 1, At: e.Now()})
+				})
+			}
+		})
+	}
+
+	var refLog []groupTrace
+	ref := NewEnv(77)
+	program(ref, &refLog)
+	ref.RunUntil(time.Millisecond)
+	refEvents, refDraw := ref.Events(), ref.Rand().Int63()
+	ref.Close()
+
+	for _, workers := range []int{1, 8} {
+		var log []groupTrace
+		g := NewGroup(GroupConfig{Workers: workers})
+		e := g.NewEnv("solo", 77)
+		program(e, &log)
+		g.RunUntil(time.Millisecond)
+		if e.Events() != refEvents {
+			t.Errorf("workers=%d: events %d, want %d", workers, e.Events(), refEvents)
+		}
+		if d := e.Rand().Int63(); d != refDraw {
+			t.Errorf("workers=%d: rng diverged", workers)
+		}
+		if !reflect.DeepEqual(log, refLog) {
+			t.Errorf("workers=%d: trace diverged (%d vs %d entries)", workers, len(log), len(refLog))
+		}
+		g.Close()
+	}
+}
+
+// TestGroupMergeOrder pins the barrier merge rule: posts landing at the
+// same instant deliver in (sender index, send seq) order, never in worker
+// completion order.
+func TestGroupMergeOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		g := NewGroup(GroupConfig{Workers: workers})
+		senders := make([]*Env, 4)
+		for i := range senders {
+			senders[i] = g.NewEnv(fmt.Sprintf("s%d", i), int64(i))
+		}
+		sink := g.NewEnv("sink", 99)
+		var got []groupTrace
+		deliver := 10 * time.Microsecond
+		for i, e := range senders {
+			i, e := i, e
+			e.Go("burst", func(p *Proc) {
+				// Sends land inside the same quantum but at staggered
+				// sub-instants, so worker finish order varies; every delivery
+				// is pinned to the same instant.
+				p.Sleep(3*time.Microsecond + time.Duration(i*100))
+				for j := 0; j < 3; j++ {
+					src, v := i, j
+					e.PostTo(sink, deliver, func() {
+						got = append(got, groupTrace{Src: src, Val: v, At: sink.Now()})
+					})
+				}
+			})
+		}
+		g.RunUntil(20 * time.Microsecond)
+		g.Close()
+		if len(got) != 12 {
+			t.Fatalf("workers=%d: got %d deliveries, want 12", workers, len(got))
+		}
+		// Same barrier, same delivery instant: merge order is purely
+		// (sender env index, send seq) — sender 3 posted last in real time
+		// within the quantum, yet still sorts by its index.
+		var want []groupTrace
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 3; j++ {
+				want = append(want, groupTrace{Src: i, Val: j, At: deliver})
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: merge order %v, want %v", workers, got, want)
+		}
+	}
+}
+
+// TestGroupModeSwitches drives inline -> concurrent -> serialized and
+// checks each switch lands at a barrier, with Serialize sticky.
+func TestGroupModeSwitches(t *testing.T) {
+	g := NewGroup(GroupConfig{Workers: 4, StartInline: true})
+	a := g.NewEnv("a", 1)
+	b := g.NewEnv("b", 2)
+	b.Go("idle", func(p *Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	a.Go("boot", func(p *Proc) {
+		if !g.Inline() {
+			t.Error("group did not start inline")
+		}
+		p.Sleep(5 * time.Microsecond)
+		g.Parallelize()
+		p.Sleep(5 * time.Microsecond)
+		g.Serialize()
+		p.Sleep(5 * time.Microsecond)
+		g.Parallelize() // must be a no-op after Serialize
+	})
+	g.RunUntil(30 * time.Microsecond)
+	if !g.Inline() {
+		t.Error("Serialize was not sticky")
+	}
+	g.Close()
+}
+
+// waitGoroutines polls until the goroutine count drops back to base.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, started with %d", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestGroupCloseReleasesEverything extends the PR 4 goroutine regression
+// test to the parallel runner: Close at a barrier must release every parked
+// process in every member and shut down the worker pool.
+func TestGroupCloseReleasesEverything(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := NewGroup(GroupConfig{Workers: 8})
+	for i := 0; i < 4; i++ {
+		e := g.NewEnv(fmt.Sprintf("m%d", i), int64(i))
+		for j := 0; j < 8; j++ {
+			e.Go("sleeper", func(p *Proc) {
+				for {
+					p.Sleep(time.Microsecond)
+				}
+			})
+		}
+		sig := e.NewSignal()
+		e.Go("waiter", func(p *Proc) { p.Wait(sig) })
+	}
+	g.RunUntil(time.Millisecond) // truncates mid-flight: everyone parked
+	g.Close()
+	waitGoroutines(t, base)
+}
+
+// TestGroupMemberCloseMidRun closes one member between barriers: its
+// goroutines must be released immediately, the group must keep running the
+// survivors, and posts addressed to the dead member must be dropped.
+func TestGroupMemberCloseMidRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := NewGroup(GroupConfig{Workers: 4})
+	a := g.NewEnv("a", 1)
+	b := g.NewEnv("b", 2)
+	aTicks, bDeliveries := 0, 0
+	a.Go("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+			aTicks++
+			a.PostTo(b, p.Now()+2*time.Microsecond, func() { bDeliveries++ })
+		}
+	})
+	b.Go("sleeper", func(p *Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	g.RunUntil(10 * time.Microsecond)
+	b.Close() // mid-run, at a barrier
+	before := aTicks
+	g.RunUntil(20 * time.Microsecond) // survivors continue; posts to b dropped
+	if aTicks <= before {
+		t.Errorf("survivor stalled after member close: %d -> %d ticks", before, aTicks)
+	}
+	g.Close()
+	waitGoroutines(t, base)
+}
+
+// TestGroupProcPanicPropagates makes a process panic inside a concurrent
+// quantum: the panic must surface as a *ProcPanic on the RunUntil caller,
+// and the implicit Close must release every goroutine — a worker panicking
+// inside a proc never strands the pool.
+func TestGroupProcPanicPropagates(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := NewGroup(GroupConfig{Workers: 4})
+	for i := 0; i < 3; i++ {
+		e := g.NewEnv(fmt.Sprintf("m%d", i), int64(i))
+		for j := 0; j < 4; j++ {
+			e.Go("spinner", func(p *Proc) {
+				for {
+					p.Sleep(100 * time.Nanosecond)
+				}
+			})
+		}
+	}
+	bad := g.NewEnv("bad", 9)
+	bad.Go("bomber", func(p *Proc) {
+		p.Sleep(50 * time.Microsecond)
+		panic("boom")
+	})
+	func() {
+		defer func() {
+			pp, ok := recover().(*ProcPanic)
+			if !ok {
+				t.Fatalf("want *ProcPanic, got %T", pp)
+			}
+			if pp.Env != "bad" || pp.Proc != "bomber" || pp.Value != "boom" {
+				t.Errorf("wrong failure attribution: %s/%s: %v", pp.Env, pp.Proc, pp.Value)
+			}
+		}()
+		g.RunUntil(time.Millisecond)
+	}()
+	waitGoroutines(t, base)
+}
+
+// TestEnvProcPanicPropagates checks the standalone-Env side of the same
+// contract: the panic rethrows from RunUntil on the driving goroutine and
+// Close releases the rest.
+func TestEnvProcPanicPropagates(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e := NewEnv(1)
+	e.Go("sleeper", func(p *Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	e.Go("bomber", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		panic("kaput")
+	})
+	func() {
+		defer func() {
+			pp, ok := recover().(*ProcPanic)
+			if !ok || pp.Proc != "bomber" || pp.Value != "kaput" {
+				t.Fatalf("want bomber *ProcPanic, got %#v", pp)
+			}
+		}()
+		e.RunUntil(time.Millisecond)
+	}()
+	e.Close()
+	waitGoroutines(t, base)
+}
+
+// TestGroupPostOutsideRun covers the direct-injection path: posts made
+// before the first barrier (bring-up) and to a same-group member while the
+// group is idle must still deliver at the requested time.
+func TestGroupPostOutsideRun(t *testing.T) {
+	g := NewGroup(GroupConfig{Workers: 2})
+	a := g.NewEnv("a", 1)
+	b := g.NewEnv("b", 2)
+	var at time.Duration
+	a.PostTo(b, 5*time.Microsecond, func() { at = b.Now() })
+	g.RunUntil(10 * time.Microsecond)
+	if at != 5*time.Microsecond {
+		t.Errorf("pre-run post delivered at %v, want 5µs", at)
+	}
+	g.Close()
+}
+
+// TestGroupCrossEnvSignal exercises a foreign-Env Signal wait during an
+// inline phase: the wake-up must land on the waiter's own queue.
+func TestGroupCrossEnvSignal(t *testing.T) {
+	g := NewGroup(GroupConfig{Workers: 2, StartInline: true})
+	a := g.NewEnv("a", 1)
+	b := g.NewEnv("b", 2)
+	sig := b.NewSignal()
+	woke := time.Duration(-1)
+	a.Go("waiter", func(p *Proc) {
+		p.Wait(sig)
+		woke = p.Now()
+	})
+	b.Go("signaler", func(p *Proc) {
+		p.Sleep(7 * time.Microsecond)
+		sig.Broadcast()
+	})
+	g.RunUntil(20 * time.Microsecond)
+	g.Close()
+	if woke < 7*time.Microsecond {
+		t.Errorf("cross-env wait woke at %v, want >= 7µs", woke)
+	}
+}

@@ -13,6 +13,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"time"
 )
 
@@ -44,6 +45,15 @@ type Env struct {
 	running bool
 	closed  bool
 	procs   []*Proc // every process not yet finished (see Close)
+
+	name string     // member name within a Group ("" for a standalone Env)
+	fail *ProcPanic // first captured process/callback panic (see ProcPanic)
+
+	// Group membership (nil/zero for a standalone Env).
+	grp     *Group
+	gidx    int    // index within grp.envs; the first merge tie-breaker
+	postSeq int64  // per-sender sequence for outbox posts
+	outbox  []post // cross-env posts buffered until the next barrier
 
 	attachments map[string]interface{} // per-env services (see Attach)
 }
@@ -114,6 +124,10 @@ func NewEnv(seed int64) *Env {
 
 // Now returns the current virtual time.
 func (e *Env) Now() time.Duration { return time.Duration(e.now) }
+
+// Name returns the member name given to Group.NewEnv, or "" for a
+// standalone environment.
+func (e *Env) Name() string { return e.name }
 
 // Events returns the number of events dispatched so far — process resumes
 // plus scheduler callbacks. It is the denominator-free workload measure the
@@ -190,6 +204,27 @@ type procKilledT struct{}
 
 var procKilled any = procKilledT{}
 
+// ProcPanic carries a panic out of a simulated process. The scheduler
+// captures the panic on the process goroutine, returns the baton normally
+// (so Close still releases every parked process and no goroutine leaks),
+// and rethrows the ProcPanic on the driving goroutine — the caller of
+// Run/RunUntil, or of Group.RunUntil when the process ran inside a group
+// quantum on a worker.
+type ProcPanic struct {
+	Env   string // member name of the Env ("" for a standalone Env)
+	Proc  string // process name, or "(scheduler callback)" for an fn panic
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking goroutine at capture time
+}
+
+func (pp *ProcPanic) Error() string {
+	where := pp.Proc
+	if pp.Env != "" {
+		where = pp.Env + "/" + pp.Proc
+	}
+	return fmt.Sprintf("sim: process %s panicked: %v\n%s", where, pp.Value, pp.Stack)
+}
+
 // Go starts fn as a new simulated process at the current virtual time.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	if e.closed {
@@ -200,8 +235,8 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	e.addProc(p)
 	go func() {
 		defer func() {
-			if r := recover(); r != nil && r != procKilled {
-				panic(r)
+			if r := recover(); r != nil && r != procKilled && e.fail == nil {
+				e.fail = &ProcPanic{Env: e.name, Proc: p.name, Value: r, Stack: debug.Stack()}
 			}
 			p.done = true
 			e.live--
@@ -310,13 +345,16 @@ type Signal struct {
 func (e *Env) NewSignal() *Signal { return &Signal{env: e} }
 
 // Broadcast wakes every process currently waiting on s. The wake-ups are
-// scheduled at the current instant, after events already due.
+// scheduled at the current instant, after events already due. Each waiter
+// is scheduled on its own Env: a process from another group member may
+// wait on a foreign Signal during a serialized (inline) phase, and its
+// wake-up must land in its own queue, not the Signal's.
 //
 //xssd:hotpath
 func (s *Signal) Broadcast() {
 	for _, p := range s.waiters {
-		s.env.blocked--
-		s.env.schedule(s.env.now, p, nil)
+		p.env.blocked--
+		p.env.schedule(s.env.now, p, nil)
 	}
 	s.waiters = s.waiters[:0]
 }
@@ -341,15 +379,23 @@ func (p *Proc) WaitFor(s *Signal, cond func() bool) {
 // Run drives the simulation until no events remain. It returns the number
 // of processes still blocked on Signals (0 means everything ran to
 // completion; >0 indicates a deadlock or processes waiting on external
-// stimulus).
-func (e *Env) Run() int { return e.run(-1) }
+// stimulus). If a process panicked, Run rethrows the *ProcPanic here, on
+// the driving goroutine.
+func (e *Env) Run() int { n := e.run(-1); e.rethrow(); return n }
 
 // RunUntil drives the simulation until virtual time t; events due later
 // stay queued. It returns the number of processes blocked on Signals.
-func (e *Env) RunUntil(t time.Duration) int { return e.run(int64(t)) }
+func (e *Env) RunUntil(t time.Duration) int { n := e.run(int64(t)); e.rethrow(); return n }
 
 // RunFor drives the simulation for d of virtual time from now.
 func (e *Env) RunFor(d time.Duration) int { return e.RunUntil(e.Now() + d) }
+
+// rethrow surfaces a captured process panic on the caller's goroutine.
+func (e *Env) rethrow() {
+	if e.fail != nil {
+		panic(e.fail)
+	}
+}
 
 //xssd:hotpath
 func (e *Env) run(until int64) int {
@@ -398,6 +444,12 @@ func (e *Env) run(until int64) int {
 		if ev.proc != nil {
 			ev.proc.park <- struct{}{}
 			<-e.parked
+			if e.fail != nil {
+				// The process panicked; its goroutine has unwound and
+				// returned the baton. Stop dispatching — the caller (Run or
+				// the group barrier) decides how to surface the failure.
+				goto out
+			}
 		}
 	}
 out:
@@ -472,6 +524,16 @@ func (l *Link) Send(n int, fn func()) {
 	if fn != nil {
 		l.env.At(time.Duration(end)+l.latency, fn)
 	}
+}
+
+// SendTimed moves n bytes across the link without blocking the caller and
+// returns the virtual time at which the data fully arrives (queueing +
+// serialization + latency), scheduling nothing. It is the building block
+// for cross-Env delivery, where the arrival must be posted through a Group
+// mailbox (Env.PostTo) instead of scheduled on the local queue.
+func (l *Link) SendTimed(n int) time.Duration {
+	_, end := l.occupy(n)
+	return time.Duration(end) + l.latency
 }
 
 // Stats reports total bytes moved, cumulative busy time and transfer count.

@@ -46,8 +46,8 @@ func main() {
 	seeds := flag.Int("seeds", 20, "number of seeds for -chaos/-failover")
 	metricsOut := flag.String("metrics", "", "write per-cell metrics snapshots to this file as JSON")
 	workers := flag.Int("workers", 0, "simulation engine: 0 = classic single-Env scheduler, n >= 1 = parallel group runner with n quantum executors (figures, sweeps, and the perf suite)")
-	suite := flag.String("suite", "", "run a timed suite (only \"perf\")")
-	out := flag.String("o", "BENCH_PR4.json", "output file for -suite perf")
+	suite := flag.String("suite", "", "run a timed suite (\"perf\" or \"latency\")")
+	out := flag.String("o", "BENCH_PR4.json", "output file for -suite perf/latency")
 	compare := flag.Bool("compare", false, "compare two perf result files: -compare baseline.json new.json")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed events/sec regression fraction for -compare")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -111,8 +111,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	case *suite == "latency":
+		if err := runLatencySuite(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case *suite != "":
-		fmt.Fprintf(os.Stderr, "xbench: unknown suite %q (only \"perf\")\n", *suite)
+		fmt.Fprintf(os.Stderr, "xbench: unknown suite %q (\"perf\" or \"latency\")\n", *suite)
 		os.Exit(2)
 	case *chaosRun:
 		if err := chaos.SweepWorkers(os.Stdout, *seeds, *workers); err != nil {
@@ -233,6 +238,44 @@ func timePerfCell(c bench.PerfCell) (bench.PerfResult, error) {
 		r.EventsPerSec = float64(events) / wall.Seconds()
 	}
 	return r, nil
+}
+
+// runLatencySuite runs the queue-depth × coalescing sweep and writes the
+// canonical results file (BENCH_PR8.json). Quantiles are virtual time —
+// deterministic — so the compare gate holds them to exact equality; wall
+// time and events/sec are the same machine-dependent series the perf
+// suite reports.
+func runLatencySuite(path string) error {
+	cells := bench.LatencyCells()
+	results := make([]bench.PerfResult, 0, len(cells))
+	for _, c := range cells {
+		start := time.Now()
+		m, err := c.Run()
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("latency suite: %s: %w", c.Name, err)
+		}
+		r := bench.PerfResult{
+			Bench:  c.Name,
+			WallNS: wall.Nanoseconds(),
+			Events: m.Events,
+			P50NS:  m.Lat.P50,
+			P99NS:  m.Lat.P99,
+			P999NS: m.Lat.P999,
+		}
+		if wall > 0 {
+			r.EventsPerSec = float64(m.Events) / wall.Seconds()
+		}
+		fmt.Printf("%-24s p50 %-9v p99 %-9v p999 %-9v (%d ops, %d events, %v)\n",
+			r.Bench, time.Duration(r.P50NS), time.Duration(r.P99NS), time.Duration(r.P999NS),
+			m.Lat.N, r.Events, wall.Round(time.Millisecond))
+		results = append(results, r)
+	}
+	if err := bench.WritePerfFile(path, results); err != nil {
+		return err
+	}
+	fmt.Printf("latency: wrote %d cells to %s\n", len(results), path)
+	return nil
 }
 
 // runCompare gates new against baseline with the given tolerance.

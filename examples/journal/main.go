@@ -13,6 +13,7 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"xssd"
 )
@@ -22,7 +23,15 @@ const journalBlock = 512
 
 func main() {
 	sys := xssd.NewSystem(21)
-	dev, err := sys.NewDevice(xssd.DeviceOptions{Name: "jbd", Backing: xssd.SRAM})
+	dev, err := sys.NewDevice(xssd.DeviceOptions{
+		Name:    "jbd",
+		Backing: xssd.SRAM,
+		// Opt into the multi-queue host interface: four SQ/CQ pairs with
+		// eight commands in flight each, completion interrupts coalesced
+		// four at a time (or every 8 µs, whichever comes first). Leaving
+		// Queues nil keeps the classic single-pair interface.
+		Queues: &xssd.QueueOptions{Pairs: 4, Depth: 8, CoalesceOps: 4, CoalesceTime: 8 * time.Microsecond},
+	})
 	if err != nil {
 		panic(err)
 	}

@@ -39,6 +39,21 @@ func main() {
 		}
 		fmt.Printf("t=%-12v fsync complete: %d bytes durable\n", p.Now(), log.Written())
 
+		// The same path, asynchronously: Submit hands back a SyncToken
+		// instead of implying a later Fsync, so a worker can keep many
+		// records in flight and collect durability when it needs it.
+		var last xssd.SyncToken
+		for tx := 2; tx <= 4; tx++ {
+			last = log.Submit(p, []byte(fmt.Sprintf("BEGIN tx=%d ... COMMIT tx=%d\n", tx, tx)))
+		}
+		fmt.Printf("t=%-12v submitted through token %d, durable yet: %v\n",
+			p.Now(), last, log.Poll(p, last))
+		if err := log.Wait(p, last); err != nil { // Fsync targeted at the token
+			fmt.Println("wait failed:", err)
+			return
+		}
+		fmt.Printf("t=%-12v token %d durable: %d bytes total\n", p.Now(), last, log.Written())
+
 		// The Destage module moves the ring onto flash in the background;
 		// x_pread follows the destaged tail.
 		reader := dev.OpenLog(p)

@@ -18,6 +18,13 @@ type PerfResult struct {
 	Events       int64   `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	Allocs       int64   `json:"allocs"`
+	// Latency-suite cells also carry their virtual-time quantiles
+	// (BENCH_PR8.json). Virtual time makes them exact, so the compare
+	// gate demands equality, like event counts. Perf-suite cells leave
+	// them zero and the fields stay out of their JSON.
+	P50NS  int64 `json:"p50_ns,omitempty"`
+	P99NS  int64 `json:"p99_ns,omitempty"`
+	P999NS int64 `json:"p999_ns,omitempty"`
 }
 
 // WritePerfFile writes results as indented JSON with a trailing newline —
@@ -73,6 +80,13 @@ func Compare(baseline, current []PerfResult, tol float64) error {
 			problems = append(problems, fmt.Sprintf(
 				"%s: dispatched %d events, baseline %d (determinism break?)", b.Bench, c.Events, b.Events))
 			continue
+		}
+		if b.P50NS != 0 || b.P99NS != 0 || b.P999NS != 0 {
+			if c.P50NS != b.P50NS || c.P99NS != b.P99NS || c.P999NS != b.P999NS {
+				problems = append(problems, fmt.Sprintf(
+					"%s: quantiles p50=%d p99=%d p999=%d ns, baseline p50=%d p99=%d p999=%d (virtual-time drift — determinism break?)",
+					b.Bench, c.P50NS, c.P99NS, c.P999NS, b.P50NS, b.P99NS, b.P999NS))
+			}
 		}
 		if b.WallNS >= compareWallFloorNS && b.EventsPerSec > 0 && c.EventsPerSec < b.EventsPerSec*(1-tol) {
 			problems = append(problems, fmt.Sprintf(

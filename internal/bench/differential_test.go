@@ -170,3 +170,28 @@ func TestCompareWallFloor(t *testing.T) {
 		t.Fatal("Compare ignored an event-count drift on a sub-floor cell")
 	}
 }
+
+// TestCompareFlagsQuantileDrift checks that Compare demands exact
+// quantile equality on latency-suite cells (virtual-time quantiles are
+// deterministic) while leaving quantile-free perf cells alone.
+func TestCompareFlagsQuantileDrift(t *testing.T) {
+	baseline := []PerfResult{{Bench: "lat/nvme/q4/d8/c1", Events: 100, P50NS: 1000, P99NS: 2000, P999NS: 3000}}
+	current := []PerfResult{{Bench: "lat/nvme/q4/d8/c1", Events: 100, P50NS: 1000, P99NS: 2001, P999NS: 3000}}
+	err := Compare(baseline, current, 0.15)
+	if err == nil {
+		t.Fatal("Compare accepted a p99 drift on a latency cell")
+	}
+	if !strings.Contains(err.Error(), "virtual-time drift") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	current[0].P99NS = 2000
+	if err := Compare(baseline, current, 0.15); err != nil {
+		t.Fatalf("Compare rejected equal quantiles: %v", err)
+	}
+	// A perf-suite cell (no baseline quantiles) ignores the new run's.
+	noQ := []PerfResult{{Bench: "fig9", Events: 50}}
+	withQ := []PerfResult{{Bench: "fig9", Events: 50, P50NS: 7}}
+	if err := Compare(noQ, withQ, 0.15); err != nil {
+		t.Fatalf("Compare gated quantiles on a quantile-free baseline: %v", err)
+	}
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"xssd/internal/db"
+	"xssd/internal/nand"
+	"xssd/internal/nvme"
+	"xssd/internal/obs"
+	"xssd/internal/pcie"
+	"xssd/internal/pm"
+	"xssd/internal/sim"
+	"xssd/internal/tpcc"
+	"xssd/internal/villars"
+	"xssd/internal/wal"
+)
+
+// The latency suite (xbench -suite latency): where the perf suite asks
+// "how many events per second", this suite asks "where is the tail". Two
+// cell families sweep the multi-queue host interface:
+//
+//   - lat/nvme/qP/dD/cK: P queue pairs, D async writes in flight per
+//     queue, completion interrupts coalesced K-at-a-time (c1 = off). The
+//     reported histogram is the driver's submit→complete series merged
+//     across queues.
+//   - lat/tpcc/pipeD: TPC-C terminals committing through a depth-D
+//     wal.Pipeline on a Villars-SRAM log device; the histogram is the
+//     pipeline's submit→durable series merged across terminals.
+//
+// Everything runs on virtual time, so every quantile is deterministic:
+// the compare gate demands exact equality against BENCH_PR8.json, the
+// same way it demands exact event counts. The /swN twins pin the
+// parallel engine at 1 and 8 workers over the same topology — their
+// event counts and quantiles must match bit-for-bit.
+
+// latency suite tuning constants.
+const (
+	latWindow     = 40 * time.Millisecond // raw NVMe sweep window
+	latTPCCWindow = 60 * time.Millisecond // TPC-C pipeline window
+	latTPCCJobs   = 4                     // TPC-C terminals
+	latSeed       = 42
+)
+
+// LatencyMeasurement is one cell's outcome: the dispatched event count
+// (the determinism anchor) and the latency digest.
+type LatencyMeasurement struct {
+	Events int64
+	Lat    obs.Summary
+}
+
+// LatencyCell is one timed unit of the latency suite.
+type LatencyCell struct {
+	Name string
+	Run  func() (LatencyMeasurement, error)
+}
+
+// LatencyCells lists the suite in canonical order: a queue-count sweep,
+// an in-flight-depth sweep, a coalescing ablation, the serial/parallel
+// twins, and the TPC-C pipelined-commit pair.
+func LatencyCells() []LatencyCell {
+	cells := []LatencyCell{}
+	add := func(name string, run func() (LatencyMeasurement, error)) {
+		cells = append(cells, LatencyCell{Name: name, Run: run})
+	}
+	for _, pairs := range []int{1, 4, 8} {
+		pairs := pairs
+		add(fmt.Sprintf("lat/nvme/q%d/d8/c1", pairs), func() (LatencyMeasurement, error) {
+			return LatencyNVMeCell(pairs, 8, 1), nil
+		})
+	}
+	for _, depth := range []int{1, 32} {
+		depth := depth
+		add(fmt.Sprintf("lat/nvme/q4/d%d/c1", depth), func() (LatencyMeasurement, error) {
+			return LatencyNVMeCell(4, depth, 1), nil
+		})
+	}
+	add("lat/nvme/q4/d8/c8", func() (LatencyMeasurement, error) {
+		return LatencyNVMeCell(4, 8, 8), nil
+	})
+	for _, sw := range []int{1, 8} {
+		sw := sw
+		add(fmt.Sprintf("lat/nvme/q4/d8/c1/sw%d", sw), func() (LatencyMeasurement, error) {
+			return latencyNVMeCellPinned(4, 8, 1, sw), nil
+		})
+	}
+	for _, depth := range []int{1, 16} {
+		depth := depth
+		add(fmt.Sprintf("lat/tpcc/pipe%d", depth), func() (LatencyMeasurement, error) {
+			return LatencyTPCCCell(depth), nil
+		})
+	}
+	return cells
+}
+
+// latencyDeviceConfig builds the sweep's device: a small 4×4 array of
+// 4 KB pages so per-command costs, not array parallelism, dominate the
+// tail, with the multi-queue host interface under test.
+func latencyDeviceConfig(pairs, depth, coalesce int) villars.Config {
+	cfg := villars.DefaultConfig("lat")
+	cfg.Geometry = nand.Geometry{Channels: 4, WaysPerChan: 4, BlocksPerDie: 64, PagesPerBlock: 64, PageSize: 4 << 10}
+	cfg.HostQueues = pairs
+	cfg.HostQueueDepth = depth
+	cfg.CoalesceOps = coalesce // fillDefaults supplies the 8 µs time bound
+	return cfg
+}
+
+// LatencyNVMeCell drives one submitter process per queue pair, each
+// keeping depth one-block writes in flight on its own queue through the
+// async driver surface, and digests the per-queue submit→complete
+// histograms.
+func LatencyNVMeCell(pairs, depth, coalesce int) LatencyMeasurement {
+	c := newCellSim(latSeed)
+	defer c.close()
+	env := c.env()
+	hostMem := pcie.NewHostMemory(1 << 20)
+	dev := villars.New(env, latencyDeviceConfig(pairs, depth, coalesce), hostMem)
+	drv := dev.HostDriver()
+	bs := int64(4 << 10)
+
+	// Each queue owns a private LBA stripe above the destage ring, wrapped
+	// so the cell's footprint stays bounded. Write sizes cycle 1–4 blocks
+	// per (queue, index) — deterministic variance, so the histogram has an
+	// actual tail instead of one repeated service time.
+	base := dev.FTL().LogicalPages() / 2
+	stripe := int64(1024)
+	for q := 0; q < pairs; q++ {
+		q := q
+		env.Go(fmt.Sprintf("lat-submit-%d", q), func(p *sim.Proc) {
+			var window []nvme.Token
+			var off int64
+			for i := int64(0); ; i++ {
+				blocks := 1 + int((i+int64(q*3))%4)
+				if i%64 == 0 {
+					// A rare large write: the deterministic tail event
+					// that separates p999 from p50.
+					blocks = 16
+				}
+				lba := base + int64(q)*stripe + off
+				off = (off + int64(blocks)) % (stripe - 16)
+				tok := drv.SubmitAsync(p, q, nvme.Command{
+					Opcode: nvme.OpWrite, LBA: lba, Blocks: blocks, PRP: int64(q) * 16 * bs,
+				})
+				window = append(window, tok)
+				if len(window) >= depth {
+					drv.Wait(p, window[0])
+					window = window[1:]
+				}
+				if i%12 == 11 {
+					// Periodic think time long enough to drain the queue:
+					// the next few submissions see an idle device while the
+					// rest see full queueing, spreading the histogram over
+					// several buckets instead of one saturated mode.
+					for _, t := range window {
+						drv.Wait(p, t)
+					}
+					window = window[:0]
+					p.Sleep(150 * time.Microsecond)
+				}
+			}
+		})
+	}
+	c.release()
+	c.runUntil(latWindow)
+	c.capture(fmt.Sprintf("lat/nvme/q%d/d%d/c%d", pairs, depth, coalesce))
+
+	hists := make([]*obs.Histogram, pairs)
+	for q := 0; q < pairs; q++ {
+		hists[q] = drv.Latency(q)
+	}
+	return LatencyMeasurement{Events: c.events(), Lat: obs.SummaryOf(hists...)}
+}
+
+// latencyNVMeCellPinned runs the cell with the engine pinned to sw
+// quantum executors regardless of the -workers flag — the /swN twins the
+// compare gate holds to bit-identical results.
+func latencyNVMeCellPinned(pairs, depth, coalesce, sw int) LatencyMeasurement {
+	prev := engineWorkers
+	SetEngineWorkers(sw)
+	defer SetEngineWorkers(prev)
+	return LatencyNVMeCell(pairs, depth, coalesce)
+}
+
+// LatencyTPCCCell runs TPC-C terminals on the pipelined CommitAsync path
+// (tpcc.Config.PipelineDepth) against a Villars-SRAM log device and
+// digests the pipelines' submit→durable histograms.
+func LatencyTPCCCell(pipeDepth int) LatencyMeasurement {
+	c := newCellSim(latSeed)
+	defer c.close()
+	env := c.env()
+	hostMem := pcie.NewHostMemory(1 << 20)
+	dev := villars.New(env, fig9DeviceConfig("lattpcc", pm.SRAMSpec), hostMem)
+
+	var log *wal.Log
+	ready := make(chan struct{}, 1)
+	env.Go("open-sink", func(p *sim.Proc) {
+		log = wal.NewLog(env, wal.NewVillarsSink(p, dev, "lattpcc"),
+			wal.Config{GroupBytes: 16 << 10, GroupTimeout: 10 * time.Millisecond})
+		ready <- struct{}{}
+	})
+	c.runUntil(time.Microsecond)
+	<-ready
+
+	eng := db.New(env, log)
+	cfg := tpcc.DefaultConfig()
+	cfg.PipelineDepth = pipeDepth
+	tpcc.Load(eng, cfg, 7)
+
+	clients := make([]*tpcc.Client, latTPCCJobs)
+	sc := obs.For(env).Scope("lattpcc/pipe")
+	for w := 0; w < latTPCCJobs; w++ {
+		wcfg := cfg
+		wcfg.PipelineScope = sc.Sub(fmt.Sprintf("w%d", w))
+		clients[w] = tpcc.NewClient(eng, wcfg, int64(100+w), w%cfg.Warehouses+1)
+		client := clients[w]
+		env.Go(fmt.Sprintf("lat-term-%d", w), func(p *sim.Proc) {
+			for {
+				p.Sleep(fig9Compute)
+				_, _ = client.RunMix(p) // conflicts retry inside the client
+			}
+		})
+	}
+	c.release()
+	c.runUntil(latTPCCWindow)
+	c.capture(fmt.Sprintf("lat/tpcc/pipe%d", pipeDepth))
+
+	hists := make([]*obs.Histogram, latTPCCJobs)
+	for w, cl := range clients {
+		hists[w] = cl.Pipeline().Latency()
+	}
+	return LatencyMeasurement{Events: c.events(), Lat: obs.SummaryOf(hists...)}
+}

@@ -174,6 +174,11 @@ func (f *FlowControl) Observe(credit int64) int64 {
 // according to the last observed credit value (the x_fsync condition).
 func (f *FlowControl) Durable() bool { return f.lastCredit >= f.written }
 
+// Covered reports whether the last observed credit value vouches for
+// every stream byte below off — the async-token durability condition
+// (Durable is Covered(Written())).
+func (f *FlowControl) Covered(off int64) bool { return f.lastCredit >= off }
+
 // Resume positions the cursor at a takeover point: the host continues an
 // existing stream at off on a device whose credit counter already vouches
 // for everything below it (failover to a promoted secondary).

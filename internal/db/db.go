@@ -281,6 +281,19 @@ func (t *Tx) CommitAsync() (int64, error) {
 	return t.eng.log.Append(wal.Record{TxID: t.id, Payload: t.eng.encodeScratch(t.writes)}), nil
 }
 
+// CommitPipelined is CommitAsync wired to a wal.Pipeline: the commit's
+// LSN token enters the pipeline (blocking only when its in-flight window
+// is full) and the transaction is acknowledged once the pipeline retires
+// it. Returns the LSN for callers that also track the frontier.
+func (t *Tx) CommitPipelined(p *sim.Proc, pl *wal.Pipeline) (int64, error) {
+	lsn, err := t.CommitAsync()
+	if err != nil {
+		return 0, err
+	}
+	pl.Submit(p, lsn)
+	return lsn, nil
+}
+
 // Log returns the engine's WAL (nil when volatile).
 func (e *Engine) Log() *wal.Log { return e.log }
 

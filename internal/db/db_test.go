@@ -2,11 +2,13 @@ package db
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"xssd/internal/obs"
 	"xssd/internal/sim"
 	"xssd/internal/wal"
 )
@@ -320,5 +322,59 @@ func TestDecodeWritesRejectsTruncation(t *testing.T) {
 		if _, err := decodeWrites(enc[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+func TestCommitPipelinedKeepsManyTxInFlight(t *testing.T) {
+	env := sim.NewEnv(1)
+	// A sink slow enough that synchronous commits would serialize: the
+	// pipeline must still push all transactions through in one pass.
+	sink := &instantSink{}
+	log := wal.NewLog(env, sink, wal.Config{GroupBytes: 1 << 20, GroupTimeout: 100 * time.Microsecond})
+	eng := New(env, log)
+	eng.CreateTable("t")
+	pl := wal.NewPipeline(log, 8, obs.Scope{})
+	var elapsed time.Duration
+	env.Go("worker", func(p *sim.Proc) {
+		for i := 0; i < 32; i++ {
+			tx := eng.Begin()
+			tx.Put("t", fmt.Sprintf("k%d", i), []byte("v"))
+			if _, err := tx.CommitPipelined(p, pl); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+			}
+		}
+		pl.Drain(p)
+		elapsed = p.Now()
+	})
+	env.RunUntil(time.Second)
+	if pl.Retired() != 32 || pl.Inflight() != 0 {
+		t.Fatalf("retired %d, inflight %d, want 32/0", pl.Retired(), pl.Inflight())
+	}
+	// 32 synchronous commits would cost 32 group timeouts (3.2ms); the
+	// pipeline overlaps them. Allow a handful of flush rounds.
+	if elapsed > 500*time.Microsecond {
+		t.Fatalf("pipelined commits took %v — did they serialize?", elapsed)
+	}
+	if c, a := eng.Stats(); c != 32 || a != 0 {
+		t.Fatalf("stats = %d commits / %d aborts", c, a)
+	}
+}
+
+func TestCommitPipelinedReadOnlySkipsPipeline(t *testing.T) {
+	env := sim.NewEnv(1)
+	eng, _ := newEngine(env)
+	eng.CreateTable("t")
+	pl := wal.NewPipeline(eng.Log(), 4, obs.Scope{})
+	env.Go("worker", func(p *sim.Proc) {
+		tx := eng.Begin()
+		tx.Get("t", "missing")
+		lsn, err := tx.CommitPipelined(p, pl)
+		if err != nil || lsn != 0 {
+			t.Errorf("read-only pipelined commit: lsn=%d err=%v", lsn, err)
+		}
+	})
+	env.RunUntil(time.Millisecond)
+	if pl.Inflight() != 0 || pl.Retired() != 0 {
+		t.Fatalf("read-only commit entered the pipeline")
 	}
 }

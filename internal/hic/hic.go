@@ -43,6 +43,10 @@ type Config struct {
 	// production controller; its conventional-side latency dominates the
 	// paper's Fig 9 NVMe series).
 	FirmwareLatency time.Duration
+	// ArbBurst is the fetcher's round-robin arbitration burst: how many
+	// commands it takes from one armed SQ before moving to the next.
+	// 0 means 1 — strict round-robin, the NVMe default arbitration.
+	ArbBurst int
 }
 
 // DefaultConfig uses 8 command handlers, a 64 MB write cache and 80 µs of
@@ -59,20 +63,31 @@ func (c *Config) fill() {
 	if c.FirmwareLatency == 0 {
 		c.FirmwareLatency = 80 * time.Microsecond
 	}
+	if c.ArbBurst <= 0 {
+		c.ArbBurst = 1
+	}
+}
+
+// fetched is a command pulled from an SQ, tagged with the queue it came
+// from so its completion lands on the matching CQ.
+type fetched struct {
+	cmd nvme.Command
+	q   int
 }
 
 // Controller is the host interface controller.
 type Controller struct {
 	env   *sim.Env
 	cfg   Config
-	qp    *nvme.QueuePair
+	qs    *nvme.QueueSet
 	link  *sim.Link
 	host  *pcie.HostMemory
 	ftl   *ftl.FTL
 	admin AdminHandler
 
-	pending []nvme.Command
+	pending []fetched
 	work    *sim.Signal
+	rr      int // round-robin arbitration position
 
 	// Data Buffer write cache: acknowledged blocks not yet on flash.
 	cacheUsed  int64
@@ -84,14 +99,23 @@ type Controller struct {
 	reads, writes, flushes, admins, errors, cacheHits int64
 }
 
-// New starts a controller: a fetcher process drains the SQ and Workers
-// handler processes execute commands.
+// New starts a controller on a single classic queue pair — it wraps qp
+// into a one-queue set and delegates to NewMulti. Event-for-event
+// identical to the historical single-queue controller.
 func New(env *sim.Env, qp *nvme.QueuePair, link *sim.Link, host *pcie.HostMemory, f *ftl.FTL, admin AdminHandler, cfg Config) *Controller {
+	return NewMulti(env, nvme.WrapQueueSet(env, qp), link, host, f, admin, cfg)
+}
+
+// NewMulti starts a controller over a queue set: one fetcher process
+// round-robins over the armed SQs and Workers handler processes execute
+// commands, posting each completion to the CQ of the queue that carried
+// the command.
+func NewMulti(env *sim.Env, qs *nvme.QueueSet, link *sim.Link, host *pcie.HostMemory, f *ftl.FTL, admin AdminHandler, cfg Config) *Controller {
 	cfg.fill()
 	c := &Controller{
 		env:        env,
 		cfg:        cfg,
-		qp:         qp,
+		qs:         qs,
 		link:       link,
 		host:       host,
 		ftl:        f,
@@ -100,27 +124,53 @@ func New(env *sim.Env, qp *nvme.QueuePair, link *sim.Link, host *pcie.HostMemory
 		cacheData:  map[int64][]byte{},
 		cacheFreed: env.NewSignal(),
 	}
-	env.Go("hic-fetch", func(p *sim.Proc) {
-		for {
-			moved := false
-			for {
-				cmd, ok := qp.SQ.Pop()
-				if !ok {
-					break
-				}
-				c.pending = append(c.pending, cmd)
-				moved = true
-			}
-			if moved {
-				c.work.Broadcast()
-			}
-			p.Wait(qp.SQ.Doorbell)
-		}
-	})
+	env.Go("hic-fetch", c.fetch)
 	for i := 0; i < cfg.Workers; i++ {
 		env.Go("hic-worker", c.worker)
 	}
 	return c
+}
+
+// fetch is the arbitration loop: sleep on the set's shared armed line,
+// then sweep the SQs round-robin, taking up to ArbBurst commands from
+// each armed queue per turn until every SQ is dry.
+//
+//xssd:hotpath
+func (c *Controller) fetch(p *sim.Proc) {
+	n := c.qs.Len()
+	for {
+		moved := false
+		for {
+			any := false
+			start := c.rr
+			for i := 0; i < n; i++ {
+				qi := (start + i) % n
+				sq := c.qs.Pair(qi).SQ
+				served := false
+				for b := 0; b < c.cfg.ArbBurst; b++ {
+					cmd, ok := sq.Pop()
+					if !ok {
+						break
+					}
+					c.pending = append(c.pending, fetched{cmd: cmd, q: qi})
+					moved, any, served = true, true, true
+				}
+				if served {
+					// The rotation resumes after the last queue served —
+					// NVMe round-robin, so back-to-back sweeps do not
+					// double-serve the sweep-boundary queue.
+					c.rr = (qi + 1) % n
+				}
+			}
+			if !any {
+				break
+			}
+		}
+		if moved {
+			c.work.Broadcast()
+		}
+		p.Wait(c.qs.Armed())
+	}
 }
 
 func (c *Controller) worker(p *sim.Proc) {
@@ -129,9 +179,9 @@ func (c *Controller) worker(p *sim.Proc) {
 			p.Wait(c.work)
 			continue
 		}
-		cmd := c.pending[0]
+		f := c.pending[0]
 		c.pending = c.pending[1:]
-		c.qp.CQ.Post(c.execute(p, cmd))
+		c.qs.Pair(f.q).CQ.Post(c.execute(p, f.cmd))
 	}
 }
 

@@ -4,9 +4,22 @@
 // device adds for transport and destage control (paper §4.2: "the commands
 // we added are sent using vendor-specific features of the regular NVMe
 // drivers").
+//
+// The host side scales past a single queue pair the way real NVMe does:
+// a QueueSet holds N per-core SQ/CQ pairs, each SQ rings its own doorbell
+// (plus the set's shared "armed" line the controller fetcher sleeps on),
+// and each CQ stamps completions with a per-queue sequence number and can
+// coalesce interrupts — fire after K completions or T virtual time,
+// whichever comes first. The Driver matches: Submit keeps the classic
+// blocking call on queue 0, while SubmitAsync/Poll/Wait expose tokens for
+// callers that keep many commands in flight per queue.
 package nvme
 
 import (
+	"fmt"
+	"time"
+
+	"xssd/internal/obs"
 	"xssd/internal/sim"
 )
 
@@ -54,14 +67,18 @@ type Command struct {
 type Completion struct {
 	ID     uint16
 	Status Status
-	Value  int64 // command-specific result (vendor extensions)
+	Value  int64  // command-specific result (vendor extensions)
+	Seq    uint64 // per-queue sequence number, stamped by CompletionQueue.Post
 }
 
 // SubmissionQueue is a host-side command ring with a doorbell the device
-// listens on.
+// listens on. When the queue belongs to a QueueSet it additionally rings
+// the set's shared armed line, which is what a multi-queue fetcher sleeps
+// on (one waiter across N queues instead of N).
 type SubmissionQueue struct {
 	entries  []Command
 	Doorbell *sim.Signal
+	armed    *sim.Signal // QueueSet aggregate; nil for a standalone queue
 }
 
 // NewSubmissionQueue creates an empty SQ in env.
@@ -69,13 +86,21 @@ func NewSubmissionQueue(env *sim.Env) *SubmissionQueue {
 	return &SubmissionQueue{Doorbell: env.NewSignal()}
 }
 
-// Push enqueues a command and rings the doorbell.
+// Push enqueues a command and rings the doorbell (and the owning set's
+// armed line, when there is one).
+//
+//xssd:hotpath
 func (q *SubmissionQueue) Push(c Command) {
 	q.entries = append(q.entries, c)
 	q.Doorbell.Broadcast()
+	if q.armed != nil {
+		q.armed.Broadcast()
+	}
 }
 
 // Pop dequeues the oldest command; ok is false when empty.
+//
+//xssd:hotpath
 func (q *SubmissionQueue) Pop() (Command, bool) {
 	if len(q.entries) == 0 {
 		return Command{}, false
@@ -88,25 +113,83 @@ func (q *SubmissionQueue) Pop() (Command, bool) {
 // Len returns the number of queued commands.
 func (q *SubmissionQueue) Len() int { return len(q.entries) }
 
+// Coalesce is a CQ-side interrupt-coalescing policy: raise the interrupt
+// once Ops completions are pending, or Time after the first pending
+// completion, whichever comes first. The zero value (and any Ops <= 1
+// with Time == 0) interrupts on every completion — the classic behavior.
+// Ops > 1 with Time == 0 would strand a final sub-batch forever, so
+// configuration surfaces must reject it (xssd.QueueOptions does).
+type Coalesce struct {
+	Ops  int
+	Time time.Duration
+}
+
+// enabled reports whether the policy defers any interrupts.
+func (c Coalesce) enabled() bool { return c.Ops > 1 || c.Time > 0 }
+
 // CompletionQueue is a device-side completion ring with an interrupt the
-// host driver listens on.
+// host driver listens on. Post stamps each completion with a per-queue
+// monotone sequence number; with a Coalesce policy set, the interrupt is
+// batched instead of raised per completion.
 type CompletionQueue struct {
+	env       *sim.Env
 	entries   []Completion
 	Interrupt *sim.Signal
+	seq       uint64
+	co        Coalesce
+	pending   int    // completions posted since the last interrupt
+	timerOn   bool   // a coalescing timer is armed
+	timerFn   func() // prebuilt callback, so Post never allocates a closure
 }
 
 // NewCompletionQueue creates an empty CQ in env.
 func NewCompletionQueue(env *sim.Env) *CompletionQueue {
-	return &CompletionQueue{Interrupt: env.NewSignal()}
+	q := &CompletionQueue{env: env, Interrupt: env.NewSignal()}
+	q.timerFn = func() {
+		q.timerOn = false
+		if q.pending > 0 {
+			q.fire()
+		}
+	}
+	return q
 }
 
-// Post enqueues a completion and raises the interrupt.
+// SetCoalesce installs an interrupt-coalescing policy. Call during
+// bring-up, before completions flow.
+func (q *CompletionQueue) SetCoalesce(co Coalesce) { q.co = co }
+
+// Post enqueues a completion, stamps its sequence number, and raises (or
+// defers, under coalescing) the interrupt.
+//
+//xssd:hotpath
 func (q *CompletionQueue) Post(c Completion) {
+	q.seq++
+	c.Seq = q.seq
 	q.entries = append(q.entries, c)
+	if !q.co.enabled() {
+		q.Interrupt.Broadcast()
+		return
+	}
+	q.pending++
+	if q.co.Ops > 1 && q.pending >= q.co.Ops {
+		q.fire()
+		return
+	}
+	if q.co.Time > 0 && !q.timerOn {
+		q.timerOn = true
+		q.env.After(q.co.Time, q.timerFn)
+	}
+}
+
+// fire raises the coalesced interrupt and opens a new batch.
+func (q *CompletionQueue) fire() {
+	q.pending = 0
 	q.Interrupt.Broadcast()
 }
 
 // Pop dequeues the oldest completion; ok is false when empty.
+//
+//xssd:hotpath
 func (q *CompletionQueue) Pop() (Completion, bool) {
 	if len(q.entries) == 0 {
 		return Completion{}, false
@@ -119,6 +202,9 @@ func (q *CompletionQueue) Pop() (Completion, bool) {
 // Len returns the number of pending completions.
 func (q *CompletionQueue) Len() int { return len(q.entries) }
 
+// Seq returns the sequence number of the last posted completion.
+func (q *CompletionQueue) Seq() uint64 { return q.seq }
+
 // QueuePair bundles an SQ and CQ, the unit a driver binds to.
 type QueuePair struct {
 	SQ *SubmissionQueue
@@ -130,48 +216,260 @@ func NewQueuePair(env *sim.Env) *QueuePair {
 	return &QueuePair{SQ: NewSubmissionQueue(env), CQ: NewCompletionQueue(env)}
 }
 
-// Driver is the host-side NVMe driver: it issues commands on a queue pair
-// and matches completions to callers.
-type Driver struct {
-	env    *sim.Env
-	qp     *QueuePair
-	nextID uint16
-	done   map[uint16]Completion
-	wake   *sim.Signal
+// QueueSet is the multi-queue host interface: N SQ/CQ pairs (one per
+// submitting core, in the usual deployment) sharing one armed line so a
+// controller fetcher can sleep on a single signal and round-robin over
+// whichever SQs hold commands.
+type QueueSet struct {
+	pairs []*QueuePair
+	armed *sim.Signal
 }
 
-// NewDriver binds a driver to qp and starts its interrupt-service process.
+// NewQueueSet creates n queue pairs (at least one) with the coalescing
+// policy applied to every CQ.
+func NewQueueSet(env *sim.Env, n int, co Coalesce) *QueueSet {
+	if n < 1 {
+		n = 1
+	}
+	s := &QueueSet{armed: env.NewSignal(), pairs: make([]*QueuePair, n)}
+	for i := range s.pairs {
+		qp := NewQueuePair(env)
+		qp.SQ.armed = s.armed
+		qp.CQ.SetCoalesce(co)
+		s.pairs[i] = qp
+	}
+	return s
+}
+
+// WrapQueueSet adopts an existing pair as a one-queue set — the
+// compatibility path that lets a multi-queue controller serve a device
+// wired with the classic single QueuePair.
+func WrapQueueSet(env *sim.Env, qp *QueuePair) *QueueSet {
+	s := &QueueSet{armed: env.NewSignal(), pairs: []*QueuePair{qp}}
+	qp.SQ.armed = s.armed
+	return s
+}
+
+// Len returns the number of queue pairs.
+func (s *QueueSet) Len() int { return len(s.pairs) }
+
+// Pair returns queue pair i.
+func (s *QueueSet) Pair(i int) *QueuePair { return s.pairs[i] }
+
+// Armed is the shared doorbell line: broadcast whenever any SQ in the set
+// receives a command.
+func (s *QueueSet) Armed() *sim.Signal { return s.armed }
+
+// Token identifies an in-flight async command: the queue it was submitted
+// on and the command ID the driver assigned.
+type Token struct {
+	Queue int
+	ID    uint16
+}
+
+// driverQueue is the driver's per-queue state: ID allocation, the
+// completion stash Wait/Poll match against, and optional instruments.
+type driverQueue struct {
+	qp        *QueuePair
+	nextID    uint16
+	inflight  int
+	done      map[uint16]Completion
+	wake      *sim.Signal
+	slotFree  func() bool              // prebuilt depth predicate for SubmitAsync
+	submitAt  map[uint16]time.Duration // populated only when mLat != nil
+	submitted int64
+	completed int64
+	lastSeq   uint64
+	mLat      *obs.Histogram // submit→complete latency, ns
+	cSub      *obs.Counter
+	cCmp      *obs.Counter
+}
+
+// Driver is the host-side NVMe driver: it issues commands on one or more
+// queue pairs and matches completions to callers. Submit is the classic
+// blocking call (queue 0); SubmitAsync/Poll/Wait are the async surface
+// that keeps up to the configured depth of commands in flight per queue.
+type Driver struct {
+	env    *sim.Env
+	queues []*driverQueue
+	depth  int // max in-flight per queue for SubmitAsync; 0 = unbounded
+}
+
+// NewDriver binds a single-queue driver to qp and starts its
+// interrupt-service process — the classic wiring, byte-identical to the
+// pre-multi-queue driver.
 func NewDriver(env *sim.Env, qp *QueuePair) *Driver {
-	d := &Driver{env: env, qp: qp, done: map[uint16]Completion{}, wake: env.NewSignal()}
-	env.Go("nvme-isr", func(p *sim.Proc) {
-		for {
-			for {
-				c, ok := qp.CQ.Pop()
-				if !ok {
-					break
-				}
-				d.done[c.ID] = c
-			}
-			d.wake.Broadcast()
-			p.Wait(qp.CQ.Interrupt)
-		}
-	})
+	d := &Driver{env: env}
+	d.addQueue(qp, "nvme-isr")
 	return d
 }
 
-// Submit issues cmd and blocks the calling process until its completion
-// arrives.
+// NewMultiDriver binds a driver to every pair in qs with one ISR per CQ.
+// depth bounds SubmitAsync in-flight commands per queue (0 = unbounded).
+func NewMultiDriver(env *sim.Env, qs *QueueSet, depth int) *Driver {
+	d := &Driver{env: env, depth: depth}
+	for i := 0; i < qs.Len(); i++ {
+		name := "nvme-isr"
+		if i > 0 {
+			name = fmt.Sprintf("nvme-isr-%d", i)
+		}
+		d.addQueue(qs.Pair(i), name)
+	}
+	return d
+}
+
+// addQueue registers a pair and starts its interrupt-service process.
+func (d *Driver) addQueue(qp *QueuePair, isrName string) {
+	dq := &driverQueue{qp: qp, done: map[uint16]Completion{}, wake: d.env.NewSignal()}
+	// Built once here so a depth stall in SubmitAsync (a hot path) does not
+	// allocate a fresh closure per call.
+	dq.slotFree = func() bool { return dq.inflight < d.depth }
+	d.queues = append(d.queues, dq)
+	d.env.Go(isrName, func(p *sim.Proc) {
+		for {
+			d.drain(dq)
+			dq.wake.Broadcast()
+			p.Wait(qp.CQ.Interrupt)
+		}
+	})
+}
+
+// drain moves every pending completion from the CQ into the queue's done
+// stash, charging latency instruments as it goes.
+//
+//xssd:hotpath
+func (d *Driver) drain(dq *driverQueue) {
+	for {
+		c, ok := dq.qp.CQ.Pop()
+		if !ok {
+			return
+		}
+		dq.done[c.ID] = c
+		dq.inflight--
+		dq.completed++
+		dq.lastSeq = c.Seq
+		dq.cCmp.Add(1)
+		if dq.mLat != nil {
+			if at, ok := dq.submitAt[c.ID]; ok {
+				dq.mLat.ObserveDuration(d.env.Now() - at)
+				delete(dq.submitAt, c.ID)
+			}
+		}
+	}
+}
+
+// Queues returns the number of queue pairs the driver serves.
+func (d *Driver) Queues() int { return len(d.queues) }
+
+// Depth returns the per-queue in-flight bound for SubmitAsync (0 means
+// unbounded).
+func (d *Driver) Depth() int { return d.depth }
+
+// Inflight returns the number of commands submitted on queue q whose
+// completions have not yet been drained.
+func (d *Driver) Inflight(q int) int { return d.queues[q].inflight }
+
+// Observe registers per-queue instruments under sc: submitted/completed
+// counters, sq/cq/inflight depth gauges, and the submit→complete latency
+// histogram. Call during bring-up; a zero Scope keeps the driver silent.
+func (d *Driver) Observe(sc obs.Scope) {
+	for i, dq := range d.queues {
+		q := sc.Sub(fmt.Sprintf("q%d", i))
+		dq.cSub = q.Counter("submitted")
+		dq.cCmp = q.Counter("completed")
+		dq.mLat = q.Histogram("submit_complete_ns")
+		if dq.submitAt == nil {
+			dq.submitAt = map[uint16]time.Duration{}
+		}
+		sq, cq, dqq := dq.qp.SQ, dq.qp.CQ, dq
+		q.GaugeFunc("sq_depth", func() int64 { return int64(sq.Len()) })
+		q.GaugeFunc("cq_depth", func() int64 { return int64(cq.Len()) })
+		q.GaugeFunc("inflight", func() int64 { return int64(dqq.inflight) })
+	}
+}
+
+// Latency returns queue q's submit→complete histogram (nil unless Observe
+// was called) — the latency suite reads its quantiles.
+func (d *Driver) Latency(q int) *obs.Histogram { return d.queues[q].mLat }
+
+// LastSeq returns the sequence number of the last completion drained from
+// queue q — monotone per queue by construction.
+func (d *Driver) LastSeq(q int) uint64 { return d.queues[q].lastSeq }
+
+// Completed returns the number of completions drained from queue q.
+func (d *Driver) Completed(q int) int64 { return d.queues[q].completed }
+
+// Submitted returns the number of commands issued on queue q.
+func (d *Driver) Submitted(q int) int64 { return d.queues[q].submitted }
+
+// submit assigns an ID, stamps instruments, and pushes cmd on queue q.
+//
+//xssd:hotpath
+func (d *Driver) submit(dq *driverQueue, cmd Command) uint16 {
+	dq.nextID++
+	cmd.ID = dq.nextID
+	dq.inflight++
+	dq.submitted++
+	dq.cSub.Add(1)
+	if dq.mLat != nil {
+		dq.submitAt[cmd.ID] = d.env.Now()
+	}
+	dq.qp.SQ.Push(cmd)
+	return cmd.ID
+}
+
+// Submit issues cmd on queue 0 and blocks the calling process until its
+// completion arrives — the classic synchronous call.
 func (d *Driver) Submit(p *sim.Proc, cmd Command) Completion {
-	d.nextID++
-	cmd.ID = d.nextID
-	id := cmd.ID
-	d.qp.SQ.Push(cmd)
+	return d.SubmitOn(p, 0, cmd)
+}
+
+// SubmitOn is Submit on a chosen queue.
+func (d *Driver) SubmitOn(p *sim.Proc, q int, cmd Command) Completion {
+	dq := d.queues[q]
+	id := d.submit(dq, cmd)
+	return d.Wait(p, Token{Queue: q, ID: id})
+}
+
+// SubmitAsync issues cmd on queue q and returns a completion token
+// without waiting for the device. When the queue already holds depth
+// commands in flight, the caller blocks until a slot frees — the natural
+// back-pressure of a fixed-depth ring.
+//
+//xssd:hotpath
+func (d *Driver) SubmitAsync(p *sim.Proc, q int, cmd Command) Token {
+	dq := d.queues[q]
+	if d.depth > 0 && dq.inflight >= d.depth {
+		p.WaitFor(dq.wake, dq.slotFree)
+	}
+	return Token{Queue: q, ID: d.submit(dq, cmd)}
+}
+
+// Poll drains queue q's CQ and reports whether tok's completion has
+// arrived, consuming it if so. It never blocks — this is the polled-mode
+// path that bypasses interrupt coalescing.
+//
+//xssd:hotpath
+func (d *Driver) Poll(tok Token) (Completion, bool) {
+	dq := d.queues[tok.Queue]
+	d.drain(dq)
+	c, ok := dq.done[tok.ID]
+	if ok {
+		delete(dq.done, tok.ID)
+	}
+	return c, ok
+}
+
+// Wait blocks the calling process until tok's completion arrives and
+// returns it.
+func (d *Driver) Wait(p *sim.Proc, tok Token) Completion {
+	dq := d.queues[tok.Queue]
 	var out Completion
-	p.WaitFor(d.wake, func() bool {
-		c, ok := d.done[id]
+	p.WaitFor(dq.wake, func() bool {
+		c, ok := dq.done[tok.ID]
 		if ok {
 			out = c
-			delete(d.done, id)
+			delete(dq.done, tok.ID)
 		}
 		return ok
 	})

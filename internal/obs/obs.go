@@ -407,3 +407,60 @@ func (h *Histogram) Quantile(q float64) int64 {
 	}
 	return h.max
 }
+
+// Summary is a one-call digest of a histogram: count, exact mean and
+// range, and the standard tail quantiles (p50/p99/p999, each the
+// Quantile upper bound). The latency suite and the device Stats()
+// assemblers both report this shape.
+type Summary struct {
+	N    int64
+	Mean float64
+	Min  int64
+	Max  int64
+	P50  int64
+	P99  int64
+	P999 int64
+}
+
+// Summary extracts the digest; the zero value when the histogram is nil
+// or empty.
+func (h *Histogram) Summary() Summary {
+	if h == nil || h.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    h.n,
+		Mean: h.Mean(),
+		Min:  h.min,
+		Max:  h.max,
+		P50:  h.Quantile(0.50),
+		P99:  h.Quantile(0.99),
+		P999: h.Quantile(0.999),
+	}
+}
+
+// SummaryOf digests the union of several histograms — a bucket-level
+// merge, so quantiles carry the same log2 upper-bound semantics as a
+// single histogram's. Nil and empty histograms are skipped; the
+// cross-queue latency view of a multi-queue driver is the typical use.
+func SummaryOf(hs ...*Histogram) Summary {
+	var merged Histogram
+	merged.min = int64(^uint64(0) >> 1)
+	for _, h := range hs {
+		if h == nil || h.n == 0 {
+			continue
+		}
+		merged.n += h.n
+		merged.sum += h.sum
+		if h.min < merged.min {
+			merged.min = h.min
+		}
+		if h.max > merged.max {
+			merged.max = h.max
+		}
+		for b, cnt := range h.buckets {
+			merged.buckets[b] += cnt
+		}
+	}
+	return merged.Summary()
+}

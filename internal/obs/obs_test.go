@@ -198,3 +198,82 @@ func TestSnapshotFingerprintAndFormats(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramSummaryBucketBoundaries(t *testing.T) {
+	r := For(sim.NewEnv(1))
+	h := r.Scope("t").Histogram("lat")
+	// 600 observations in the [64,127] bucket, 395 in [1024,2047], and 5
+	// at 65536: rank 500 (p50) lands in the first, rank 990 (p99) in the
+	// second, rank 999 (p999) in the third.
+	for i := 0; i < 600; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 395; i++ {
+		h.Observe(1500)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(65536)
+	}
+	s := h.Summary()
+	if s.N != 1000 || s.Min != 100 || s.Max != 65536 {
+		t.Fatalf("summary n/min/max = %d/%d/%d", s.N, s.Min, s.Max)
+	}
+	// Quantiles resolve to the high edge of the covering bucket: p50 in
+	// [64,127] → 127, p99 in [1024,2047] → 2047, p999 in the top bucket,
+	// clamped to the observed max.
+	if s.P50 != 127 {
+		t.Errorf("p50 = %d, want 127 (hi edge of [64,127])", s.P50)
+	}
+	if s.P99 != 2047 {
+		t.Errorf("p99 = %d, want 2047 (hi edge of [1024,2047])", s.P99)
+	}
+	if s.P999 != 65536 {
+		t.Errorf("p999 = %d, want 65536 (clamped to max)", s.P999)
+	}
+	if want := (600*100 + 395*1500 + 5*65536) / 1000.0; s.Mean != want {
+		t.Errorf("mean = %v, want %v", s.Mean, want)
+	}
+}
+
+func TestHistogramSummaryEmptyAndNil(t *testing.T) {
+	var h *Histogram
+	if s := h.Summary(); s != (Summary{}) {
+		t.Fatalf("nil histogram summary = %+v, want zero", s)
+	}
+	if s := For(sim.NewEnv(1)).Scope("t").Histogram("empty").Summary(); s != (Summary{}) {
+		t.Fatalf("empty histogram summary = %+v, want zero", s)
+	}
+}
+
+func TestSummaryOfMergesAtBucketLevel(t *testing.T) {
+	r := For(sim.NewEnv(1))
+	a := r.Scope("t").Histogram("a")
+	b := r.Scope("t").Histogram("b")
+	// Split the same population from TestHistogramSummaryBucketBoundaries
+	// across two histograms: the merged summary must match the combined
+	// one exactly, because merging adds bucket counts.
+	for i := 0; i < 300; i++ {
+		a.Observe(100)
+		b.Observe(100)
+	}
+	for i := 0; i < 395; i++ {
+		a.Observe(1500)
+	}
+	for i := 0; i < 5; i++ {
+		b.Observe(65536)
+	}
+	s := SummaryOf(a, b)
+	if s.N != 1000 || s.Min != 100 || s.Max != 65536 {
+		t.Fatalf("merged n/min/max = %d/%d/%d", s.N, s.Min, s.Max)
+	}
+	if s.P50 != 127 || s.P99 != 2047 || s.P999 != 65536 {
+		t.Fatalf("merged quantiles p50=%d p99=%d p999=%d, want 127/2047/65536", s.P50, s.P99, s.P999)
+	}
+	// Nil members and empty calls degrade gracefully.
+	if s2 := SummaryOf(a, nil, b); s2 != s {
+		t.Fatalf("nil member changed the merge: %+v vs %+v", s2, s)
+	}
+	if s3 := SummaryOf(); s3 != (Summary{}) {
+		t.Fatalf("empty merge = %+v, want zero", s3)
+	}
+}

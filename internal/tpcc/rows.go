@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"xssd/internal/db"
+	"xssd/internal/obs"
 )
 
 // Table names.
@@ -45,6 +46,15 @@ type Config struct {
 	// FillerLen sizes the free-text fields (spec uses 24-50 chars); it is
 	// the main knob for WAL record size.
 	FillerLen int
+	// PipelineDepth switches the terminal onto the pipelined CommitAsync
+	// path with this many commits in flight (a wal.Pipeline per client).
+	// 0, the default, keeps the classic synchronous tx.Commit —
+	// byte-identical to the pre-pipeline behavior. Ignored when the
+	// engine runs without a WAL.
+	PipelineDepth int
+	// PipelineScope, when non-zero, registers the pipeline's instruments
+	// (submit→durable latency, in-flight depth) under this scope.
+	PipelineScope obs.Scope
 }
 
 // DefaultConfig is the scaled-down configuration used by tests and the

@@ -309,3 +309,59 @@ func (s *captureSink) Write(p *sim.Proc, d []byte) error {
 	return nil
 }
 func (s *captureSink) Name() string { return "capture" }
+
+func TestPipelinedTerminalCommitsThroughPipeline(t *testing.T) {
+	env := sim.NewEnv(11)
+	cfg := smallConfig()
+	cfg.PipelineDepth = 4
+	eng, _ := loadedEngine(env, cfg)
+	client := NewClient(eng, cfg, 42, 1)
+	if client.Pipeline() == nil {
+		t.Fatal("PipelineDepth > 0 with a WAL-backed engine must install a pipeline")
+	}
+	env.Go("terminal", func(p *sim.Proc) {
+		for i := 0; i < 60; i++ {
+			client.RunMix(p)
+		}
+		client.DrainPipeline(p)
+	})
+	env.RunUntil(10 * time.Second)
+	counts, _, _ := client.Counts()
+	var committed int64
+	for _, n := range counts {
+		committed += n
+	}
+	if committed < 50 {
+		t.Fatalf("committed only %d of 60", committed)
+	}
+	pl := client.Pipeline()
+	if pl.Inflight() != 0 {
+		t.Fatalf("%d tokens still in flight after drain", pl.Inflight())
+	}
+	// Read-only profiles (order-status, stock-level) skip the WAL, so
+	// retirements count only write transactions — positive, bounded by
+	// total commits.
+	if pl.Retired() <= 0 || pl.Retired() > committed {
+		t.Fatalf("pipeline retired %d of %d commits", pl.Retired(), committed)
+	}
+}
+
+func TestPipelineDepthZeroInstallsNoPipeline(t *testing.T) {
+	env := sim.NewEnv(11)
+	cfg := smallConfig()
+	eng, _ := loadedEngine(env, cfg)
+	if client := NewClient(eng, cfg, 42, 1); client.Pipeline() != nil {
+		t.Fatal("default config must keep the classic synchronous commit path")
+	}
+}
+
+func TestPipelineDepthIgnoredWithoutWAL(t *testing.T) {
+	env := sim.NewEnv(11)
+	cfg := smallConfig()
+	cfg.PipelineDepth = 8
+	eng := db.New(env, nil) // volatile engine: nothing to pipeline
+	Load(eng, cfg, 1)
+	if client := NewClient(eng, cfg, 42, 1); client.Pipeline() != nil {
+		t.Fatal("volatile engine cannot have a commit pipeline")
+	}
+}

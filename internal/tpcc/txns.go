@@ -6,6 +6,7 @@ import (
 
 	"xssd/internal/db"
 	"xssd/internal/sim"
+	"xssd/internal/wal"
 )
 
 // TxType identifies a TPC-C transaction profile.
@@ -57,6 +58,7 @@ type Client struct {
 	// synchronous tx.Commit.
 	commitFn func(*sim.Proc, *db.Tx) error
 	lastLSN  int64
+	pipe     *wal.Pipeline // non-nil when Config.PipelineDepth > 0
 
 	// Resolved table handles: every row access in the transaction mix
 	// goes through these, skipping the engine's per-access name lookup.
@@ -84,9 +86,36 @@ func resolveTables(eng *db.Engine) tableSet {
 	}
 }
 
-// NewClient creates a terminal bound to homeWID.
+// NewClient creates a terminal bound to homeWID. With
+// Config.PipelineDepth > 0 (and a WAL-backed engine) the terminal
+// commits through a private wal.Pipeline, keeping that many
+// transactions in flight instead of stalling on each durability wait;
+// call DrainPipeline before reading final durable counts.
 func NewClient(eng *db.Engine, cfg Config, seed int64, homeWID int) *Client {
-	return &Client{cfg: cfg, eng: eng, rng: rand.New(rand.NewSource(seed)), home: homeWID, tabs: resolveTables(eng)}
+	c := &Client{cfg: cfg, eng: eng, rng: rand.New(rand.NewSource(seed)), home: homeWID, tabs: resolveTables(eng)}
+	if cfg.PipelineDepth > 0 && eng.Log() != nil {
+		c.pipe = wal.NewPipeline(eng.Log(), cfg.PipelineDepth, cfg.PipelineScope)
+		c.commitFn = func(p *sim.Proc, tx *db.Tx) error {
+			lsn, err := tx.CommitPipelined(p, c.pipe)
+			if err == nil {
+				c.lastLSN = lsn
+			}
+			return err
+		}
+	}
+	return c
+}
+
+// Pipeline returns the terminal's commit pipeline (nil on the classic
+// synchronous path).
+func (c *Client) Pipeline() *wal.Pipeline { return c.pipe }
+
+// DrainPipeline blocks until every in-flight commit is durable; a no-op
+// on the classic path.
+func (c *Client) DrainPipeline(p *sim.Proc) {
+	if c.pipe != nil {
+		c.pipe.Drain(p)
+	}
 }
 
 // Counts returns per-type committed counts plus total aborts and retries.
@@ -166,6 +195,7 @@ func (c *Client) commit(p *sim.Proc, tx *db.Tx) error {
 // intentional rollbacks). Conflicts are retried like RunOne.
 func (c *Client) RunMixAsync(p *sim.Proc) (int64, error) {
 	c.lastLSN = 0
+	prev := c.commitFn // a pipelined terminal restores its commit path
 	c.commitFn = func(_ *sim.Proc, tx *db.Tx) error {
 		lsn, err := tx.CommitAsync()
 		if err == nil {
@@ -173,7 +203,7 @@ func (c *Client) RunMixAsync(p *sim.Proc) (int64, error) {
 		}
 		return err
 	}
-	defer func() { c.commitFn = nil }()
+	defer func() { c.commitFn = prev }()
 	_, err := c.RunMix(p)
 	return c.lastLSN, err
 }

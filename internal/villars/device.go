@@ -87,6 +87,22 @@ type Config struct {
 	// peer's shadow counter before the transport resends it (recovery
 	// from lost or delayed mirror traffic); 0 means 5 ms.
 	RepairTimeout time.Duration
+	// HostQueues enables the multi-queue NVMe host interface: the number
+	// of per-core SQ/CQ pairs. 0 keeps the classic single queue pair with
+	// no coalescing and no per-queue telemetry — byte-identical to the
+	// historical wiring. Explicitly setting 1 still opts into the async
+	// driver surface and per-queue instruments.
+	HostQueues int
+	// HostQueueDepth bounds async in-flight commands per queue;
+	// 0 means 32. Only meaningful with HostQueues > 0.
+	HostQueueDepth int
+	// CoalesceOps raises a CQ interrupt only after this many completions
+	// (<= 1: every completion). Only meaningful with HostQueues > 0.
+	CoalesceOps int
+	// CoalesceTime bounds how long a completion may wait for its
+	// coalesced interrupt; 0 with CoalesceOps > 1 means 8 µs (a final
+	// sub-batch must never strand). Only meaningful with HostQueues > 0.
+	CoalesceTime time.Duration
 }
 
 // DefaultConfig returns the paper's experimental setup: SRAM-backed CMB,
@@ -142,6 +158,14 @@ func (c *Config) fillDefaults() {
 	if c.RepairTimeout == 0 {
 		c.RepairTimeout = 5 * time.Millisecond
 	}
+	if c.HostQueues > 0 {
+		if c.HostQueueDepth == 0 {
+			c.HostQueueDepth = 32
+		}
+		if c.CoalesceOps > 1 && c.CoalesceTime == 0 {
+			c.CoalesceTime = 8 * time.Microsecond
+		}
+	}
 }
 
 // Device is one Villars X-SSD. Every piece of state reachable from a
@@ -161,6 +185,7 @@ type Device struct {
 	sch    *sched.Scheduler
 	ftl    *ftl.FTL
 	qp     *nvme.QueuePair
+	qset   *nvme.QueueSet // nil under the classic single-pair wiring
 	ctrl   *hic.Controller
 	host   *pcie.HostMemory
 	driver *nvme.Driver
@@ -205,9 +230,17 @@ func New(env *sim.Env, cfg Config, host *pcie.HostMemory) *Device {
 	d.arr = nand.New(env, cfg.Geometry, cfg.Timing)
 	d.sch = sched.New(env, d.arr, cfg.Policy)
 	d.ftl = ftl.New(env, d.arr, d.sch, cfg.FTL)
-	d.qp = nvme.NewQueuePair(env)
-	d.ctrl = hic.New(env, d.qp, d.link, host, d.ftl, d, hic.DefaultConfig)
-	d.driver = nvme.NewDriver(env, d.qp)
+	if cfg.HostQueues > 0 {
+		d.qset = nvme.NewQueueSet(env, cfg.HostQueues,
+			nvme.Coalesce{Ops: cfg.CoalesceOps, Time: cfg.CoalesceTime})
+		d.qp = d.qset.Pair(0)
+		d.ctrl = hic.NewMulti(env, d.qset, d.link, host, d.ftl, d, hic.DefaultConfig)
+		d.driver = nvme.NewMultiDriver(env, d.qset, cfg.HostQueueDepth)
+	} else {
+		d.qp = nvme.NewQueuePair(env)
+		d.ctrl = hic.New(env, d.qp, d.link, host, d.ftl, d, hic.DefaultConfig)
+		d.driver = nvme.NewDriver(env, d.qp)
+	}
 
 	if cfg.DestageLBAs == 0 {
 		cfg.DestageLBAs = d.ftl.LogicalPages() / 4
@@ -241,6 +274,12 @@ func New(env *sim.Env, cfg Config, host *pcie.HostMemory) *Device {
 	dsc.GaugeFunc("status", d.statusRegister)
 	dsc.GaugeFunc("pcie/bytes", func() int64 { b, _, _ := d.link.Stats(); return b })
 	dsc.GaugeFunc("pcie/transfers", func() int64 { _, _, x := d.link.Stats(); return x })
+	if d.qset != nil {
+		// Per-queue depth gauges and submit→complete histograms exist only
+		// under the explicit multi-queue wiring, keeping classic-config
+		// snapshots byte-identical to the single-queue era.
+		d.driver.Observe(dsc.Sub("nvme"))
+	}
 
 	// Fault plan: exact-time power-loss rules for this device fire as
 	// scheduled events (byte-counted rules fire from the CMB hook). The
@@ -328,8 +367,12 @@ func (d *Device) DataRegion() *pcie.Region { return d.bank }
 // ControlRegion returns the MMIO register file.
 func (d *Device) ControlRegion() *pcie.Region { return d.ctrlRgn }
 
-// Queues returns the NVMe queue pair of the conventional side.
+// Queues returns the first NVMe queue pair of the conventional side.
 func (d *Device) Queues() *nvme.QueuePair { return d.qp }
+
+// QueueSet returns the multi-queue host interface, nil under the classic
+// single-pair wiring (Config.HostQueues == 0).
+func (d *Device) QueueSet() *nvme.QueueSet { return d.qset }
 
 // HostDriver returns the shared host-side NVMe driver bound to the
 // device's queue pair. All host contexts must use this instance: a queue

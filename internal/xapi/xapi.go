@@ -224,6 +224,62 @@ func (l *Logger) XFsync(p *sim.Proc) error {
 	return nil
 }
 
+// Token is an async durability handle: the stream offset that must be
+// covered by the device's credit counter before the submission it names
+// is persistent. Tokens are totally ordered — waiting on a later token
+// subsumes every earlier one — so a pipeline only ever needs to track
+// its newest.
+type Token int64
+
+// XSubmit appends buf like XPwrite but returns a durability token
+// instead of implying a later XFsync: the submission is durable once
+// XPoll(tok) reports true (or XWait(tok) returns). The call still pays
+// the wire and credit pacing; only the durability wait is deferred.
+//
+//xssd:hotpath
+func (l *Logger) XSubmit(p *sim.Proc, buf []byte) Token {
+	l.XPwrite(p, buf)
+	return Token(l.fc.Written())
+}
+
+// XToken returns a token covering everything issued so far — the async
+// analogue of "fsync here".
+func (l *Logger) XToken() Token { return Token(l.fc.Written()) }
+
+// XPoll reports whether tok is durable, refreshing the credit counter at
+// most once (a single PCIe register read). It never blocks beyond that
+// read — the polling half of the async surface.
+//
+//xssd:hotpath
+func (l *Logger) XPoll(p *sim.Proc, tok Token) bool {
+	if l.fc.Covered(int64(tok)) {
+		return true
+	}
+	l.refreshCredit(p)
+	return l.fc.Covered(int64(tok))
+}
+
+// XWait blocks until tok is durable (the targeted XFsync): it re-reads
+// the credit counter until it covers the token, backing off when the
+// device reports a stalled replica, and fails with ErrPowerLoss if the
+// device dies first.
+func (l *Logger) XWait(p *sim.Proc, tok Token) error {
+	l.data.Fence(p)
+	for !l.fc.Covered(int64(tok)) {
+		l.refreshCredit(p)
+		if l.fc.Covered(int64(tok)) {
+			break
+		}
+		if l.dev.PowerLost() {
+			return ErrPowerLoss
+		}
+		if st := l.readReg(p, core.RegStatus); st&core.StatusReplicaStalled != 0 {
+			p.Sleep(time.Microsecond) // back off; replica recovering
+		}
+	}
+	return nil
+}
+
 // Written returns the total stream bytes issued through this logger.
 func (l *Logger) Written() int64 { return l.fc.Written() }
 

@@ -249,3 +249,93 @@ func TestFsyncUnderEagerReplicationWaitsForSecondary(t *testing.T) {
 		t.Fatalf("fsync returned but shadow counter = %d", prim.Transport().Shadow(0))
 	}
 }
+
+func TestXSubmitTokenLifecycle(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	var done bool
+	env.Go("db", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 19})
+		// Submit three records without waiting; tokens are the stream
+		// offsets after each write, so they are strictly increasing.
+		t1 := l.XSubmit(p, []byte("record-1"))
+		t2 := l.XSubmit(p, []byte("record-2"))
+		t3 := l.XSubmit(p, []byte("record-3"))
+		if !(t1 < t2 && t2 < t3) {
+			t.Errorf("tokens not increasing: %d %d %d", t1, t2, t3)
+		}
+		if t3 != Token(l.Written()) || t3 != l.XToken() {
+			t.Errorf("last token %d, Written %d, XToken %d", t3, l.Written(), l.XToken())
+		}
+		// Wait on the LAST token: total order means every earlier token
+		// must then poll durable too.
+		if err := l.XWait(p, t3); err != nil {
+			t.Errorf("XWait: %v", err)
+		}
+		for _, tok := range []Token{t1, t2, t3} {
+			if !l.XPoll(p, tok) {
+				t.Errorf("token %d not durable after waiting on %d", tok, t3)
+			}
+		}
+		done = true
+	})
+	env.RunUntil(50 * time.Millisecond)
+	if !done {
+		t.Fatal("XWait never returned")
+	}
+}
+
+func TestXPollBeforeDurabilityIsFalseThenTrue(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	var sawPending, sawDurable bool
+	env.Go("db", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 19})
+		tok := l.XSubmit(p, []byte("async record"))
+		// Immediately after the MMIO copy the device cannot have advanced
+		// the credit to cover it (the fast path still costs ring time).
+		sawPending = !l.XPoll(p, tok)
+		for !l.XPoll(p, tok) {
+			p.Sleep(time.Microsecond)
+		}
+		sawDurable = true
+		if err := l.XWait(p, tok); err != nil { // already durable: no-op wait
+			t.Errorf("XWait on durable token: %v", err)
+		}
+	})
+	env.RunUntil(50 * time.Millisecond)
+	if !sawPending {
+		t.Error("XPoll reported durable before the device could have acked")
+	}
+	if !sawDurable {
+		t.Fatal("token never became durable")
+	}
+}
+
+func TestSubmitInterleavesWithBlockingCalls(t *testing.T) {
+	// The async tokens layer under the blocking calls: mixing XSubmit,
+	// XPwrite, and XFsync on one handle keeps one totally-ordered stream.
+	env := sim.NewEnv(1)
+	dev, host := testDevice(env, "a")
+	var done bool
+	env.Go("db", func(p *sim.Proc) {
+		l := Open(p, dev, Options{HostMem: host, Scratch: 1 << 19})
+		tok := l.XSubmit(p, []byte("async"))
+		l.XPwrite(p, []byte("blocking"))
+		if err := l.XFsync(p); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		// Fsync covered the whole stream, so the earlier token is durable.
+		if !l.XPoll(p, tok) {
+			t.Error("token not durable after a later XFsync")
+		}
+		if got := dev.CMB().Ring().Frontier(); got != int64(len("async")+len("blocking")) {
+			t.Errorf("frontier = %d", got)
+		}
+		done = true
+	})
+	env.RunUntil(50 * time.Millisecond)
+	if !done {
+		t.Fatal("run did not finish")
+	}
+}

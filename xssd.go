@@ -139,6 +139,50 @@ type DeviceOptions struct {
 	// ShadowUpdatePeriod is the replica counter-report interval
 	// (default 0.4 µs).
 	ShadowUpdatePeriod time.Duration
+	// Queues configures the multi-queue NVMe host interface. nil keeps
+	// the classic single queue pair with interrupt-per-completion —
+	// byte-identical to devices built before queue options existed.
+	Queues *QueueOptions
+}
+
+// QueueOptions shape the device's NVMe host interface: how many per-core
+// SQ/CQ pairs it exposes, how deep each queue's async in-flight window
+// is, and how the completion side coalesces interrupts (fire after
+// CoalesceOps completions or CoalesceTime, whichever comes first). Zero
+// fields select defaults: 1 pair, depth 32, no coalescing.
+type QueueOptions struct {
+	// Pairs is the number of SQ/CQ pairs (per-core in a real deployment).
+	Pairs int
+	// Depth bounds async in-flight commands per queue.
+	Depth int
+	// CoalesceOps raises a completion interrupt only every N completions
+	// (<= 1 means every completion).
+	CoalesceOps int
+	// CoalesceTime bounds how long a completion may wait for its batch;
+	// required (> 0) when CoalesceOps > 1, so a final sub-batch cannot
+	// strand without an interrupt.
+	CoalesceTime time.Duration
+}
+
+// validate rejects queue shapes the model cannot honour, wrapping
+// ErrBadOptions like the DeviceOptions checks.
+func (q QueueOptions) validate() error {
+	if q.Pairs < 0 || q.Pairs > 256 {
+		return fmt.Errorf("%w: Queues.Pairs %d out of range [0,256]", ErrBadOptions, q.Pairs)
+	}
+	if q.Depth < 0 || q.Depth > 65536 {
+		return fmt.Errorf("%w: Queues.Depth %d out of range [0,65536]", ErrBadOptions, q.Depth)
+	}
+	if q.CoalesceOps < 0 || q.CoalesceOps > 4096 {
+		return fmt.Errorf("%w: Queues.CoalesceOps %d out of range [0,4096]", ErrBadOptions, q.CoalesceOps)
+	}
+	if q.CoalesceTime < 0 {
+		return fmt.Errorf("%w: Queues.CoalesceTime %v is negative", ErrBadOptions, q.CoalesceTime)
+	}
+	if q.CoalesceOps > 1 && q.CoalesceTime == 0 {
+		return fmt.Errorf("%w: Queues.CoalesceOps %d needs a CoalesceTime bound, or a final sub-batch would never interrupt", ErrBadOptions, q.CoalesceOps)
+	}
+	return nil
 }
 
 // ErrBadOptions reports rejected DeviceOptions. Concrete failures wrap it
@@ -167,6 +211,11 @@ func (opts DeviceOptions) validate() error {
 	}
 	if opts.ShadowUpdatePeriod < 0 {
 		return fmt.Errorf("%w: ShadowUpdatePeriod %v is negative", ErrBadOptions, opts.ShadowUpdatePeriod)
+	}
+	if opts.Queues != nil {
+		if err := opts.Queues.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -201,6 +250,15 @@ func (s *System) NewDevice(opts DeviceOptions) (*Device, error) {
 	}
 	if opts.ShadowUpdatePeriod > 0 {
 		cfg.ShadowUpdatePeriod = opts.ShadowUpdatePeriod
+	}
+	if q := opts.Queues; q != nil {
+		cfg.HostQueues = q.Pairs
+		if cfg.HostQueues == 0 {
+			cfg.HostQueues = 1
+		}
+		cfg.HostQueueDepth = q.Depth
+		cfg.CoalesceOps = q.CoalesceOps
+		cfg.CoalesceTime = q.CoalesceTime
 	}
 	d := &Device{sys: s, dev: villars.New(s.env, cfg, s.hostMem)}
 	s.devices = append(s.devices, d)
@@ -357,6 +415,30 @@ func (g *Log) Free(p *Proc, start int64) error { return g.l.XFree(p, start) }
 
 // Written returns total bytes issued through this handle.
 func (g *Log) Written() int64 { return g.l.Written() }
+
+// SyncToken is an async durability handle: everything the log issued up
+// to the token is durable once Poll reports true (or Wait returns).
+// Tokens are totally ordered; waiting on a later token covers every
+// earlier one.
+type SyncToken = xapi.Token
+
+// Submit appends buf like Pwrite but hands back a SyncToken instead of
+// implying a later Fsync — the async half of the API. The copy itself is
+// still credit-paced; only the durability wait is deferred, so a worker
+// can keep many submissions in flight and Poll (or Wait) when it needs
+// the acknowledgement.
+func (g *Log) Submit(p *Proc, buf []byte) SyncToken { return g.l.XSubmit(p, buf) }
+
+// SyncToken returns a token covering everything issued so far through
+// this handle — "an Fsync would wait for exactly this".
+func (g *Log) SyncToken() SyncToken { return g.l.XToken() }
+
+// Poll reports whether tok is durable, spending at most one credit
+// register read (one PCIe round trip). It never blocks.
+func (g *Log) Poll(p *Proc, tok SyncToken) bool { return g.l.XPoll(p, tok) }
+
+// Wait blocks until tok is durable — Fsync targeted at a token.
+func (g *Log) Wait(p *Proc, tok SyncToken) error { return g.l.XWait(p, tok) }
 
 // Cluster is a replication group of devices (§4.2): one primary mirrors
 // its fast-side stream to the secondaries over NTB.

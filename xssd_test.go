@@ -363,3 +363,79 @@ func TestWriteMetricsFormats(t *testing.T) {
 		t.Fatal("unknown format accepted")
 	}
 }
+
+func TestQueueOptionsValidation(t *testing.T) {
+	sys := NewSystem(13)
+	cases := []struct {
+		name string
+		q    QueueOptions
+	}{
+		{"negative pairs", QueueOptions{Pairs: -1}},
+		{"too many pairs", QueueOptions{Pairs: 257}},
+		{"negative depth", QueueOptions{Pairs: 4, Depth: -1}},
+		{"huge depth", QueueOptions{Pairs: 4, Depth: 1 << 17}},
+		{"negative coalesce ops", QueueOptions{Pairs: 4, CoalesceOps: -2}},
+		{"huge coalesce ops", QueueOptions{Pairs: 4, CoalesceOps: 5000, CoalesceTime: time.Microsecond}},
+		{"negative coalesce time", QueueOptions{Pairs: 4, CoalesceTime: -time.Microsecond}},
+		{"ops without time bound", QueueOptions{Pairs: 4, CoalesceOps: 8}},
+	}
+	for _, c := range cases {
+		q := c.q
+		d, err := sys.NewDevice(DeviceOptions{Name: "d", Queues: &q})
+		if !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: err = %v, want ErrBadOptions", c.name, err)
+		}
+		if d != nil {
+			t.Errorf("%s: returned a device alongside the error", c.name)
+		}
+	}
+	ok := &QueueOptions{Pairs: 4, Depth: 16, CoalesceOps: 4, CoalesceTime: 8 * time.Microsecond}
+	if _, err := sys.NewDevice(DeviceOptions{Name: "mq", Queues: ok}); err != nil {
+		t.Fatalf("valid queue options rejected: %v", err)
+	}
+}
+
+func TestPublicAsyncSubmitPollWait(t *testing.T) {
+	sys := NewSystem(14)
+	dev := sys.MustDevice(DeviceOptions{
+		Name:    "async",
+		Backing: SRAM,
+		Queues:  &QueueOptions{Pairs: 2, Depth: 8},
+	})
+	sys.Run(func(p *Proc) {
+		log := dev.OpenLog(p)
+		// Keep several records in flight, then wait on the newest token:
+		// the total order makes every earlier one durable too.
+		var toks []SyncToken
+		for i := 0; i < 5; i++ {
+			toks = append(toks, log.Submit(p, []byte("async commit record")))
+		}
+		if tok := log.SyncToken(); tok != toks[4] {
+			t.Errorf("SyncToken() = %d, want the last Submit's token %d", tok, toks[4])
+		}
+		if err := log.Wait(p, toks[4]); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		for i, tok := range toks {
+			if !log.Poll(p, tok) {
+				t.Errorf("token %d (%d) not durable after waiting on the newest", i, tok)
+			}
+		}
+		// The blocking surface still works on the same handle.
+		log.Pwrite(p, []byte("blocking record"))
+		if err := log.Fsync(p); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+	})
+	if st := dev.Stats(); len(st.HostQueues) != 2 {
+		t.Fatalf("device stats list %d host queues, want 2", len(st.HostQueues))
+	}
+}
+
+func TestDefaultOptionsKeepClassicSingleQueue(t *testing.T) {
+	sys := NewSystem(15)
+	dev := sys.MustDevice(DeviceOptions{Name: "classic"})
+	if st := dev.Stats(); len(st.HostQueues) != 0 {
+		t.Fatalf("classic device reports %d host-queue entries, want none", len(st.HostQueues))
+	}
+}

@@ -8,6 +8,7 @@
 //	xbench -exp fig12        # by name
 //	xbench -all              # everything
 //	xbench -chaos -seeds 20  # chaos sweep: fault plans vs invariants
+//	xbench -chaos -shards 4 -seeds 10  # sharded sweep: cluster fault plans vs invariants incl. I8
 //	xbench -failover -seeds 20  # failover sweep: primary kills vs takeover invariants
 //
 // Add -metrics out.json to any experiment run to also dump a per-cell
@@ -20,6 +21,7 @@
 // Performance modes:
 //
 //	xbench -suite perf -workers 8 -o BENCH_PR7.json   # time one cell per figure + a chaos seed + the pargroup twins
+//	xbench -suite shard -o BENCH_PR9.json  # sharded-cluster throughput scaling + remote-mix sweep + engine twins
 //	xbench -compare baseline.json new.json # gate: fail on >15% events/sec regression or serial/parallel event drift
 package main
 
@@ -44,9 +46,10 @@ func main() {
 	chaosRun := flag.Bool("chaos", false, "run the chaos sweep (randomized fault plans, invariants I1-I5)")
 	failoverRun := flag.Bool("failover", false, "run the failover sweep (randomized primary kills, invariants I6-I7)")
 	seeds := flag.Int("seeds", 20, "number of seeds for -chaos/-failover")
+	shards := flag.Int("shards", 0, "with -chaos: run the sharded-cluster sweep with this many shards per seed (invariants I1-I5 + I8); 0 = classic single-primary sweep")
 	metricsOut := flag.String("metrics", "", "write per-cell metrics snapshots to this file as JSON")
 	workers := flag.Int("workers", 0, "simulation engine: 0 = classic single-Env scheduler, n >= 1 = parallel group runner with n quantum executors (figures, sweeps, and the perf suite)")
-	suite := flag.String("suite", "", "run a timed suite (\"perf\" or \"latency\")")
+	suite := flag.String("suite", "", "run a timed suite (\"perf\", \"latency\", or \"shard\")")
 	out := flag.String("o", "BENCH_PR4.json", "output file for -suite perf/latency")
 	compare := flag.Bool("compare", false, "compare two perf result files: -compare baseline.json new.json")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed events/sec regression fraction for -compare")
@@ -116,9 +119,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	case *suite == "shard":
+		if err := runShardSuite(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case *suite != "":
-		fmt.Fprintf(os.Stderr, "xbench: unknown suite %q (\"perf\" or \"latency\")\n", *suite)
+		fmt.Fprintf(os.Stderr, "xbench: unknown suite %q (\"perf\", \"latency\", or \"shard\")\n", *suite)
 		os.Exit(2)
+	case *chaosRun && *shards > 0:
+		if err := chaos.SweepShard(os.Stdout, *seeds, *shards, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case *chaosRun:
 		if err := chaos.SweepWorkers(os.Stdout, *seeds, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -275,6 +288,50 @@ func runLatencySuite(path string) error {
 		return err
 	}
 	fmt.Printf("latency: wrote %d cells to %s\n", len(results), path)
+	return nil
+}
+
+// shardScalingFloor: the 4-shard cell must commit at least this multiple
+// of the 1-shard cell's aggregate — the headline scaling claim of the
+// sharded cluster, gated at generation time so a regressing tree cannot
+// even produce a BENCH_PR9.json.
+const shardScalingFloor = 3.0
+
+// runShardSuite runs the sharded-cluster throughput cells and writes the
+// canonical results file (BENCH_PR9.json). Event and commit counts are
+// virtual time — deterministic — so the compare gate holds both to exact
+// equality; the scaling gate additionally requires the 4-shard cell to
+// commit at least 3x the 1-shard cell's transactions.
+func runShardSuite(path string) error {
+	cells := bench.ShardCells()
+	results := make([]bench.PerfResult, 0, len(cells))
+	for _, c := range cells {
+		start := time.Now()
+		m, err := c.Run()
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("shard suite: %s: %w", c.Name, err)
+		}
+		r := bench.PerfResult{
+			Bench:   c.Name,
+			WallNS:  wall.Nanoseconds(),
+			Events:  m.Events,
+			Commits: m.Commits,
+		}
+		if wall > 0 {
+			r.EventsPerSec = float64(m.Events) / wall.Seconds()
+		}
+		fmt.Printf("%-20s %6d commits  (%d events, %v)\n",
+			r.Bench, r.Commits, r.Events, wall.Round(time.Millisecond))
+		results = append(results, r)
+	}
+	if err := bench.CheckShardScaling(results, shardScalingFloor); err != nil {
+		return err
+	}
+	if err := bench.WritePerfFile(path, results); err != nil {
+		return err
+	}
+	fmt.Printf("shard: wrote %d cells to %s\n", len(results), path)
 	return nil
 }
 

@@ -25,6 +25,10 @@ type PerfResult struct {
 	P50NS  int64 `json:"p50_ns,omitempty"`
 	P99NS  int64 `json:"p99_ns,omitempty"`
 	P999NS int64 `json:"p999_ns,omitempty"`
+	// Shard-suite cells carry their aggregate committed-transaction
+	// count (BENCH_PR9.json). Commits are virtual-deterministic, so the
+	// compare gate demands equality, like event counts.
+	Commits int64 `json:"commits,omitempty"`
 }
 
 // WritePerfFile writes results as indented JSON with a trailing newline —
@@ -82,11 +86,27 @@ func Compare(baseline, current []PerfResult, tol float64) error {
 			continue
 		}
 		if b.P50NS != 0 || b.P99NS != 0 || b.P999NS != 0 {
-			if c.P50NS != b.P50NS || c.P99NS != b.P99NS || c.P999NS != b.P999NS {
-				problems = append(problems, fmt.Sprintf(
-					"%s: quantiles p50=%d p99=%d p999=%d ns, baseline p50=%d p99=%d p999=%d (virtual-time drift — determinism break?)",
-					b.Bench, c.P50NS, c.P99NS, c.P999NS, b.P50NS, b.P99NS, b.P999NS))
+			// One line per drifting quantile, expected-then-got, so a CI
+			// log names the exact series that moved.
+			for _, q := range []struct {
+				name     string
+				exp, got int64
+			}{
+				{"p50", b.P50NS, c.P50NS},
+				{"p99", b.P99NS, c.P99NS},
+				{"p999", b.P999NS, c.P999NS},
+			} {
+				if q.got != q.exp {
+					problems = append(problems, fmt.Sprintf(
+						"%s: %s expected %dns, got %dns (virtual-time drift — determinism break?)",
+						b.Bench, q.name, q.exp, q.got))
+				}
 			}
+		}
+		if b.Commits != 0 && c.Commits != b.Commits {
+			problems = append(problems, fmt.Sprintf(
+				"%s: committed %d transactions, baseline %d (virtual-time drift — determinism break?)",
+				b.Bench, c.Commits, b.Commits))
 		}
 		if b.WallNS >= compareWallFloorNS && b.EventsPerSec > 0 && c.EventsPerSec < b.EventsPerSec*(1-tol) {
 			problems = append(problems, fmt.Sprintf(
@@ -133,6 +153,11 @@ func workerParityProblems(results []PerfResult) []string {
 				problems = append(problems, fmt.Sprintf(
 					"%s: dispatched %d events but its worker twin %s dispatched %d (serial/parallel drift)",
 					r.Bench, r.Events, rs[0].Bench, rs[0].Events))
+			}
+			if r.Commits != rs[0].Commits {
+				problems = append(problems, fmt.Sprintf(
+					"%s: committed %d transactions but its worker twin %s committed %d (serial/parallel drift)",
+					r.Bench, r.Commits, rs[0].Bench, rs[0].Commits))
 			}
 		}
 	}

@@ -84,6 +84,12 @@ type Scenario struct {
 	// they are a different topology (hence different fingerprints) than
 	// SimWorkers == 0.
 	SimWorkers int
+	// Shards, when > 0, runs the sharded-cluster scenario instead of the
+	// single-primary one: Shards primary devices partitioning 2*Shards
+	// warehouses, cross-shard 2PC, and invariant I8 on top of the
+	// classics (see shard.go). 0 keeps the classic path byte-identical
+	// to its pre-sharding behavior.
+	Shards int
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -223,6 +229,9 @@ func Run(s Scenario) (*Result, error) {
 	s = s.withDefaults()
 	if err := s.Plan.Validate(); err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if s.Shards > 0 {
+		return runSharded(s)
 	}
 
 	// Injectors attach inside newEngine, before building devices, so

@@ -1,0 +1,399 @@
+// Sharded chaos: the cluster scenario behind Scenario.Shards.
+//
+// N primary devices partition 2N warehouses; every shard runs its own
+// WAL, engine, and TPC-C terminals, and the standard remote mix (1% of
+// order lines, 15% of payments) makes a slice of the traffic cross-shard
+// 2PC. Faults come from the same plan grammar — including shard.rpc
+// rules scoped to a shard name and device.power kills of individual
+// primaries — and the classic invariants extend per shard:
+//
+//	I1  each shard's conventional side holds a gap-free prefix of its
+//	    own acknowledged stream, covering the durable horizon;
+//	I2  recovering every shard from its flash prefix (with 2PC control
+//	    records steering cross-shard write sets) reproduces the replay
+//	    of the host streams — and the live engines when nothing crashed;
+//	I3  each shard's secondaries hold a prefix of that shard's stream;
+//	I5  identical (Seed, Plan, shape) reproduce the run bit for bit;
+//	I8  no single kill, at any point in the protocol, leaves a
+//	    cross-shard transaction half-applied: every participant commit
+//	    has a durable coordinator decision, every durable decision has
+//	    durable participant prepares, every client ack has a durable
+//	    decision (shard.CheckAtomicity).
+//
+// The classic path (Shards == 0) does not touch any of this code.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"xssd/internal/core"
+	"xssd/internal/db"
+	"xssd/internal/fault"
+	"xssd/internal/shard"
+	"xssd/internal/tpcc"
+	"xssd/internal/wal"
+
+	"xssd/internal/sim"
+)
+
+// shardScenarioTPCC scales the per-shard database: two warehouses per
+// shard with the classic chaos row counts.
+func shardScenarioTPCC(shards int) tpcc.Config {
+	return tpcc.Config{Warehouses: 2 * shards, Districts: 2, CustomersPerDistrict: 8, Items: 40, FillerLen: 10}
+}
+
+// runSharded executes a Shards > 0 scenario; see the package comment
+// above for the invariants it checks.
+func runSharded(s Scenario) (*Result, error) {
+	tcfg := shardScenarioTPCC(s.Shards)
+	streams := make([][]byte, s.Shards)
+	cfg := shard.Config{
+		Shards:      s.Shards,
+		Warehouses:  tcfg.Warehouses,
+		Secondaries: s.Secondaries,
+		Scheme:      s.Scheme,
+		SimWorkers:  s.SimWorkers,
+		Seed:        s.Seed,
+		WAL:         wal.Config{GroupBytes: 4 << 10, GroupTimeout: 500 * time.Microsecond},
+		Device:      chaosDevice,
+		WrapSink: func(id int, inner wal.Sink) wal.Sink {
+			return &recordingSink{inner: inner, buf: &streams[id]}
+		},
+		Load: func(eng *db.Engine, id int) {
+			tpcc.LoadWarehouses(eng, tcfg, loadSeed, func(w int) bool {
+				return shard.OwnerOf(w, s.Shards, tcfg.Warehouses) == id
+			})
+		},
+	}
+	cl, err := shard.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	defer cl.Close()
+	envs := cl.Envs()
+	injs := make([]*fault.Injector, len(envs))
+	for i, e := range envs {
+		injs[i] = fault.New(e, s.Plan)
+		fault.Attach(e, injs[i])
+	}
+	defer func() {
+		for _, e := range envs {
+			fault.Detach(e)
+		}
+	}()
+	cl.Build()
+
+	var (
+		bootErr error
+		stop    bool
+		clients []*tpcc.ShardedClient
+	)
+	cl.Shard(0).Env().Go("chaos-shard-boot", func(p *sim.Proc) {
+		if bootErr = cl.Boot(p); bootErr != nil {
+			return
+		}
+		for _, sh := range cl.Shards() {
+			sh := sh
+			for w := 0; w < s.Workers; w++ {
+				home := sh.ID()*2 + 1 + w%2
+				c := tpcc.NewShardedClient(cl, tcfg, s.Seed*97+int64(sh.ID())*1000+int64(w)+1, home, tpcc.SpecMix())
+				clients = append(clients, c)
+				sh.Env().Go(fmt.Sprintf("chaos-shard%d-worker-%d", sh.ID(), w), func(p *sim.Proc) {
+					lg := sh.Log()
+					for !stop && !lg.Dead() {
+						lg.WaitBacklog(p, 32<<10)
+						if stop || lg.Dead() {
+							return
+						}
+						p.Sleep(100 * time.Microsecond)
+						c.RunMix(p)
+					}
+				})
+			}
+		}
+		cl.Release()
+	})
+
+	cl.RunUntil(s.Window)
+	if bootErr != nil {
+		return nil, fmt.Errorf("chaos: boot: %w", bootErr)
+	}
+	stop = true
+	cl.RunUntil(s.Window + s.Settle)
+
+	r := &Result{Seed: s.Seed, Secondaries: s.Secondaries, Scheme: s.Scheme}
+	violate := func(format string, args ...any) {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+	for _, sh := range cl.Shards() {
+		if sh.Device().PowerLost() {
+			r.PowerLost = true
+			if !sh.Device().Drained() {
+				cl.RunUntil(cl.Now() + 300*time.Millisecond)
+			}
+		}
+	}
+	for _, c := range clients {
+		byType, _, _ := c.Counts()
+		for _, n := range byType {
+			r.Commits += n
+		}
+	}
+	for _, inj := range injs {
+		r.Firings += len(inj.Firings())
+	}
+
+	// ---- per-shard I1 + I3, and the flash-prefix views for I2/I8 ------
+	prefixes := make([][]byte, s.Shards)
+	for i, sh := range cl.Shards() {
+		prim := sh.Device()
+		written := streams[i]
+		r.Written += int64(len(written))
+		r.Destaged += prim.Destage().DestagedStream()
+		r.Durable += sh.Log().DurableLSN()
+		lost := prim.PowerLost()
+
+		for _, sec := range sh.Secondaries() {
+			ring := sec.CMB().Ring()
+			head, fr := ring.Head(), ring.Frontier()
+			primFr := prim.CMB().Ring().Frontier()
+			if fr > int64(len(written)) {
+				violate("I3: shard %d: %s frontier %d beyond host stream %d", i, sec.Name(), fr, len(written))
+				continue
+			}
+			if fr > primFr {
+				violate("I3: shard %d: %s frontier %d ran ahead of primary %d", i, sec.Name(), fr, primFr)
+				continue
+			}
+			if fr > head {
+				data, err := ring.Read(head, int(fr-head))
+				if err != nil {
+					violate("I3: shard %d: %s ring read [%d,%d): %v", i, sec.Name(), head, fr, err)
+				} else if !bytes.Equal(data, written[head:fr]) {
+					violate("I3: shard %d: %s ring bytes diverge in [%d,%d)", i, sec.Name(), head, fr)
+				}
+			}
+			if !lost && fr != primFr {
+				violate("I3: shard %d: %s did not converge: frontier %d, primary %d", i, sec.Name(), fr, primFr)
+			}
+		}
+
+		if lost {
+			if !prim.Drained() {
+				violate("I1: shard %d: primary not drained after power loss", i)
+			}
+			if prim.Destage().DestagedStream() < sh.Log().DurableLSN() {
+				violate("I1: shard %d: destaged %d < durable horizon %d", i, prim.Destage().DestagedStream(), sh.Log().DurableLSN())
+			}
+		} else {
+			if bl := sh.Log().Backlog(); bl != 0 {
+				violate("I1: shard %d: WAL backlog %d after settle with no crash", i, bl)
+			}
+			if got := prim.Destage().DestagedStream(); got != int64(len(written)) {
+				violate("I1: shard %d: destaged %d != written %d with no crash", i, got, len(written))
+			}
+		}
+		_, slots := prim.Destage().LBARing()
+		if prim.Destage().TailLBA() > slots {
+			return nil, fmt.Errorf("chaos: shard %d: stream wrapped the destage ring (%d slots): shrink the window or workload", i, slots)
+		}
+		prefix, err := flashPrefix(prim)
+		if err != nil {
+			violate("I1: shard %d: %v", i, err)
+			continue
+		}
+		if int64(len(prefix)) > int64(len(written)) {
+			violate("I1: shard %d: flash prefix %d beyond host stream %d", i, len(prefix), len(written))
+			continue
+		}
+		if !bytes.Equal(prefix, written[:len(prefix)]) {
+			violate("I1: shard %d: flash prefix diverges from host stream (first %d bytes)", i, len(prefix))
+			continue
+		}
+		prefixes[i] = prefix
+	}
+
+	// ---- I2 + I8: cluster recovery from the flash prefixes ------------
+	views := make([]*shard.View, s.Shards)
+	hostViews := make([]*shard.View, s.Shards)
+	parseOK := true
+	for i := range prefixes {
+		if prefixes[i] == nil {
+			parseOK = false
+			break
+		}
+		if views[i], err = shard.ParseStream(i, prefixes[i]); err != nil {
+			violate("I2: shard %d: parse flash prefix: %v", i, err)
+			parseOK = false
+			break
+		}
+		if hostViews[i], err = shard.ParseStream(i, streams[i][:len(prefixes[i])]); err != nil {
+			violate("I2: shard %d: parse host stream: %v", i, err)
+			parseOK = false
+			break
+		}
+	}
+	if parseOK {
+		acked := make([][]int64, s.Shards)
+		for i, sh := range cl.Shards() {
+			acked[i] = sh.AckedGIDs()
+		}
+		for _, v := range shard.CheckAtomicity(views, acked) {
+			violate("%s", v)
+		}
+		replayLoad := func(eng *db.Engine, id int) { cfg.Load(eng, id) }
+		recovered, rerr := shard.Replay(sim.NewEnv(1), views, replayLoad)
+		if rerr != nil {
+			violate("I2: recover from flash prefixes: %v", rerr)
+		} else {
+			oracle, oerr := shard.Replay(sim.NewEnv(1), hostViews, replayLoad)
+			if oerr != nil {
+				violate("I2: replay host streams: %v", oerr)
+			} else {
+				for i := range recovered {
+					if recovered[i].Fingerprint() != oracle[i].Fingerprint() {
+						violate("I2: shard %d: recovered state diverges from host-stream replay", i)
+					}
+					if !r.PowerLost && recovered[i].Fingerprint() != cl.Shard(i).Engine().Fingerprint() {
+						violate("I2: shard %d: recovered state != live engine with no crash", i)
+					}
+				}
+			}
+		}
+	}
+
+	// ---- I5 ingredients: fold, shard-major ----------------------------
+	snap := cl.Snapshot()
+	r.Metrics = snap.Encode()
+	fp := uint64(fnvOffset)
+	for i, sh := range cl.Shards() {
+		fp = mix64(fp, sh.Device().Tracer().Fingerprint())
+		for _, sec := range sh.Secondaries() {
+			fp = mix64(fp, sec.Tracer().Fingerprint())
+		}
+		fp = mix64(fp, sh.Engine().Fingerprint())
+		fp = mix64(fp, uint64(len(streams[i])))
+		for _, gid := range sh.AckedGIDs() {
+			fp = mix64(fp, uint64(gid))
+		}
+	}
+	fp = mix64(fp, uint64(r.Commits))
+	fp = mix64(fp, uint64(r.Firings))
+	fp = mix64(fp, snap.Fingerprint())
+	r.Fingerprint = fp
+	r.Events = cl.Events()
+	return r, nil
+}
+
+// DefaultShardScenario derives a randomized sharded scenario from a
+// seed: shard count (when shards <= 0), replication shape, and a fault
+// plan mixing the generic device faults with shard-scoped RPC
+// disturbance and single-primary kills.
+func DefaultShardScenario(seed int64, shards int) Scenario {
+	rng := rand.New(rand.NewSource(seed*1000003 + 17))
+	if shards <= 0 {
+		shards = 2 + rng.Intn(3)
+	}
+	s := Scenario{Seed: seed, Shards: shards, Secondaries: rng.Intn(2)}.withDefaults()
+	if s.Secondaries > 0 {
+		switch rng.Intn(3) {
+		case 0:
+			s.Scheme = core.Eager
+		case 1:
+			s.Scheme = core.Lazy
+		default:
+			s.Scheme = core.Chain
+		}
+	}
+	victim := fmt.Sprintf("p%d", rng.Intn(shards))
+	plan := &fault.Plan{}
+	add := func(r fault.Rule) { plan.Rules = append(plan.Rules, r) }
+	if rng.Intn(2) == 0 {
+		add(fault.Rule{Point: fault.NANDProgram, Trigger: fault.TriggerProb, Prob: 0.02 + 0.08*rng.Float64(),
+			Action: fault.ActionFail, Times: int64(rng.Intn(4)) + 1})
+	}
+	if rng.Intn(3) == 0 {
+		add(fault.Rule{Point: fault.WALSink, Trigger: fault.TriggerOn, Count: int64(rng.Intn(6)) + 2,
+			Action: fault.ActionFail, Times: int64(rng.Intn(2)) + 1})
+	}
+	if rng.Intn(2) == 0 {
+		// RPC jitter below the timeout: perturbs 2PC interleavings
+		// without making peers unavailable.
+		add(fault.Rule{Point: fault.ShardRPC + "@" + victim, Trigger: fault.TriggerProb, Prob: 0.05 + 0.15*rng.Float64(),
+			Action: fault.ActionDelay, Dur: time.Duration(rng.Int63n(int64(200*time.Microsecond))) + 20*time.Microsecond,
+			Times: int64(rng.Intn(8)) + 2})
+	}
+	if rng.Intn(3) == 0 {
+		add(fault.Rule{Point: fault.ShardRPC + "@" + victim, Trigger: fault.TriggerProb, Prob: 0.02 + 0.08*rng.Float64(),
+			Action: fault.ActionDrop, Times: int64(rng.Intn(4)) + 1})
+	}
+	if rng.Intn(3) == 0 {
+		at := s.Window/4 + time.Duration(rng.Int63n(int64(s.Window/2)))
+		add(fault.Rule{Point: fault.DevicePower + "@" + victim, Trigger: fault.TriggerAt, At: at, Action: fault.ActionFail})
+	}
+	s.Plan = plan
+	return s
+}
+
+// SweepShardResults runs DefaultShardScenario for each seed twice —
+// invariants I1-I4 and I8 inside each run, I5 across the pair — under
+// the chosen engine and shard count (shards <= 0 varies it per seed).
+func SweepShardResults(seeds, shards, simWorkers int) ([]SeedResult, error) {
+	out := make([]SeedResult, 0, seeds)
+	for seed := 0; seed < seeds; seed++ {
+		sc := DefaultShardScenario(int64(seed), shards)
+		sc.SimWorkers = simWorkers
+		r1, err := Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		sr := SeedResult{Seed: int64(seed), First: r1, Second: r2}
+		sr.Violations = append(sr.Violations, r1.Violations...)
+		if r2.Fingerprint != r1.Fingerprint {
+			sr.Violations = append(sr.Violations, fmt.Sprintf("I5: re-run fingerprint %016x != %016x", r2.Fingerprint, r1.Fingerprint))
+		}
+		if !bytes.Equal(r1.Metrics, r2.Metrics) {
+			sr.Violations = append(sr.Violations, "I5: re-run metrics snapshots differ")
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// SweepShard runs SweepShardResults and writes one summary line per
+// seed plus the final fold — the CLI gate behind `xbench -chaos
+// -shards N`. It returns an error listing every violation, or nil when
+// all seeds hold.
+func SweepShard(w io.Writer, seeds, shards, simWorkers int) error {
+	results, err := SweepShardResults(seeds, shards, simWorkers)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, sr := range results {
+		r1 := sr.First
+		scheme := "-"
+		if r1.Secondaries > 0 {
+			scheme = r1.Scheme.String()
+		}
+		fmt.Fprintf(w, "seed %3d  sec=%d scheme=%-5s crash=%-5v commits=%-5d written=%-7d destaged=%-7d faults=%-2d fp=%016x\n",
+			sr.Seed, r1.Secondaries, scheme, r1.PowerLost, r1.Commits, r1.Written, r1.Destaged, r1.Firings, r1.Fingerprint)
+		for _, v := range sr.Violations {
+			fmt.Fprintf(w, "          VIOLATION %s\n", v)
+		}
+		total += len(sr.Violations)
+	}
+	if total > 0 {
+		return fmt.Errorf("chaos: %d invariant violations across %d sharded seeds", total, seeds)
+	}
+	fmt.Fprintf(w, "chaos: %d sharded seeds × 2 runs, invariants I1-I5 + I8 hold, fold %016x\n", seeds, Fold(results))
+	return nil
+}

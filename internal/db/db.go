@@ -36,6 +36,13 @@ type Engine struct {
 	// commit on the engine.
 	encBuf []byte
 
+	// pins maps rows claimed by prepared-but-undecided distributed
+	// transactions to their owner. A prepared participant must be able to
+	// commit later no matter what runs in between, so its read and write
+	// sets stay fenced until the coordinator's decision arrives. nil until
+	// the first Prepare, so purely local workloads never pay for it.
+	pins map[hkey]*Tx
+
 	commits, aborts int64
 }
 
@@ -214,10 +221,11 @@ func (t *Tx) addWrite(w writeOp) {
 	t.writes = append(t.writes, w)
 }
 
-// Abort discards the transaction.
+// Abort discards the transaction, releasing any pins a Prepare took.
 func (t *Tx) Abort() {
 	if !t.done {
 		t.done = true
+		t.unpin()
 		t.eng.aborts++
 	}
 }
@@ -238,6 +246,10 @@ func (t *Tx) Commit(p *sim.Proc) error {
 			t.Abort()
 			return ErrConflict
 		}
+	}
+	if len(t.eng.pins) > 0 && t.pinned() {
+		t.Abort()
+		return ErrConflict
 	}
 	t.done = true
 	if len(t.writes) == 0 {
@@ -269,6 +281,10 @@ func (t *Tx) CommitAsync() (int64, error) {
 			return 0, ErrConflict
 		}
 	}
+	if len(t.eng.pins) > 0 && t.pinned() {
+		t.Abort()
+		return 0, ErrConflict
+	}
 	t.done = true
 	t.eng.commits++
 	if len(t.writes) == 0 {
@@ -292,6 +308,120 @@ func (t *Tx) CommitPipelined(p *sim.Proc, pl *wal.Pipeline) (int64, error) {
 	}
 	pl.Submit(p, lsn)
 	return lsn, nil
+}
+
+// --- two-phase commit support ----------------------------------------------
+
+// Prepare validates the transaction's read set and pins its read and
+// write sets: phase one of a distributed commit. After a nil return the
+// transaction is guaranteed committable — no other transaction can commit
+// a write to any row it touched until CommitPrepared or Abort releases
+// the pins. A validation failure or a collision with another prepared
+// transaction aborts and returns ErrConflict (vote no).
+func (t *Tx) Prepare() error {
+	if t.done {
+		return ErrTxDone
+	}
+	// Validation and pin checks are map-order safe for the same reason
+	// Commit's are: any single stale read or foreign pin aborts, and the
+	// loops schedule nothing.
+	for k, ver := range t.reads {
+		if k.t.rows[k.key].ver != ver {
+			t.Abort()
+			return ErrConflict
+		}
+	}
+	if len(t.eng.pins) > 0 {
+		for k := range t.reads {
+			if o := t.eng.pins[k]; o != nil && o != t {
+				t.Abort()
+				return ErrConflict
+			}
+		}
+		for _, w := range t.writes {
+			if o := t.eng.pins[hkey{w.tab.t, w.key}]; o != nil && o != t {
+				t.Abort()
+				return ErrConflict
+			}
+		}
+	}
+	if t.eng.pins == nil {
+		t.eng.pins = map[hkey]*Tx{}
+	}
+	for k := range t.reads {
+		t.eng.pins[k] = t
+	}
+	for _, w := range t.writes {
+		t.eng.pins[hkey{w.tab.t, w.key}] = t
+	}
+	return nil
+}
+
+// pinned reports whether a row this transaction writes is claimed by a
+// prepared distributed transaction. Reading a pinned row stays legal (the
+// reader serializes before the pin's owner), but writing one would
+// invalidate validation the owner already voted yes on.
+func (t *Tx) pinned() bool {
+	for _, w := range t.writes {
+		if o := t.eng.pins[hkey{w.tab.t, w.key}]; o != nil && o != t {
+			return true
+		}
+	}
+	return false
+}
+
+// unpin releases every pin owned by t. (Deleting while ranging is defined
+// in Go, and no outcome depends on the visit order.)
+func (t *Tx) unpin() {
+	if len(t.eng.pins) == 0 {
+		return
+	}
+	for k, o := range t.eng.pins {
+		if o == t {
+			delete(t.eng.pins, k)
+		}
+	}
+}
+
+// CommitPrepared applies a prepared transaction's writes — stamped with
+// ver, the distributed transaction's global id — and releases its pins.
+// No validation happens here: after Prepare the transaction cannot lose,
+// and the caller has already made the commit decision durable.
+func (t *Tx) CommitPrepared(ver int64) {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.unpin()
+	for _, w := range t.writes {
+		rw := row{ver: ver}
+		if !w.delete {
+			rw.val = w.val
+		}
+		w.tab.t.rows[w.key] = rw
+	}
+	t.eng.commits++
+}
+
+// EncodedWrites serializes the transaction's write set in the redo-record
+// payload format, into a fresh buffer the caller owns (it travels inside
+// 2PC control records and across shard RPC, outliving the engine's
+// scratch).
+func (t *Tx) EncodedWrites() []byte { return encodeWrites(t.writes) }
+
+// ApplyWriteSet replays an encoded write set — the body of a 2PC control
+// record — stamping every row with ver and counting one committed
+// transaction. The recovery twin of CommitPrepared.
+func (e *Engine) ApplyWriteSet(payload []byte, ver int64) error {
+	ws, err := decodeWrites(payload)
+	if err != nil {
+		return fmt.Errorf("db: apply write set ver %d: %w", ver, err)
+	}
+	for _, w := range ws {
+		e.applyOp(w, ver)
+	}
+	e.commits++
+	return nil
 }
 
 // Log returns the engine's WAL (nil when volatile).

@@ -64,6 +64,12 @@ const (
 	// "the current primary" itself when the rule fires, so the kill lands
 	// on the right device even after earlier promotions. Scope: none.
 	PrimaryKill = "primary.kill"
+	// ShardRPC drops or delays one cross-shard RPC message (a 2PC
+	// prepare/decision or a remote read/write). Requests check against the
+	// destination shard's name, replies against the replier's, so a
+	// freeze-style delay scoped to one shard stalls its traffic in both
+	// directions. Scope: shard name.
+	ShardRPC = "shard.rpc"
 )
 
 // ErrBadPlan is wrapped by every Parse and validation error.

@@ -55,7 +55,15 @@ type Cluster struct {
 
 // New creates a cluster over devices (at least one) with a full mesh of
 // NTB bridges, so any member can later be promoted without re-cabling.
+// Metrics register under the "repl" scope; a process embedding several
+// replica sets in one metrics tree should use NewScoped instead.
 func New(env *sim.Env, devices []*villars.Device) (*Cluster, error) {
+	return NewScoped(env, devices, "repl")
+}
+
+// NewScoped is New with the metrics scope chosen by the caller, so
+// multiple replica sets (one per shard, say) keep distinct names.
+func NewScoped(env *sim.Env, devices []*villars.Device, scope string) (*Cluster, error) {
 	if len(devices) == 0 {
 		return nil, ErrNoDevices
 	}
@@ -74,7 +82,7 @@ func New(env *sim.Env, devices []*villars.Device) (*Cluster, error) {
 			c.bridges[i][j] = ntb.NewDefaultBridgeTo(devices[i].Env(), devices[j].Env(), fmt.Sprintf("%s->%s", devices[i].Name(), devices[j].Name()))
 		}
 	}
-	sc := obs.For(env).Scope("repl")
+	sc := obs.For(env).Scope(scope)
 	sc.GaugeFunc("promotions", func() int64 { return int64(c.promotions) })
 	sc.GaugeFunc("primary", func() int64 { return int64(c.primary) })
 	return c, nil

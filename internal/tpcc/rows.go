@@ -461,6 +461,17 @@ func randomFiller(rng *rand.Rand, n int) string {
 // Load populates eng with a freshly generated TPC-C database, bypassing
 // the log (clause 4.3 population, scaled by cfg).
 func Load(eng *db.Engine, cfg Config, seed int64) {
+	LoadWarehouses(eng, cfg, seed, nil)
+}
+
+// LoadWarehouses populates eng like Load but installs only the rows of
+// warehouses the owns predicate claims (nil claims all). The generator
+// draws the identical random sequence regardless of ownership, so shards
+// loading disjoint warehouse slices of the same (cfg, seed) hold exactly
+// the rows one engine loading everything would — partitioning changes
+// placement, never content. The item catalog is read-only and installs
+// everywhere.
+func LoadWarehouses(eng *db.Engine, cfg Config, seed int64, owns func(w int) bool) {
 	rng := rand.New(rand.NewSource(seed))
 	for _, t := range []string{TWarehouse, TDistrict, TCustomer, TCustIdx, THistory, TNewOrder, TOrder, TOrderLine, TItem, TStock} {
 		eng.CreateTable(t)
@@ -473,19 +484,25 @@ func Load(eng *db.Engine, cfg Config, seed int64) {
 		}.Encode())
 	}
 	for w := 1; w <= cfg.Warehouses; w++ {
-		eng.LoadRow(TWarehouse, WKey(w), Warehouse{
+		keep := owns == nil || owns(w)
+		put := func(table, key string, val []byte) {
+			if keep {
+				eng.LoadRow(table, key, val)
+			}
+		}
+		put(TWarehouse, WKey(w), Warehouse{
 			Name: fmt.Sprintf("wh-%d", w),
 			Tax:  int64(rng.Intn(2000)),
 		}.Encode())
 		for i := 1; i <= cfg.Items; i++ {
-			eng.LoadRow(TStock, SKey(w, i), Stock{
+			put(TStock, SKey(w, i), Stock{
 				Qty:  int64(rng.Intn(91) + 10),
 				Dist: randomFiller(rng, cfg.FillerLen),
 				Data: randomFiller(rng, cfg.FillerLen),
 			}.Encode())
 		}
 		for d := 1; d <= cfg.Districts; d++ {
-			eng.LoadRow(TDistrict, DKey(w, d), District{
+			put(TDistrict, DKey(w, d), District{
 				Name:         fmt.Sprintf("dist-%d-%d", w, d),
 				Tax:          int64(rng.Intn(2000)),
 				NextOID:      1,
@@ -502,7 +519,7 @@ func Load(eng *db.Engine, cfg Config, seed int64) {
 				if rng.Intn(10) == 0 {
 					credit = "BC"
 				}
-				eng.LoadRow(TCustomer, CKey(w, d, c), Customer{
+				put(TCustomer, CKey(w, d, c), Customer{
 					First:    randomFiller(rng, cfg.FillerLen),
 					Last:     last,
 					Credit:   credit,
@@ -513,7 +530,7 @@ func Load(eng *db.Engine, cfg Config, seed int64) {
 				byName[last] = append(byName[last], int64(c))
 			}
 			for last, ids := range byName {
-				eng.LoadRow(TCustIdx, CIdxKey(w, d, last), encodeIDList(ids))
+				put(TCustIdx, CIdxKey(w, d, last), encodeIDList(ids))
 			}
 		}
 	}

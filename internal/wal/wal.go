@@ -207,6 +207,16 @@ func (l *Log) WaitDurable(p *sim.Proc, lsn int64) {
 	p.WaitFor(l.flushed, func() bool { return l.durableLSN >= lsn })
 }
 
+// WaitDurableOrDead blocks until the log is durable up to lsn or the log
+// dies (sink lost), whichever comes first, and reports whether lsn made
+// it to stable storage. Distributed-commit paths use it so a participant
+// whose device lost power answers "not durable" instead of blocking its
+// coordinator forever.
+func (l *Log) WaitDurableOrDead(p *sim.Proc, lsn int64) bool {
+	p.WaitFor(l.flushed, func() bool { return l.durableLSN >= lsn || l.dead })
+	return l.durableLSN >= lsn
+}
+
 // Commit appends a record and blocks until it is durable: the transaction
 // commit path.
 func (l *Log) Commit(p *sim.Proc, r Record) int64 {

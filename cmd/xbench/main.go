@@ -9,6 +9,7 @@
 //	xbench -all              # everything
 //	xbench -chaos -seeds 20  # chaos sweep: fault plans vs invariants
 //	xbench -chaos -shards 4 -seeds 10  # sharded sweep: cluster fault plans vs invariants incl. I8
+//	xbench -chaos -paged -seeds 20  # paged sweep: B+tree store + fuzzy checkpoints, invariants incl. I9
 //	xbench -failover -seeds 20  # failover sweep: primary kills vs takeover invariants
 //
 // Add -metrics out.json to any experiment run to also dump a per-cell
@@ -47,6 +48,7 @@ func main() {
 	failoverRun := flag.Bool("failover", false, "run the failover sweep (randomized primary kills, invariants I6-I7)")
 	seeds := flag.Int("seeds", 20, "number of seeds for -chaos/-failover")
 	shards := flag.Int("shards", 0, "with -chaos: run the sharded-cluster sweep with this many shards per seed (invariants I1-I5 + I8); 0 = classic single-primary sweep")
+	paged := flag.Bool("paged", false, "with -chaos: store tables in B+tree pages destaged to the conventional side, with background fuzzy checkpoints (invariants I1-I5 + I9)")
 	metricsOut := flag.String("metrics", "", "write per-cell metrics snapshots to this file as JSON")
 	workers := flag.Int("workers", 0, "simulation engine: 0 = classic single-Env scheduler, n >= 1 = parallel group runner with n quantum executors (figures, sweeps, and the perf suite)")
 	suite := flag.String("suite", "", "run a timed suite (\"perf\", \"latency\", or \"shard\")")
@@ -129,6 +131,11 @@ func main() {
 		os.Exit(2)
 	case *chaosRun && *shards > 0:
 		if err := chaos.SweepShard(os.Stdout, *seeds, *shards, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *chaosRun && *paged:
+		if err := chaos.SweepPaged(os.Stdout, *seeds, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

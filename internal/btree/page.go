@@ -1,0 +1,239 @@
+// Package btree implements the paged B+tree table store behind the
+// database engine's paged mode: fixed-size pages with a versioned binary
+// codec, a no-steal LRU buffer pool (the Pager), and shadow-slot page
+// placement so fuzzy checkpoints never overwrite the images the last
+// complete checkpoint still references. Pages live on the conventional
+// side of a Villars device (DeviceStore) or in plain memory (MemStore,
+// for oracles and tests); either way the byte format is identical.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Page header layout (little-endian), headerLen bytes:
+//
+//	[0:4)   magic "XBTP"
+//	[4:6)   codec version
+//	[6:7)   node kind (leaf or branch)
+//	[7:8)   reserved, must be zero
+//	[8:16)  page id
+//	[16:24) recovery LSN (end LSN of the last redo record applied)
+//	[24:26) key count
+//	[26:28) cell-area byte length
+//	[28:32) CRC-32 (IEEE) over bytes [0:28) ++ cells [headerLen:headerLen+used)
+const (
+	pageMagic   = 0x50544258 // "XBTP"
+	pageVersion = 1
+	headerLen   = 32
+
+	kindLeaf   = 1
+	kindBranch = 2
+)
+
+// Codec errors. ErrCorrupt wraps every structural rejection so callers
+// can match the class with errors.Is.
+var (
+	ErrCorrupt  = errors.New("btree: corrupt page")
+	ErrTooLarge = errors.New("btree: entry too large for page")
+)
+
+// node is the decoded form of one page. A leaf holds parallel
+// keys/vers/vals/tombs slices; a branch holds keys as separators with
+// children[i] covering keys below keys[i] (children[i+1] holds keys >=
+// keys[i], the separator being the smallest key of its right subtree).
+type node struct {
+	id   uint64
+	kind byte
+	lsn  int64
+	size int // cell-area bytes, maintained incrementally by the tree ops
+
+	keys []string
+
+	// leaf payload
+	vers  []int64
+	vals  [][]byte
+	tombs []bool
+
+	// branch payload: len(children) == len(keys)+1
+	children []uint64
+}
+
+// leafCellSize is the encoded size of one leaf entry:
+// flags(1) + klen(2) + vlen(2) + ver(8) + key + val.
+func leafCellSize(key string, val []byte) int { return 13 + len(key) + len(val) }
+
+// branchCellSize is the encoded size of one branch entry past the first
+// child pointer: klen(2) + key + child(8).
+func branchCellSize(key string) int { return 10 + len(key) }
+
+// branchBaseSize is the encoded size of a branch node's leading child
+// pointer.
+const branchBaseSize = 8
+
+// encodeNode serializes n into a freshly zeroed pageSize buffer. The tail
+// past the cell area is zero, so identical logical content always yields
+// identical page bytes (the device images are part of the recovery
+// contract and of the determinism fingerprint).
+func encodeNode(n *node, pageSize int) ([]byte, error) {
+	if n.size > pageSize-headerLen {
+		return nil, fmt.Errorf("%w: node %d cell area %d over page size %d", ErrTooLarge, n.id, n.size, pageSize)
+	}
+	buf := make([]byte, pageSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:4], pageMagic)
+	le.PutUint16(buf[4:6], pageVersion)
+	buf[6] = n.kind
+	le.PutUint64(buf[8:16], n.id)
+	le.PutUint64(buf[16:24], uint64(n.lsn))
+	le.PutUint16(buf[24:26], uint16(len(n.keys)))
+	off := headerLen
+	switch n.kind {
+	case kindLeaf:
+		for i, k := range n.keys {
+			flags := byte(0)
+			if n.tombs[i] {
+				flags = 1
+			}
+			buf[off] = flags
+			le.PutUint16(buf[off+1:off+3], uint16(len(k)))
+			le.PutUint16(buf[off+3:off+5], uint16(len(n.vals[i])))
+			le.PutUint64(buf[off+5:off+13], uint64(n.vers[i]))
+			off += 13
+			off += copy(buf[off:], k)
+			off += copy(buf[off:], n.vals[i])
+		}
+	case kindBranch:
+		le.PutUint64(buf[off:off+8], n.children[0])
+		off += 8
+		for i, k := range n.keys {
+			le.PutUint16(buf[off:off+2], uint16(len(k)))
+			off += 2
+			off += copy(buf[off:], k)
+			le.PutUint64(buf[off:off+8], n.children[i+1])
+			off += 8
+		}
+	default:
+		return nil, fmt.Errorf("%w: node %d has kind %d", ErrCorrupt, n.id, n.kind)
+	}
+	used := off - headerLen
+	if used != n.size {
+		return nil, fmt.Errorf("btree: node %d size accounting drifted: tracked %d, encoded %d", n.id, n.size, used)
+	}
+	le.PutUint16(buf[26:28], uint16(used))
+	crc := crc32.ChecksumIEEE(buf[0:28])
+	crc = crc32.Update(crc, crc32.IEEETable, buf[headerLen:headerLen+used])
+	le.PutUint32(buf[28:32], crc)
+	return buf, nil
+}
+
+// decodeNode parses one page, verifying magic, version, CRC, and every
+// cell bound. The returned node owns fresh copies of all byte content.
+func decodeNode(data []byte) (*node, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrCorrupt, len(data), headerLen)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(data[0:4]) != pageMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, le.Uint32(data[0:4]))
+	}
+	if v := le.Uint16(data[4:6]); v != pageVersion {
+		return nil, fmt.Errorf("%w: codec version %d, want %d", ErrCorrupt, v, pageVersion)
+	}
+	if data[7] != 0 {
+		return nil, fmt.Errorf("%w: reserved byte %#x", ErrCorrupt, data[7])
+	}
+	kind := data[6]
+	if kind != kindLeaf && kind != kindBranch {
+		return nil, fmt.Errorf("%w: kind %d", ErrCorrupt, kind)
+	}
+	nkeys := int(le.Uint16(data[24:26]))
+	used := int(le.Uint16(data[26:28]))
+	if headerLen+used > len(data) {
+		return nil, fmt.Errorf("%w: cell area %d overruns %d-byte page", ErrCorrupt, used, len(data))
+	}
+	crc := crc32.ChecksumIEEE(data[0:28])
+	crc = crc32.Update(crc, crc32.IEEETable, data[headerLen:headerLen+used])
+	if got := le.Uint32(data[28:32]); got != crc {
+		return nil, fmt.Errorf("%w: crc %#x, computed %#x", ErrCorrupt, got, crc)
+	}
+	n := &node{
+		id:   le.Uint64(data[8:16]),
+		kind: kind,
+		lsn:  int64(le.Uint64(data[16:24])),
+		size: used,
+	}
+	cells := data[headerLen : headerLen+used]
+	off := 0
+	switch kind {
+	case kindLeaf:
+		n.keys = make([]string, 0, nkeys)
+		n.vers = make([]int64, 0, nkeys)
+		n.vals = make([][]byte, 0, nkeys)
+		n.tombs = make([]bool, 0, nkeys)
+		for i := 0; i < nkeys; i++ {
+			if off+13 > used {
+				return nil, fmt.Errorf("%w: leaf cell %d header overruns cell area", ErrCorrupt, i)
+			}
+			flags := cells[off]
+			if flags > 1 {
+				return nil, fmt.Errorf("%w: leaf cell %d flags %#x", ErrCorrupt, i, flags)
+			}
+			kl := int(le.Uint16(cells[off+1 : off+3]))
+			vl := int(le.Uint16(cells[off+3 : off+5]))
+			ver := int64(le.Uint64(cells[off+5 : off+13]))
+			off += 13
+			if off+kl+vl > used {
+				return nil, fmt.Errorf("%w: leaf cell %d body overruns cell area", ErrCorrupt, i)
+			}
+			key := string(cells[off : off+kl])
+			off += kl
+			val := append([]byte(nil), cells[off:off+vl]...)
+			off += vl
+			if i > 0 && key <= n.keys[i-1] {
+				return nil, fmt.Errorf("%w: leaf keys out of order at cell %d", ErrCorrupt, i)
+			}
+			n.keys = append(n.keys, key)
+			n.vers = append(n.vers, ver)
+			n.vals = append(n.vals, val)
+			n.tombs = append(n.tombs, flags == 1)
+		}
+	case kindBranch:
+		if nkeys == 0 {
+			return nil, fmt.Errorf("%w: branch with no separators", ErrCorrupt)
+		}
+		if off+8 > used {
+			return nil, fmt.Errorf("%w: branch head overruns cell area", ErrCorrupt)
+		}
+		n.keys = make([]string, 0, nkeys)
+		n.children = make([]uint64, 0, nkeys+1)
+		n.children = append(n.children, le.Uint64(cells[0:8]))
+		off = 8
+		for i := 0; i < nkeys; i++ {
+			if off+2 > used {
+				return nil, fmt.Errorf("%w: branch cell %d header overruns cell area", ErrCorrupt, i)
+			}
+			kl := int(le.Uint16(cells[off : off+2]))
+			off += 2
+			if off+kl+8 > used {
+				return nil, fmt.Errorf("%w: branch cell %d body overruns cell area", ErrCorrupt, i)
+			}
+			key := string(cells[off : off+kl])
+			off += kl
+			child := le.Uint64(cells[off : off+8])
+			off += 8
+			if i > 0 && key <= n.keys[i-1] {
+				return nil, fmt.Errorf("%w: branch separators out of order at cell %d", ErrCorrupt, i)
+			}
+			n.keys = append(n.keys, key)
+			n.children = append(n.children, child)
+		}
+	}
+	if off != used {
+		return nil, fmt.Errorf("%w: %d trailing cell bytes", ErrCorrupt, used-off)
+	}
+	return n, nil
+}

@@ -1,0 +1,559 @@
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"xssd/internal/sim"
+)
+
+// Item is one stored row: the writer's version, the value bytes, and the
+// tombstone flag (a deleted row keeps its version so optimistic
+// validation still detects conflicts against reads of the absent row).
+type Item struct {
+	Ver  int64
+	Val  []byte
+	Tomb bool
+}
+
+// Tree is one B+tree keyed by string, rooted at a pager page. All
+// methods run on the calling simulated process; only pager misses and
+// checkpoint writes spend virtual time. Values returned by Get and Scan
+// alias the cached page — callers must treat them as read-only.
+type Tree struct {
+	pg   *Pager
+	root uint64
+}
+
+// New allocates an empty tree (a fresh root leaf) on pg.
+func New(pg *Pager) *Tree {
+	f := pg.alloc(kindLeaf)
+	pg.unpin(f)
+	return &Tree{pg: pg, root: f.id}
+}
+
+// Open attaches to an existing tree by root page id (recovery).
+func Open(pg *Pager, root uint64) *Tree { return &Tree{pg: pg, root: root} }
+
+// Root returns the current root page id (checkpoints record it).
+func (t *Tree) Root() uint64 { return t.root }
+
+// route returns the child index separators send key to: the number of
+// separators <= key (a separator is the smallest key of its right
+// subtree, so equality routes right).
+func route(keys []string, key string) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+}
+
+// Get looks key up. found is true for tombstones too — the caller
+// distinguishes via Item.Tomb.
+func (t *Tree) Get(p *sim.Proc, key string) (Item, bool, error) {
+	id := t.root
+	for {
+		f, err := t.pg.fetch(p, id)
+		if err != nil {
+			return Item{}, false, err
+		}
+		n := f.n
+		if n.kind == kindBranch {
+			id = n.children[route(n.keys, key)]
+			t.pg.unpin(f)
+			continue
+		}
+		i := sort.SearchStrings(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			it := Item{Ver: n.vers[i], Val: n.vals[i], Tomb: n.tombs[i]}
+			t.pg.unpin(f)
+			return it, true, nil
+		}
+		t.pg.unpin(f)
+		return Item{}, false, nil
+	}
+}
+
+// Put inserts or replaces key with it, stamping touched pages with lsn
+// (the end LSN of the redo record carrying this write).
+func (t *Tree) Put(p *sim.Proc, key string, it Item, lsn int64) error {
+	if leafCellSize(key, it.Val) > t.pg.maxCell() || branchCellSize(key)*4 > t.pg.maxCell() {
+		// The branch bound guarantees every overflowing branch holds at
+		// least four separators, so a split always leaves a valid key on
+		// both sides.
+		return fmt.Errorf("%w: key %q with %d-byte value", ErrTooLarge, key, len(it.Val))
+	}
+	f, err := t.pg.fetch(p, t.root)
+	if err != nil {
+		return err
+	}
+	sep, right, split, err := t.insert(p, f, key, it, lsn)
+	if err != nil {
+		t.pg.unpin(f)
+		return err
+	}
+	if split {
+		nr := t.pg.alloc(kindBranch)
+		nr.n.keys = []string{sep}
+		nr.n.children = []uint64{t.root, right}
+		nr.n.size = branchBaseSize + branchCellSize(sep)
+		t.pg.markDirty(nr, lsn)
+		t.root = nr.id
+		t.pg.unpin(nr)
+	}
+	t.pg.unpin(f)
+	return nil
+}
+
+// insert descends from f (pinned by the caller); on overflow the node
+// splits and the new right sibling's id plus its separator bubble up.
+func (t *Tree) insert(p *sim.Proc, f *frame, key string, it Item, lsn int64) (sep string, right uint64, split bool, err error) {
+	n := f.n
+	if n.kind == kindLeaf {
+		i := sort.SearchStrings(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.size += leafCellSize(key, it.Val) - leafCellSize(key, n.vals[i])
+			n.vers[i], n.vals[i], n.tombs[i] = it.Ver, it.Val, it.Tomb
+		} else {
+			n.keys = append(n.keys, "")
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = key
+			n.vers = append(n.vers, 0)
+			copy(n.vers[i+1:], n.vers[i:])
+			n.vers[i] = it.Ver
+			n.vals = append(n.vals, nil)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = it.Val
+			n.tombs = append(n.tombs, false)
+			copy(n.tombs[i+1:], n.tombs[i:])
+			n.tombs[i] = it.Tomb
+			n.size += leafCellSize(key, it.Val)
+		}
+		t.pg.markDirty(f, lsn)
+		if n.size > t.pg.maxCell() {
+			return t.splitLeaf(f, lsn)
+		}
+		return "", 0, false, nil
+	}
+
+	j := route(n.keys, key)
+	cf, err := t.pg.fetch(p, n.children[j])
+	if err != nil {
+		return "", 0, false, err
+	}
+	csep, cright, csplit, err := t.insert(p, cf, key, it, lsn)
+	if err != nil {
+		t.pg.unpin(cf)
+		return "", 0, false, err
+	}
+	if !csplit {
+		// An update-in-place can shrink the child below the fill floor;
+		// restore occupancy exactly like the remove path does.
+		if err := t.maybeMerge(p, f, j, cf, lsn); err != nil {
+			return "", 0, false, err
+		}
+		return "", 0, false, nil
+	}
+	t.pg.unpin(cf)
+	n.keys = append(n.keys, "")
+	copy(n.keys[j+1:], n.keys[j:])
+	n.keys[j] = csep
+	n.children = append(n.children, 0)
+	copy(n.children[j+2:], n.children[j+1:])
+	n.children[j+1] = cright
+	n.size += branchCellSize(csep)
+	t.pg.markDirty(f, lsn)
+	// A byte-skewed split can leave an underfull half; settle the pairs at
+	// the split point's outer edges before deciding whether f itself
+	// splits. The inner pair (j, j+1) sums over a full page and never
+	// merges, so the two fixups cannot interfere with each other.
+	if err := t.fixupPair(p, f, j+1, lsn); err != nil {
+		return "", 0, false, err
+	}
+	if err := t.fixupPair(p, f, j, lsn); err != nil {
+		return "", 0, false, err
+	}
+	if n.size > t.pg.maxCell() {
+		return t.splitBranch(f, lsn)
+	}
+	return "", 0, false, nil
+}
+
+// splitLeaf moves the upper half (by bytes) of f into a fresh right
+// sibling; the separator is the right sibling's first key.
+func (t *Tree) splitLeaf(f *frame, lsn int64) (string, uint64, bool, error) {
+	n := f.n
+	half := n.size / 2
+	acc, sp := 0, 0
+	for sp = 0; sp < len(n.keys)-1; sp++ {
+		acc += leafCellSize(n.keys[sp], n.vals[sp])
+		if acc >= half {
+			sp++
+			break
+		}
+	}
+	if sp == 0 {
+		sp = 1
+	}
+	rf := t.pg.alloc(kindLeaf)
+	r := rf.n
+	r.keys = append(r.keys, n.keys[sp:]...)
+	r.vers = append(r.vers, n.vers[sp:]...)
+	r.vals = append(r.vals, n.vals[sp:]...)
+	r.tombs = append(r.tombs, n.tombs[sp:]...)
+	for i := sp; i < len(n.keys); i++ {
+		r.size += leafCellSize(n.keys[i], n.vals[i])
+	}
+	n.keys = n.keys[:sp]
+	n.vers = n.vers[:sp]
+	n.vals = n.vals[:sp]
+	n.tombs = n.tombs[:sp]
+	n.size -= r.size
+	t.pg.markDirty(f, lsn)
+	t.pg.markDirty(rf, lsn)
+	sep := r.keys[0]
+	id := rf.id
+	t.pg.unpin(rf)
+	return sep, id, true, nil
+}
+
+// splitBranch promotes the separator closest to the byte midpoint and
+// moves everything to its right into a fresh sibling — splitting by
+// bytes, not by count, keeps both halves above the fill floor even with
+// skewed key lengths.
+func (t *Tree) splitBranch(f *frame, lsn int64) (string, uint64, bool, error) {
+	n := f.n
+	half := (n.size - branchBaseSize) / 2
+	acc, m := 0, 0
+	for m = 0; m < len(n.keys)-2; m++ {
+		acc += branchCellSize(n.keys[m])
+		if acc >= half {
+			break
+		}
+	}
+	if m == 0 {
+		m = 1
+	}
+	sep := n.keys[m]
+	rf := t.pg.alloc(kindBranch)
+	r := rf.n
+	r.keys = append(r.keys, n.keys[m+1:]...)
+	r.children = append(r.children, n.children[m+1:]...)
+	for _, k := range r.keys {
+		r.size += branchCellSize(k)
+	}
+	n.keys = n.keys[:m]
+	n.children = n.children[:m+1]
+	n.size -= r.size - branchBaseSize + branchCellSize(sep)
+	t.pg.markDirty(f, lsn)
+	t.pg.markDirty(rf, lsn)
+	id := rf.id
+	t.pg.unpin(rf)
+	return sep, id, true, nil
+}
+
+// Remove physically deletes key (distinct from a tombstone Put: the
+// entry leaves the page, so nodes can underflow and merge).
+func (t *Tree) Remove(p *sim.Proc, key string, lsn int64) (bool, error) {
+	f, err := t.pg.fetch(p, t.root)
+	if err != nil {
+		return false, err
+	}
+	removed, err := t.remove(p, f, key, lsn)
+	if err != nil {
+		t.pg.unpin(f)
+		return false, err
+	}
+	// Root collapse: a branch root left with a single child hands the
+	// root role down.
+	for f.n.kind == kindBranch && len(f.n.keys) == 0 {
+		child := f.n.children[0]
+		t.pg.unpin(f)
+		t.pg.free(f)
+		t.root = child
+		if f, err = t.pg.fetch(p, child); err != nil {
+			return removed, err
+		}
+	}
+	t.pg.unpin(f)
+	return removed, nil
+}
+
+func (t *Tree) remove(p *sim.Proc, f *frame, key string, lsn int64) (bool, error) {
+	n := f.n
+	if n.kind == kindLeaf {
+		i := sort.SearchStrings(n.keys, key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			return false, nil
+		}
+		n.size -= leafCellSize(key, n.vals[i])
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vers = append(n.vers[:i], n.vers[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		n.tombs = append(n.tombs[:i], n.tombs[i+1:]...)
+		t.pg.markDirty(f, lsn)
+		return true, nil
+	}
+	j := route(n.keys, key)
+	cf, err := t.pg.fetch(p, n.children[j])
+	if err != nil {
+		return false, err
+	}
+	removed, err := t.remove(p, cf, key, lsn)
+	if err != nil {
+		t.pg.unpin(cf)
+		return false, err
+	}
+	if err := t.maybeMerge(p, f, j, cf, lsn); err != nil {
+		return removed, err
+	}
+	return removed, nil
+}
+
+// mergedSize is the cell-area size of merging left and right siblings of
+// the given kind under separator sep (branch merges pull the separator
+// down; leaf merges just concatenate).
+func mergedSize(kind byte, left, right int, sep string) int {
+	if kind == kindBranch {
+		return left + right - branchBaseSize + branchCellSize(sep)
+	}
+	return left + right
+}
+
+// maybeMerge restores the fill floor around f's j-th child cf (pinned;
+// this call consumes the pin). A pair of adjacent siblings merges when
+// either one is below minFill and the combined node stays under
+// mergeLimit — checking both directions from cf covers the node that
+// shrank and a neighbor that was already underfull and just became
+// absorbable. Merges cascade until cf's pairs are all settled.
+func (t *Tree) maybeMerge(p *sim.Proc, f *frame, j int, cf *frame, lsn int64) error {
+	minFill := t.pg.maxCell() / 4
+	limit := 3 * t.pg.maxCell() / 4
+	n := f.n
+	for {
+		merged := false
+		if j > 0 {
+			lf, err := t.pg.fetch(p, n.children[j-1])
+			if err != nil {
+				t.pg.unpin(cf)
+				return err
+			}
+			if (cf.n.size < minFill || lf.n.size < minFill) &&
+				mergedSize(cf.n.kind, lf.n.size, cf.n.size, n.keys[j-1]) <= limit {
+				if err := t.mergeInto(p, f, j-1, lf, cf, lsn); err != nil {
+					t.pg.unpin(lf)
+					return err
+				}
+				cf, j = lf, j-1
+				merged = true
+			} else {
+				t.pg.unpin(lf)
+			}
+		}
+		if j+1 < len(n.children) {
+			rf, err := t.pg.fetch(p, n.children[j+1])
+			if err != nil {
+				t.pg.unpin(cf)
+				return err
+			}
+			if (cf.n.size < minFill || rf.n.size < minFill) &&
+				mergedSize(cf.n.kind, cf.n.size, rf.n.size, n.keys[j]) <= limit {
+				if err := t.mergeInto(p, f, j, cf, rf, lsn); err != nil {
+					t.pg.unpin(cf)
+					return err
+				}
+				merged = true
+			} else {
+				t.pg.unpin(rf)
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	t.pg.unpin(cf)
+	return nil
+}
+
+// fixupPair runs maybeMerge for f's idx-th child: a split can leave an
+// underfull half whose outer neighbor pair now fits in one node.
+func (t *Tree) fixupPair(p *sim.Proc, f *frame, idx int, lsn int64) error {
+	if idx < 0 || idx >= len(f.n.children) {
+		return nil
+	}
+	cf, err := t.pg.fetch(p, f.n.children[idx])
+	if err != nil {
+		return err
+	}
+	return t.maybeMerge(p, f, idx, cf, lsn)
+}
+
+// mergeInto folds right into left (children j and j+1 of parent f),
+// removes the separator between them, and frees right. Consumes right's
+// fetch pin; the caller keeps left's.
+func (t *Tree) mergeInto(p *sim.Proc, f *frame, j int, left, right *frame, lsn int64) error {
+	sep := f.n.keys[j]
+	l, r := left.n, right.n
+	seam := len(l.children)
+	if l.kind == kindBranch {
+		l.keys = append(l.keys, sep)
+		l.keys = append(l.keys, r.keys...)
+		l.children = append(l.children, r.children...)
+		l.size = mergedSize(kindBranch, l.size, r.size, sep)
+	} else {
+		l.keys = append(l.keys, r.keys...)
+		l.vers = append(l.vers, r.vers...)
+		l.vals = append(l.vals, r.vals...)
+		l.tombs = append(l.tombs, r.tombs...)
+		l.size += r.size
+	}
+	f.n.keys = append(f.n.keys[:j], f.n.keys[j+1:]...)
+	f.n.children = append(f.n.children[:j+1], f.n.children[j+2:]...)
+	f.n.size -= branchCellSize(sep)
+	t.pg.markDirty(left, lsn)
+	t.pg.markDirty(f, lsn)
+	t.pg.unpin(right)
+	t.pg.free(right)
+	if l.kind == kindBranch {
+		// Concatenating the child lists created one brand-new adjacency
+		// across the seam; that pair has never been checked against the
+		// fill floor, so settle it now.
+		return t.fixupPair(p, left, seam, lsn)
+	}
+	return nil
+}
+
+// Scan visits every entry (tombstones included) in key order until fn
+// returns false.
+func (t *Tree) Scan(p *sim.Proc, fn func(key string, it Item) bool) error {
+	_, err := t.scan(p, t.root, fn)
+	return err
+}
+
+func (t *Tree) scan(p *sim.Proc, id uint64, fn func(key string, it Item) bool) (bool, error) {
+	f, err := t.pg.fetch(p, id)
+	if err != nil {
+		return false, err
+	}
+	n := f.n
+	if n.kind == kindLeaf {
+		for i, k := range n.keys {
+			if !fn(k, Item{Ver: n.vers[i], Val: n.vals[i], Tomb: n.tombs[i]}) {
+				t.pg.unpin(f)
+				return false, nil
+			}
+		}
+		t.pg.unpin(f)
+		return true, nil
+	}
+	for _, c := range n.children {
+		cont, err := t.scan(p, c, fn)
+		if err != nil || !cont {
+			t.pg.unpin(f)
+			return cont, err
+		}
+	}
+	t.pg.unpin(f)
+	return true, nil
+}
+
+// CheckInvariants walks the whole tree and verifies structure: sorted
+// keys, separator bounds, equal leaf depth, exact size accounting, no
+// overflow, and the occupancy floor (a non-root node under minFill must
+// have no sibling it could merge with).
+func (t *Tree) CheckInvariants(p *sim.Proc) error {
+	leafDepth := -1
+	_, err := t.check(p, t.root, 0, &leafDepth, "", false, "", false, true)
+	return err
+}
+
+func (t *Tree) check(p *sim.Proc, id uint64, depth int, leafDepth *int, lo string, haveLo bool, hi string, haveHi bool, isRoot bool) (int, error) {
+	f, err := t.pg.fetch(p, id)
+	if err != nil {
+		return 0, err
+	}
+	defer t.pg.unpin(f)
+	n := f.n
+	for i, k := range n.keys {
+		if i > 0 && k <= n.keys[i-1] {
+			return 0, fmt.Errorf("btree: node %d keys out of order at %d", id, i)
+		}
+		if haveLo && k < lo {
+			return 0, fmt.Errorf("btree: node %d key %q under bound %q", id, k, lo)
+		}
+		if haveHi && k >= hi {
+			return 0, fmt.Errorf("btree: node %d key %q over bound %q", id, k, hi)
+		}
+	}
+	size := 0
+	if n.kind == kindLeaf {
+		if *leafDepth == -1 {
+			*leafDepth = depth
+		} else if depth != *leafDepth {
+			return 0, fmt.Errorf("btree: leaf %d at depth %d, want %d", id, depth, *leafDepth)
+		}
+		for i := range n.keys {
+			size += leafCellSize(n.keys[i], n.vals[i])
+		}
+	} else {
+		if len(n.children) != len(n.keys)+1 {
+			return 0, fmt.Errorf("btree: branch %d has %d children for %d keys", id, len(n.children), len(n.keys))
+		}
+		if len(n.keys) == 0 && !isRoot {
+			return 0, fmt.Errorf("btree: non-root branch %d is empty", id)
+		}
+		size = branchBaseSize
+		for _, k := range n.keys {
+			size += branchCellSize(k)
+		}
+		sizes := make([]int, len(n.children))
+		kinds := byte(0)
+		for i, c := range n.children {
+			clo, chaveLo := lo, haveLo
+			chi, chaveHi := hi, haveHi
+			if i > 0 {
+				clo, chaveLo = n.keys[i-1], true
+			}
+			if i < len(n.keys) {
+				chi, chaveHi = n.keys[i], true
+			}
+			cs, err := t.check(p, c, depth+1, leafDepth, clo, chaveLo, chi, chaveHi, false)
+			if err != nil {
+				return 0, err
+			}
+			sizes[i] = cs
+			ck, err := t.childKind(p, c)
+			if err != nil {
+				return 0, err
+			}
+			kinds = ck
+		}
+		minFill := t.pg.maxCell() / 4
+		limit := 3 * t.pg.maxCell() / 4
+		for i, cs := range sizes {
+			if cs >= minFill {
+				continue
+			}
+			if i > 0 && mergedSize(kinds, sizes[i-1], cs, n.keys[i-1]) <= limit {
+				return 0, fmt.Errorf("btree: child %d of branch %d underfull (%d) with mergeable left sibling", i, id, cs)
+			}
+			if i+1 < len(sizes) && mergedSize(kinds, cs, sizes[i+1], n.keys[i]) <= limit {
+				return 0, fmt.Errorf("btree: child %d of branch %d underfull (%d) with mergeable right sibling", i, id, cs)
+			}
+		}
+	}
+	if size != n.size {
+		return 0, fmt.Errorf("btree: node %d tracked size %d, actual %d", id, n.size, size)
+	}
+	if size > t.pg.maxCell() {
+		return 0, fmt.Errorf("btree: node %d size %d over cell budget %d", id, size, t.pg.maxCell())
+	}
+	return size, nil
+}
+
+func (t *Tree) childKind(p *sim.Proc, id uint64) (byte, error) {
+	f, err := t.pg.fetch(p, id)
+	if err != nil {
+		return 0, err
+	}
+	k := f.n.kind
+	t.pg.unpin(f)
+	return k, nil
+}

@@ -1,0 +1,309 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkpointCycle runs one full checkpoint against a MemStore-backed
+// pager (zero virtual time, nil proc) so frames go clean and become
+// evictable mid-test.
+func checkpointCycle(t testing.TB, pg *Pager) {
+	t.Helper()
+	snap, err := pg.SnapshotCheckpoint()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := pg.WriteImages(nil, snap.Images); err != nil {
+		t.Fatalf("write images: %v", err)
+	}
+	if err := pg.Sync(nil); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	pg.CommitCheckpoint(snap)
+}
+
+func oracleKeys(oracle map[string]Item) []string {
+	keys := make([]string, 0, len(oracle))
+	for k := range oracle {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// compareWithOracle asserts the tree and the sorted-map oracle hold
+// identical contents and that Scan visits them in sorted key order.
+func compareWithOracle(tr *Tree, oracle map[string]Item) error {
+	var scanned []string
+	var serr error
+	err := tr.Scan(nil, func(key string, it Item) bool {
+		scanned = append(scanned, key)
+		want, ok := oracle[key]
+		if !ok {
+			serr = fmt.Errorf("scan surfaced key %q the oracle lacks", key)
+			return false
+		}
+		if want.Ver != it.Ver || want.Tomb != it.Tomb || string(want.Val) != string(it.Val) {
+			serr = fmt.Errorf("key %q: tree {%d %q %v}, oracle {%d %q %v}",
+				key, it.Ver, it.Val, it.Tomb, want.Ver, want.Val, want.Tomb)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if serr != nil {
+		return serr
+	}
+	if len(scanned) != len(oracle) {
+		return fmt.Errorf("scan saw %d keys, oracle holds %d", len(scanned), len(oracle))
+	}
+	if !sort.StringsAreSorted(scanned) {
+		return fmt.Errorf("scan order not sorted")
+	}
+	for i, k := range oracleKeys(oracle) {
+		if scanned[i] != k {
+			return fmt.Errorf("scan position %d: %q, oracle %q", i, scanned[i], k)
+		}
+	}
+	return nil
+}
+
+// TestTreeQuickVsOracle is the property suite: random op sequences
+// against a sorted-map oracle, with structural invariants (ordering,
+// uniform depth, size accounting, occupancy floor) re-checked after every
+// mutation so the violating op is pinpointed, not just the end state.
+func TestTreeQuickVsOracle(t *testing.T) {
+	pageSize := 512
+	ops := 400
+	maxCount := 30
+	if testing.Short() {
+		ops, maxCount = 150, 8
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		store := NewMemStore(pageSize, 4096)
+		pg := NewPager(store, Config{PoolPages: 8})
+		tr := New(pg)
+		oracle := map[string]Item{}
+		for i := 0; i < ops; i++ {
+			key := fmt.Sprintf("k%04d", rng.Intn(120))
+			switch op := rng.Intn(10); {
+			case op < 7: // put (insert, update, or tombstone)
+				it := Item{
+					Ver:  int64(i + 1),
+					Val:  []byte(fmt.Sprintf("v%d-%s", i, string(make([]byte, rng.Intn(120))))),
+					Tomb: rng.Intn(8) == 0,
+				}
+				if err := tr.Put(nil, key, it, int64(i+1)); err != nil {
+					t.Logf("seed %d op %d: put: %v", seed, i, err)
+					return false
+				}
+				oracle[key] = it
+			case op < 9: // physical remove — the only path that merges
+				got, err := tr.Remove(nil, key, int64(i+1))
+				if err != nil {
+					t.Logf("seed %d op %d: remove: %v", seed, i, err)
+					return false
+				}
+				_, want := oracle[key]
+				if got != want {
+					t.Logf("seed %d op %d: remove %q returned %v, oracle %v", seed, i, key, got, want)
+					return false
+				}
+				delete(oracle, key)
+			default: // point read
+				it, ok, err := tr.Get(nil, key)
+				if err != nil {
+					t.Logf("seed %d op %d: get: %v", seed, i, err)
+					return false
+				}
+				want, wok := oracle[key]
+				if ok != wok || (ok && (it.Ver != want.Ver || string(it.Val) != string(want.Val) || it.Tomb != want.Tomb)) {
+					t.Logf("seed %d op %d: get %q mismatch", seed, i, key)
+					return false
+				}
+			}
+			if err := tr.CheckInvariants(nil); err != nil {
+				t.Logf("seed %d op %d: %v", seed, i, err)
+				return false
+			}
+			// Periodic checkpoints clean frames so the tiny pool actually
+			// evicts and later fetches exercise the codec path.
+			if i%64 == 63 {
+				checkpointCycle(t, pg)
+			}
+		}
+		if err := compareWithOracle(tr, oracle); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeSplitAndMergeDepth drives the tree up through repeated splits
+// and back down through merges, checking depth transitions and contents.
+func TestTreeSplitAndMergeDepth(t *testing.T) {
+	store := NewMemStore(256, 65536)
+	pg := NewPager(store, Config{PoolPages: 16})
+	tr := New(pg)
+	const n = 500
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%05d", i*7919%n)
+		if err := tr.Put(nil, key, Item{Ver: int64(i + 1), Val: []byte("xxxxxxxxxxxxxxxx")}, int64(i+1)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(nil); err != nil {
+		t.Fatal(err)
+	}
+	rootF, err := pg.fetch(nil, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootF.n.kind != kindBranch {
+		t.Fatal("500 keys on 256-byte pages did not grow a branch root")
+	}
+	pg.unpin(rootF)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%05d", i*7919%n)
+		removed, err := tr.Remove(nil, key, int64(n+i+1))
+		if err != nil {
+			t.Fatalf("remove %d: %v", i, err)
+		}
+		if !removed {
+			t.Fatalf("remove %d: key %q missing", i, key)
+		}
+		if err := tr.CheckInvariants(nil); err != nil {
+			t.Fatalf("after remove %d: %v", i, err)
+		}
+	}
+	count := 0
+	if err := tr.Scan(nil, func(string, Item) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("%d keys survived full removal", count)
+	}
+	if rf, err := pg.fetch(nil, tr.Root()); err != nil {
+		t.Fatal(err)
+	} else {
+		if rf.n.kind != kindLeaf {
+			t.Fatal("empty tree did not collapse back to a leaf root")
+		}
+		pg.unpin(rf)
+	}
+}
+
+// TestPagerEvictionTinyPool pins the pool at 4 frames, loads far more
+// pages than fit, and verifies scans stay correct while eviction actually
+// happens — every re-fetch goes through the store and the codec.
+func TestPagerEvictionTinyPool(t *testing.T) {
+	store := NewMemStore(512, 65536)
+	pg := NewPager(store, Config{PoolPages: 4})
+	tr := New(pg)
+	oracle := map[string]Item{}
+	const n = 300
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("row-%04d", i)
+		it := Item{Ver: int64(i + 1), Val: []byte(fmt.Sprintf("payload-%d-%s", i, string(make([]byte, 60))))}
+		if err := tr.Put(nil, key, it, int64(i+1)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		oracle[key] = it
+		if i%32 == 31 {
+			checkpointCycle(t, pg)
+		}
+	}
+	checkpointCycle(t, pg)
+	if pg.DirtyPages() != 0 {
+		t.Fatalf("%d dirty pages after checkpoint", pg.DirtyPages())
+	}
+	// A full scan touches every page; the pool may transiently hold a
+	// pinned root path above the cap but must come back down to it.
+	if err := compareWithOracle(tr, oracle); err != nil {
+		t.Fatal(err)
+	}
+	if pg.Resident() > 4+3 { // cap + a pinned descent path
+		t.Fatalf("resident %d frames against pool of 4", pg.Resident())
+	}
+	if err := tr.CheckInvariants(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Updates after eviction must land on re-fetched pages correctly.
+	for i := 0; i < n; i += 17 {
+		key := fmt.Sprintf("row-%04d", i)
+		it := Item{Ver: int64(n + i), Val: []byte("updated")}
+		if err := tr.Put(nil, key, it, int64(n+i)); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		oracle[key] = it
+	}
+	if err := compareWithOracle(tr, oracle); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPagerAbortRequeuesImages covers the aborted-checkpoint path: images
+// whose frames went clean at the snapshot must reappear in the next
+// snapshot (pendingRewrite), or recovery would lose their updates.
+func TestPagerAbortRequeuesImages(t *testing.T) {
+	store := NewMemStore(512, 4096)
+	pg := NewPager(store, Config{PoolPages: 8})
+	tr := New(pg)
+	for i := 0; i < 40; i++ {
+		if err := tr.Put(nil, fmt.Sprintf("k%03d", i), Item{Ver: 1, Val: []byte("abcdefghij")}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := pg.SnapshotCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Images) == 0 {
+		t.Fatal("no dirty pages captured")
+	}
+	// Crash before the record lands: abort. One page gets re-dirtied, the
+	// rest must ride pendingRewrite into the next snapshot.
+	pg.AbortCheckpoint(snap)
+	if err := tr.Put(nil, "k000", Item{Ver: 2, Val: []byte("fresh")}, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := pg.SnapshotCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]PageImage{}
+	for _, img := range snap2.Images {
+		got[img.ID] = img
+	}
+	for _, img := range snap.Images {
+		if _, ok := got[img.ID]; !ok {
+			t.Fatalf("aborted page %d missing from the next snapshot", img.ID)
+		}
+	}
+	// No checkpoint ever committed, so every image still targets the
+	// non-committed slot (parity 1) — the committed slot pair is never
+	// overwritten by retries of a failed checkpoint.
+	sawRedirty := false
+	for _, img := range got {
+		if img.Parity != 1 {
+			t.Fatalf("page %d image targets committed parity %d", img.ID, img.Parity)
+		}
+		if img.LSN >= 2 {
+			sawRedirty = true
+		}
+	}
+	if !sawRedirty {
+		t.Fatal("re-dirtied page's fresh image (lsn 2) missing from second snapshot")
+	}
+}

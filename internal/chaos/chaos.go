@@ -15,7 +15,12 @@
 //	I4  a replica whose shadow counter goes stale while data is
 //	    outstanding is surfaced in the status register (§4.2);
 //	I5  re-running the same (seed, plan) reproduces the run bit for bit
-//	    (identical trace fingerprints).
+//	    (identical trace fingerprints);
+//	I9  recovering from (last complete checkpoint + WAL tail) is
+//	    bit-identical to a full replay of the durable stream, and replays
+//	    strictly fewer records once a checkpoint completed — paged runs
+//	    check it against the primary's own page slots, classic and
+//	    sharded runs against a synthetic checkpoint schedule (paged.go).
 //
 // A Scenario is fully deterministic: (Seed, Plan) and the cluster shape
 // determine every event, so any violation replays exactly.
@@ -28,11 +33,14 @@ import (
 	"math/rand"
 	"time"
 
+	"xssd/internal/btree"
+	"xssd/internal/ckpt"
 	"xssd/internal/core"
 	"xssd/internal/db"
 	"xssd/internal/fault"
 	"xssd/internal/metrics"
 	"xssd/internal/nand"
+	"xssd/internal/obs"
 	"xssd/internal/pcie"
 	"xssd/internal/repl"
 	"xssd/internal/sim"
@@ -90,6 +98,15 @@ type Scenario struct {
 	// classics (see shard.go). 0 keeps the classic path byte-identical
 	// to its pre-sharding behavior.
 	Shards int
+	// Paged stores the database in B+tree pages behind a buffer pool
+	// (internal/btree), destaged to a conventional-side LBA range of the
+	// primary, with a background fuzzy-checkpoint manager (internal/ckpt)
+	// bounding recovery to the WAL tail — and checks invariant I9 against
+	// the device's own checkpointed page slots (see paged.go). false
+	// keeps the classic in-memory row-map engine byte-identical to its
+	// pre-paging behavior; those runs still check I9 post mortem against
+	// a synthetic checkpoint schedule that costs no virtual time.
+	Paged bool
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -143,6 +160,10 @@ type Result struct {
 	Durable  int64 // final durable horizon of the WAL
 	Firings  int   // fault rules that fired
 	Events   int64 // simulator events dispatched (perf-suite accounting)
+
+	// Checkpoints counts the fuzzy checkpoints that reached their durable
+	// record (paged runs only; always 0 for the classic engine).
+	Checkpoints int64
 
 	StallSeen     bool          // status register showed StatusReplicaStalled
 	MaxSuppressed time.Duration // longest observed shadow-suppression stretch
@@ -206,7 +227,7 @@ func chaosDevice(env *sim.Env, name string) *villars.Device {
 	cfg.ShadowUpdatePeriod = 2 * time.Microsecond
 	cfg.StallTimeout = chaosStallTimeout
 	cfg.RepairTimeout = time.Millisecond
-	d := villars.New(env, cfg, pcie.NewHostMemory(1<<20))
+	d := villars.New(env, cfg, pcie.NewHostMemory(hostMemBytes))
 	d.EnableTracing(4096)
 	return d
 }
@@ -260,11 +281,13 @@ func Run(s Scenario) (*Result, error) {
 	// any process runs) so eviction choices replay identically.
 	mixLat := metrics.NewReservoir(256, rand.New(rand.NewSource(env.Rand().Int63())))
 	var (
-		written []byte
-		lg      *wal.Log
-		eng     *db.Engine
-		bootErr error
-		stop    bool
+		written   []byte
+		lg        *wal.Log
+		eng       *db.Engine
+		mgr       *ckpt.Manager
+		pagedBase int64
+		bootErr   error
+		stop      bool
 	)
 	env.Go("chaos-boot", func(p *sim.Proc) {
 		if cluster != nil {
@@ -279,7 +302,23 @@ func Run(s Scenario) (*Result, error) {
 		}
 		sink := &recordingSink{inner: wal.NewVillarsSink(p, prim, "chaos"), buf: &written}
 		lg = wal.NewLog(env, sink, wal.Config{GroupBytes: 4 << 10, GroupTimeout: 500 * time.Microsecond})
-		eng = db.New(env, lg)
+		if s.Paged {
+			// Page slots live above the destage rings on the conventional
+			// side; DMA staging sits at the top of host memory (the WAL
+			// path rides the CMB, so nothing else maps that region).
+			pagedBase, bootErr = prim.AllocLBARange(pagedSlots)
+			if bootErr != nil {
+				return
+			}
+			scratch := int64(hostMemBytes) - btree.DeviceScratchSize(prim.BlockSize())
+			store := btree.NewDeviceStore(prim, pagedBase, pagedSlots, scratch)
+			pager := btree.NewPager(store, btree.Config{PoolPages: pagedPool, Scope: obs.For(env).Scope(PrimaryName + "/pager")})
+			eng = db.NewPaged(env, lg, pager)
+			mgr = ckpt.NewManager(eng, lg, ckpt.Config{Interval: pagedCkptInterval, Scope: obs.For(env).Scope(PrimaryName + "/ckpt")})
+			env.Go("chaos-ckpt", mgr.Run)
+		} else {
+			eng = db.New(env, lg)
+		}
 		tpcc.Load(eng, tcfg, loadSeed)
 		for w := 0; w < s.Workers; w++ {
 			w := w
@@ -367,6 +406,12 @@ func Run(s Scenario) (*Result, error) {
 		return nil, fmt.Errorf("chaos: boot: %w", bootErr)
 	}
 	stop = true
+	if mgr != nil {
+		// Exit after the in-flight attempt (if any) so the checkpoint
+		// record traffic quiesces inside the settle window — the no-crash
+		// I1 checks demand a drained WAL at the cut.
+		mgr.Stop()
+	}
 	en.runUntil(s.Window + s.Settle)
 
 	r := &Result{Seed: s.Seed, Secondaries: s.Secondaries, Scheme: s.Scheme}
@@ -389,6 +434,32 @@ func Run(s Scenario) (*Result, error) {
 	r.Firings = en.firings()
 	r.StallSeen = mon.seen
 	r.MaxSuppressed = mon.maxSuppressed
+	if mgr != nil {
+		r.Checkpoints = mgr.Completed()
+	}
+
+	// Live-engine fingerprint. The classic engine walks in-memory maps;
+	// a paged engine reads pages through the device, so its walk runs as
+	// a post-mortem process on the host event loop (single-threaded by
+	// now — the flashPrefix pattern). After a power loss the pool may
+	// have evicted pages only the dead host path could reload, so the
+	// live fingerprint is deterministically skipped.
+	var liveFP uint64
+	liveFPOK := false
+	if eng != nil {
+		if !s.Paged {
+			liveFP, liveFPOK = eng.Fingerprint(), true
+		} else if !r.PowerLost {
+			env.Go("chaos-paged-livefp", func(p *sim.Proc) {
+				liveFP = eng.FingerprintIn(p)
+				liveFPOK = true
+			})
+			env.RunUntil(env.Now() + 100*time.Millisecond)
+			if !liveFPOK {
+				violate("I9: live paged fingerprint walk did not finish")
+			}
+		}
+	}
 
 	// ---- I3: secondaries hold a prefix of the primary's stream --------
 	primFr := prim.CMB().Ring().Frontier()
@@ -478,8 +549,22 @@ func Run(s Scenario) (*Result, error) {
 			if recovered.Fingerprint() != oracle.Fingerprint() {
 				violate("I2: recovered state diverges from host-stream replay")
 			}
-			if !r.PowerLost && eng != nil && recovered.Fingerprint() != eng.Fingerprint() {
+			if !r.PowerLost && liveFPOK && recovered.Fingerprint() != liveFP {
 				violate("I2: recovered state != live engine with no crash")
+			}
+		}
+	}
+
+	// ---- I9: checkpoint-bounded recovery equality ---------------------
+	if lg != nil && err == nil && int64(len(prefix)) <= r.Written {
+		records := wal.DecodeAll(prefix)
+		if s.Paged {
+			for _, v := range livePagedI9(prim, pagedBase, r.Checkpoints, records, tcfg, liveFP, liveFPOK) {
+				violate("%s", v)
+			}
+		} else {
+			for _, v := range syntheticPagedI9(s.Seed, records, func(e *db.Engine) { tpcc.Load(e, tcfg, loadSeed) }) {
+				violate("%s", v)
 			}
 		}
 	}
@@ -492,8 +577,8 @@ func Run(s Scenario) (*Result, error) {
 	for _, d := range devices {
 		fp = mix64(fp, d.Tracer().Fingerprint())
 	}
-	if eng != nil {
-		fp = mix64(fp, eng.Fingerprint())
+	if liveFPOK {
+		fp = mix64(fp, liveFP)
 	}
 	fp = mix64(fp, uint64(r.Commits))
 	fp = mix64(fp, uint64(r.Written))

@@ -1,0 +1,329 @@
+// Paged chaos: invariant I9 and the Scenario.Paged wiring.
+//
+// A paged scenario stores the database in B+tree pages behind a buffer
+// pool (internal/btree), destaged to a conventional-side LBA range of
+// the primary, with a background fuzzy-checkpoint manager
+// (internal/ckpt) bounding recovery to the WAL tail. On top of the
+// classic invariants the run checks:
+//
+//	I9  recovering from (last complete checkpoint + WAL tail) is
+//	    bit-identical to a full replay of the durable stream — and
+//	    replays strictly fewer records once a checkpoint completed.
+//
+// Classic (non-paged) and sharded runs check I9 too, post mortem:
+// the recovered stream replays into a memory-backed paged engine with
+// synthetic checkpoints at randomized cuts and a randomized crash
+// point. That path spends no virtual time, so existing fingerprints
+// are untouched.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"xssd/internal/btree"
+	"xssd/internal/ckpt"
+	"xssd/internal/db"
+	"xssd/internal/sim"
+	"xssd/internal/tpcc"
+	"xssd/internal/villars"
+	"xssd/internal/wal"
+)
+
+const (
+	// hostMemBytes is every chaos device's host-memory window; the top
+	// of it stages the paged store's DMA (the WAL path uses the CMB, not
+	// host memory, so the region is free).
+	hostMemBytes = 1 << 20
+	// pagedSlots is the conventional-side LBA range a paged run reserves:
+	// 1024 page ids × 2 shadow slots, one device block per slot.
+	pagedSlots = 2048
+	// pagedPool is the live engine's buffer-pool cap in pages.
+	pagedPool = 128
+	// pagedCkptInterval paces the background checkpoint manager; ~15
+	// checkpoints fit the default 30ms window.
+	pagedCkptInterval = 2 * time.Millisecond
+)
+
+// ftlStore adapts post-mortem FTL reads to btree.PageStore so recovery
+// can load checkpointed pages exactly the way the flash-prefix verifier
+// reads the destaged stream: straight through the FTL on the device's
+// own Env, which works even after a power loss (the dead host interface
+// never gets involved). It is read-only — recovery never writes.
+type ftlStore struct {
+	dev   *villars.Device
+	base  int64
+	slots int64
+}
+
+// PageSize implements btree.PageStore.
+func (s *ftlStore) PageSize() int { return s.dev.BlockSize() }
+
+// Slots implements btree.PageStore.
+func (s *ftlStore) Slots() int64 { return s.slots }
+
+// Read implements btree.PageStore.
+func (s *ftlStore) Read(p *sim.Proc, slot int64, buf []byte) error {
+	if slot < 0 || slot >= s.slots {
+		return fmt.Errorf("%w: slot %d out of range %d", btree.ErrStore, slot, s.slots)
+	}
+	page, err := s.dev.FTL().Read(p, s.base+slot)
+	if err != nil {
+		return fmt.Errorf("%w: ftl read slot %d (lba %d): %w", btree.ErrStore, slot, s.base+slot, err)
+	}
+	copy(buf, page)
+	return nil
+}
+
+// Write implements btree.PageStore.
+func (s *ftlStore) Write(*sim.Proc, int64, []byte) error {
+	return fmt.Errorf("%w: post-mortem store is read-only", btree.ErrStore)
+}
+
+// WriteBatch implements btree.PageStore.
+func (s *ftlStore) WriteBatch(*sim.Proc, []int64, [][]byte) error {
+	return fmt.Errorf("%w: post-mortem store is read-only", btree.ErrStore)
+}
+
+// Sync implements btree.PageStore.
+func (s *ftlStore) Sync(*sim.Proc) error { return nil }
+
+// preCheckpointRecords counts the redo records a checkpoint at startLSN
+// absolves recovery from replaying — when it is positive, the tail must
+// be strictly shorter than the full stream.
+func preCheckpointRecords(records []wal.Record, startLSN int64) int {
+	n := 0
+	for _, r := range records {
+		if r.LSN >= startLSN {
+			break
+		}
+		if !db.IsControlPayload(r.Payload) {
+			n++
+		}
+	}
+	return n
+}
+
+// livePagedI9 checks I9 on a paged run post mortem: recover a fresh
+// engine from the primary's checkpointed page slots plus the durable
+// stream's tail, and compare it against a full-stream replay into both
+// a memory-backed paged engine and the classic row-map engine. The
+// recovery reads flash through the FTL on the device's Env — the run is
+// over and single-threaded, so driving that member directly is
+// race-free (same pattern as flashPrefix).
+func livePagedI9(prim *villars.Device, base int64, completed int64, records []wal.Record, tcfg tpcc.Config, liveFP uint64, liveFPOK bool) []string {
+	var out []string
+	load := func(e *db.Engine) { tpcc.Load(e, tcfg, loadSeed) }
+
+	var (
+		recFP    uint64
+		st       ckpt.Stats
+		rerr     error
+		finished bool
+	)
+	denv := prim.Env()
+	denv.Go("chaos-paged-recover", func(p *sim.Proc) {
+		fs := &ftlStore{dev: prim, base: base, slots: pagedSlots}
+		eng, stats, err := ckpt.Recover(p, denv, fs, pagedPool, records, load)
+		st, rerr = stats, err
+		if err == nil {
+			recFP = eng.FingerprintIn(p)
+		}
+		finished = true
+	})
+	denv.RunUntil(denv.Now() + 200*time.Millisecond)
+	if !finished {
+		return append(out, "I9: paged recovery did not finish post mortem")
+	}
+	if rerr != nil {
+		return append(out, fmt.Sprintf("I9: paged recovery from device: %v", rerr))
+	}
+
+	if completed > 0 && !st.Found {
+		out = append(out, fmt.Sprintf("I9: %d checkpoints completed but none found on the durable stream", completed))
+	}
+	if st.Found && preCheckpointRecords(records, st.StartLSN) > 0 && st.Tail >= st.Total {
+		out = append(out, fmt.Sprintf("I9: tail replay %d not strictly below full replay %d despite a covering checkpoint", st.Tail, st.Total))
+	}
+
+	oracle := db.NewPaged(sim.NewEnv(1), nil, btree.NewPager(btree.NewMemStore(prim.BlockSize(), 1<<30), btree.Config{PoolPages: pagedPool}))
+	load(oracle)
+	if err := oracle.RecoverIn(nil, records); err != nil {
+		return append(out, fmt.Sprintf("I9: full-stream paged replay: %v", err))
+	}
+	classic := db.New(sim.NewEnv(1), nil)
+	load(classic)
+	if err := classic.Recover(records); err != nil {
+		return append(out, fmt.Sprintf("I9: full-stream classic replay: %v", err))
+	}
+	oFP, cFP := oracle.FingerprintIn(nil), classic.Fingerprint()
+	if oFP != cFP {
+		out = append(out, fmt.Sprintf("I9: paged full replay %016x diverges from classic replay %016x", oFP, cFP))
+	}
+	if recFP != oFP {
+		out = append(out, fmt.Sprintf("I9: checkpoint recovery %016x diverges from full replay %016x (tail %d/%d)", recFP, oFP, st.Tail, st.Total))
+	}
+	if liveFPOK && recFP != liveFP {
+		out = append(out, fmt.Sprintf("I9: checkpoint recovery %016x diverges from live engine %016x", recFP, liveFP))
+	}
+	return out
+}
+
+// syntheticPagedI9 checks I9 against any recovered redo stream without a
+// live paged device: replay it into a memory-backed paged engine with
+// fuzzy checkpoints every few records (cut points and the crash record
+// drawn from the seed), crash, recover from (last checkpoint + tail),
+// and demand bit-identical state versus a full replay into both a fresh
+// paged engine and the classic engine. Everything runs on nil procs
+// against MemStores — zero virtual time, so callers' event schedules
+// and fingerprints are untouched.
+func syntheticPagedI9(seed int64, records []wal.Record, load func(*db.Engine)) []string {
+	if len(records) == 0 {
+		return nil
+	}
+	fail := func(format string, args ...any) []string {
+		return []string{fmt.Sprintf(format, args...)}
+	}
+	rng := rand.New(rand.NewSource(seed*1000003 + 71))
+	cut := 1 + rng.Intn(len(records))
+
+	const pageSize = 1024
+	const pool = 48
+	store := btree.NewMemStore(pageSize, 1<<30)
+	eng := db.NewPaged(sim.NewEnv(seed+13), nil, btree.NewPager(store, btree.Config{PoolPages: pool}))
+	load(eng)
+
+	spliced := make([]wal.Record, 0, cut+8)
+	ckpts, applied, preTail := 0, 0, 0
+	countdown := 3 + rng.Intn(6)
+	for _, r := range records[:cut] {
+		spliced = append(spliced, r)
+		if err := eng.ApplyRecordIn(nil, r); err != nil {
+			return fail("I9: synthetic replay: %v", err)
+		}
+		if !db.IsControlPayload(r.Payload) {
+			applied++
+			countdown--
+		}
+		if countdown > 0 {
+			continue
+		}
+		ck, err := eng.BeginCheckpoint(nil)
+		if err != nil {
+			return fail("I9: synthetic checkpoint: %v", err)
+		}
+		pg := eng.Pager()
+		if err := pg.WriteImages(nil, ck.Snap.Images); err != nil {
+			return fail("I9: synthetic checkpoint write: %v", err)
+		}
+		if err := pg.Sync(nil); err != nil {
+			return fail("I9: synthetic checkpoint sync: %v", err)
+		}
+		// The record rides the stream at the snapshot's append frontier,
+		// exactly where the live manager's WAL append would put it.
+		spliced = append(spliced, wal.Record{LSN: ck.StartLSN, Payload: ckpt.FromCheckpoint(ck).Encode()})
+		pg.CommitCheckpoint(ck.Snap)
+		ckpts++
+		preTail = applied
+		countdown = 3 + rng.Intn(6)
+	}
+
+	recovered, st, err := ckpt.Recover(nil, sim.NewEnv(seed+29), store, pool, spliced, load)
+	if err != nil {
+		return fail("I9: synthetic recovery: %v", err)
+	}
+	if ckpts > 0 && !st.Found {
+		return fail("I9: %d synthetic checkpoints taken but none found on the stream", ckpts)
+	}
+	if st.Found && preTail > 0 && st.Tail >= st.Total {
+		return fail("I9: synthetic tail replay %d not strictly below full replay %d", st.Tail, st.Total)
+	}
+
+	classic := db.New(sim.NewEnv(seed+31), nil)
+	load(classic)
+	for _, r := range records[:cut] {
+		if err := classic.ApplyRecord(r); err != nil {
+			return fail("I9: synthetic classic replay: %v", err)
+		}
+	}
+	var out []string
+	recFP, liveFP, cFP := recovered.FingerprintIn(nil), eng.FingerprintIn(nil), classic.Fingerprint()
+	if recFP != liveFP {
+		out = append(out, fmt.Sprintf("I9: synthetic recovery %016x diverges from replayed paged engine %016x (cut %d/%d, tail %d/%d)", recFP, liveFP, cut, len(records), st.Tail, st.Total))
+	}
+	if recFP != cFP {
+		out = append(out, fmt.Sprintf("I9: synthetic recovery %016x diverges from classic replay %016x (cut %d/%d)", recFP, cFP, cut, len(records)))
+	}
+	return out
+}
+
+// DefaultPagedScenario is DefaultScenario with the paged table store
+// switched on — same randomized cluster shape and fault plan, plus the
+// checkpoint/recovery machinery and invariant I9.
+func DefaultPagedScenario(seed int64) Scenario {
+	s := DefaultScenario(seed)
+	s.Paged = true
+	return s
+}
+
+// SweepPagedResults runs DefaultPagedScenario for each seed twice —
+// invariants I1-I4 and I9 inside each run, I5 across the pair — under
+// the chosen engine (see SweepResultsWorkers).
+func SweepPagedResults(seeds, simWorkers int) ([]SeedResult, error) {
+	out := make([]SeedResult, 0, seeds)
+	for seed := 0; seed < seeds; seed++ {
+		sc := DefaultPagedScenario(int64(seed))
+		sc.SimWorkers = simWorkers
+		r1, err := Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		sr := SeedResult{Seed: int64(seed), First: r1, Second: r2}
+		sr.Violations = append(sr.Violations, r1.Violations...)
+		if r2.Fingerprint != r1.Fingerprint {
+			sr.Violations = append(sr.Violations, fmt.Sprintf("I5: re-run fingerprint %016x != %016x", r2.Fingerprint, r1.Fingerprint))
+		}
+		if !bytes.Equal(r1.Metrics, r2.Metrics) {
+			sr.Violations = append(sr.Violations, "I5: re-run metrics snapshots differ")
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// SweepPaged runs SweepPagedResults and writes one summary line per
+// seed plus the final fold — the CLI gate behind `xbench -chaos
+// -paged`. It returns an error listing every violation, or nil when
+// all seeds hold.
+func SweepPaged(w io.Writer, seeds, simWorkers int) error {
+	results, err := SweepPagedResults(seeds, simWorkers)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, sr := range results {
+		r1 := sr.First
+		scheme := "-"
+		if r1.Secondaries > 0 {
+			scheme = r1.Scheme.String()
+		}
+		fmt.Fprintf(w, "seed %3d  sec=%d scheme=%-5s crash=%-5v commits=%-5d ckpts=%-3d written=%-7d destaged=%-7d faults=%-2d fp=%016x\n",
+			sr.Seed, r1.Secondaries, scheme, r1.PowerLost, r1.Commits, r1.Checkpoints, r1.Written, r1.Destaged, r1.Firings, r1.Fingerprint)
+		for _, v := range sr.Violations {
+			fmt.Fprintf(w, "          VIOLATION %s\n", v)
+		}
+		total += len(sr.Violations)
+	}
+	if total > 0 {
+		return fmt.Errorf("chaos: %d invariant violations across %d paged seeds", total, seeds)
+	}
+	fmt.Fprintf(w, "chaos: %d paged seeds × 2 runs, invariants I1-I5 + I9 hold, fold %016x\n", seeds, Fold(results))
+	return nil
+}

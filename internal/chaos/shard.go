@@ -266,6 +266,21 @@ func runSharded(s Scenario) (*Result, error) {
 		}
 	}
 
+	// ---- I9: checkpoint-bounded recovery, per shard -------------------
+	// Synthetic schedule: each shard's durable redo stream replays into a
+	// paged engine with fuzzy checkpoints and a randomized crash point
+	// (2PC control records are replay-inert on a single shard, so the
+	// paged and classic replays see the identical record set).
+	for i := range prefixes {
+		if prefixes[i] == nil {
+			continue
+		}
+		id := i
+		for _, v := range syntheticPagedI9(s.Seed*1000003+int64(i)*7919+29, wal.DecodeAll(prefixes[i]), func(e *db.Engine) { cfg.Load(e, id) }) {
+			violate("shard %d: %s", i, v)
+		}
+	}
+
 	// ---- I5 ingredients: fold, shard-major ----------------------------
 	snap := cl.Snapshot()
 	r.Metrics = snap.Encode()

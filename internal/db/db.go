@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"xssd/internal/btree"
 	"xssd/internal/sim"
 	"xssd/internal/wal"
 )
@@ -43,11 +44,19 @@ type Engine struct {
 	// the first Prepare, so purely local workloads never pay for it.
 	pins map[hkey]*Tx
 
+	// paged is non-nil for an engine whose tables live in B+tree pages
+	// behind a buffer pool instead of in-memory row maps (see paged.go).
+	paged *pagedState
+
 	commits, aborts int64
 }
 
 type table struct {
+	name string
 	rows map[string]row
+
+	// tree replaces rows when the engine is paged (rows stays nil).
+	tree *btree.Tree
 }
 
 type row struct {
@@ -63,7 +72,11 @@ func New(env *sim.Env, log *wal.Log) *Engine {
 // CreateTable registers a table; creating an existing table is a no-op.
 func (e *Engine) CreateTable(name string) {
 	if _, ok := e.tables[name]; !ok {
-		e.tables[name] = &table{rows: map[string]row{}}
+		if e.paged != nil {
+			e.tables[name] = &table{name: name, tree: btree.New(e.paged.pg)}
+		} else {
+			e.tables[name] = &table{name: name, rows: map[string]row{}}
+		}
 	}
 }
 
@@ -94,13 +107,33 @@ func (e *Engine) Tables() []string {
 }
 
 // RowCount returns the number of live rows in a table (tombstones are
-// excluded; 0 if the table is absent).
-func (e *Engine) RowCount(name string) int {
+// excluded; 0 if the table is absent). On a paged engine this walks the
+// table's tree on the calling goroutine — fine for memory-backed stores
+// and fully resident pools; use RowCountIn from a process when pages may
+// need device reads.
+func (e *Engine) RowCount(name string) int { return e.RowCountIn(nil, name) }
+
+// RowCountIn is RowCount running on a simulated process (paged engines
+// may fetch pages from the device).
+func (e *Engine) RowCountIn(p *sim.Proc, name string) int {
 	t, ok := e.tables[name]
 	if !ok {
 		return 0
 	}
 	n := 0
+	if t.tree != nil {
+		err := t.tree.Scan(p, func(_ string, it btree.Item) bool {
+			if !it.Tomb {
+				n++
+			}
+			return true
+		})
+		if err != nil {
+			e.pagedFault(p, fmt.Errorf("db: row count %q: %w", name, err))
+			return 0
+		}
+		return n
+	}
 	for _, r := range t.rows {
 		if r.val != nil {
 			n++
@@ -118,6 +151,11 @@ type Tx struct {
 	eng  *Engine
 	id   int64
 	done bool
+
+	// p is the owning simulated process — required on a paged engine,
+	// where reads and commits may block on device I/O. nil on the
+	// in-memory engine (nothing there ever yields).
+	p *sim.Proc
 
 	reads  map[hkey]int64 // observed row versions
 	writes []writeOp
@@ -138,10 +176,16 @@ type hkey struct {
 	key string
 }
 
-// Begin starts a transaction.
-func (e *Engine) Begin() *Tx {
+// Begin starts a transaction with no process context. Valid on the
+// in-memory engine; on a paged engine the transaction can only touch
+// already-resident pages (tests, bulk load) — use BeginP from workloads.
+func (e *Engine) Begin() *Tx { return e.BeginP(nil) }
+
+// BeginP starts a transaction owned by process p. Paged reads and commits
+// run on p when they need the device.
+func (e *Engine) BeginP(p *sim.Proc) *Tx {
 	e.nextTx++
-	return &Tx{eng: e, id: e.nextTx, reads: map[hkey]int64{}, wIndex: map[hkey]int{}}
+	return &Tx{eng: e, id: e.nextTx, p: p, reads: map[hkey]int64{}, wIndex: map[hkey]int{}}
 }
 
 // ID returns the transaction id.
@@ -156,6 +200,9 @@ func (t *Tx) GetIn(tab Table, key string) ([]byte, bool) {
 			return nil, false
 		}
 		return w.val, true
+	}
+	if tab.t.tree != nil {
+		return t.getPaged(tab, key)
 	}
 	r, ok := tab.t.rows[key]
 	t.reads[hkey{tab.t, key}] = r.ver // absent rows observe version 0
@@ -237,6 +284,13 @@ func (t *Tx) Commit(p *sim.Proc) error {
 	if t.done {
 		return ErrTxDone
 	}
+	if t.eng.paged != nil {
+		lsn, err := t.commitPaged(p)
+		if err == nil && lsn > 0 && t.eng.log != nil {
+			t.eng.log.WaitDurable(p, lsn)
+		}
+		return err
+	}
 	// Validate: every row read must still carry the version we saw. (Map
 	// order is fine here: the commit/abort outcome does not depend on
 	// which stale read is discovered first, and nothing in the loop
@@ -274,6 +328,9 @@ func (t *Tx) Commit(p *sim.Proc) error {
 func (t *Tx) CommitAsync() (int64, error) {
 	if t.done {
 		return 0, ErrTxDone
+	}
+	if t.eng.paged != nil {
+		return t.commitPaged(t.p)
 	}
 	for k, ver := range t.reads {
 		if k.t.rows[k.key].ver != ver {
@@ -321,6 +378,12 @@ func (t *Tx) CommitPipelined(p *sim.Proc, pl *wal.Pipeline) (int64, error) {
 func (t *Tx) Prepare() error {
 	if t.done {
 		return ErrTxDone
+	}
+	if t.eng.paged != nil {
+		// 2PC pins fence the in-memory row maps; the paged engine has no
+		// sharded deployment, so fail loudly instead of silently skipping
+		// validation.
+		panic("db: Prepare on a paged engine")
 	}
 	// Validation and pin checks are map-order safe for the same reason
 	// Commit's are: any single stale read or foreign pin aborts, and the
@@ -427,6 +490,9 @@ func (e *Engine) ApplyWriteSet(payload []byte, ver int64) error {
 // Log returns the engine's WAL (nil when volatile).
 func (e *Engine) Log() *wal.Log { return e.log }
 
+// Env returns the engine's simulation environment.
+func (e *Engine) Env() *sim.Env { return e.env }
+
 func (t *Tx) applyWrites() {
 	// Every writeOp on this path carries a resolved handle, so the apply
 	// loop touches only the row maps.
@@ -457,16 +523,43 @@ func (e *Engine) applyOp(w writeOp, ver int64) {
 // LoadRow installs a row directly, bypassing transactions and the log.
 // It exists for bulk loading (e.g. populating TPC-C tables); rows loaded
 // this way carry version 0, exactly like rows recovered from a snapshot.
+// On a paged engine the load happens before any checkpoint, so every
+// touched page is fresh and resident — no device I/O, no process needed.
 func (e *Engine) LoadRow(tableName, key string, val []byte) {
 	e.CreateTable(tableName)
-	e.tables[tableName].rows[key] = row{val: append([]byte(nil), val...)}
+	tab := e.tables[tableName]
+	if tab.tree != nil {
+		cp := append([]byte(nil), val...)
+		if err := tab.tree.Put(nil, key, btree.Item{Val: cp}, 0); err != nil {
+			panic(fmt.Sprintf("db: load row %q/%q: %v", tableName, key, err))
+		}
+		return
+	}
+	tab.rows[key] = row{val: append([]byte(nil), val...)}
 }
 
 // Read is a convenience snapshot read outside any transaction.
 func (e *Engine) Read(tableName, key string) ([]byte, bool) {
+	return e.ReadIn(nil, tableName, key)
+}
+
+// ReadIn is Read running on a simulated process (paged engines may fetch
+// the page from the device).
+func (e *Engine) ReadIn(p *sim.Proc, tableName, key string) ([]byte, bool) {
 	tab, ok := e.tables[tableName]
 	if !ok {
 		return nil, false
+	}
+	if tab.tree != nil {
+		it, found, err := tab.tree.Get(p, key)
+		if err != nil {
+			e.pagedFault(p, fmt.Errorf("db: read %q/%q: %w", tableName, key, err))
+			return nil, false
+		}
+		if !found || it.Tomb {
+			return nil, false
+		}
+		return it.Val, true
 	}
 	r, ok := tab.rows[key]
 	if !ok || r.val == nil {
@@ -551,8 +644,29 @@ func decodeWrites(buf []byte) ([]writeOp, error) {
 	return out, nil
 }
 
-// ApplyRecord replays one redo record (recovery and secondary apply).
+// ControlOpMark is the lowest redo-op-count value reserved for control
+// payloads riding the WAL: no real transaction carries that many ops, so
+// the first two payload bytes distinguish redo records from 2PC control
+// records (0xFFFF, owned by internal/shard) and checkpoint records
+// (0xFFFE, owned by internal/ckpt). Replay skips anything in the range —
+// control records describe protocol state, not row contents.
+const ControlOpMark = 0xFFFE
+
+// IsControlPayload reports whether a WAL record payload is a control
+// record rather than a redo write set.
+func IsControlPayload(payload []byte) bool {
+	return len(payload) >= 2 && binary.LittleEndian.Uint16(payload) >= ControlOpMark
+}
+
+// ApplyRecord replays one redo record (recovery and secondary apply);
+// control records are skipped.
 func (e *Engine) ApplyRecord(r wal.Record) error {
+	if e.paged != nil {
+		return e.ApplyRecordIn(nil, r)
+	}
+	if IsControlPayload(r.Payload) {
+		return nil
+	}
 	ws, err := decodeWrites(r.Payload)
 	if err != nil {
 		return fmt.Errorf("db: apply tx %d: %w", r.TxID, err)
@@ -576,8 +690,16 @@ func (e *Engine) Recover(records []wal.Record) error {
 
 // Fingerprint folds every table's contents into a deterministic hash, for
 // equivalence checks between a recovered or replicated engine and its
-// source. (FNV-1a over sorted rows.)
-func (e *Engine) Fingerprint() uint64 {
+// source. (FNV-1a over sorted rows.) Paged engines delegate to
+// FingerprintIn with no process — fine when pages are memory-backed or
+// resident; use FingerprintIn from a process otherwise.
+func (e *Engine) Fingerprint() uint64 { return e.FingerprintIn(nil) }
+
+// FingerprintIn is Fingerprint running on a simulated process (paged
+// engines walk every table's tree, which may fetch pages). The hash is
+// identical across engine modes: a paged engine holding the same rows as
+// an in-memory one fingerprints to the same value.
+func (e *Engine) FingerprintIn(p *sim.Proc) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
@@ -591,6 +713,20 @@ func (e *Engine) Fingerprint() uint64 {
 	}
 	for _, n := range e.Tables() {
 		tab := e.tables[n]
+		mix([]byte(n))
+		if tab.tree != nil {
+			err := tab.tree.Scan(p, func(k string, it btree.Item) bool {
+				if !it.Tomb {
+					mix([]byte(k))
+					mix(it.Val)
+				}
+				return true
+			})
+			if err != nil {
+				e.pagedFault(p, fmt.Errorf("db: fingerprint %q: %w", n, err))
+			}
+			continue
+		}
 		keys := make([]string, 0, len(tab.rows))
 		for k := range tab.rows {
 			if tab.rows[k].val != nil {
@@ -598,7 +734,6 @@ func (e *Engine) Fingerprint() uint64 {
 			}
 		}
 		sort.Strings(keys)
-		mix([]byte(n))
 		for _, k := range keys {
 			mix([]byte(k))
 			mix(tab.rows[k].val)

@@ -225,7 +225,7 @@ func (c *Client) newOrder(p *sim.Proc) error {
 	olCnt := c.rng.Intn(11) + 5
 	rollback := c.rng.Intn(100) == 0 // 1% pick an unused item id
 
-	tx := c.eng.Begin()
+	tx := c.eng.BeginP(p)
 	wRow, ok := tx.GetIn(c.tabs.warehouse, WKey(w))
 	if !ok {
 		tx.Abort()
@@ -318,7 +318,7 @@ func (c *Client) payment(p *sim.Proc) error {
 	}
 	amount := int64(c.rng.Intn(499900) + 100)
 
-	tx := c.eng.Begin()
+	tx := c.eng.BeginP(p)
 	wRow, ok := tx.GetIn(c.tabs.warehouse, WKey(w))
 	if !ok {
 		tx.Abort()
@@ -386,7 +386,7 @@ func (c *Client) selectCustomer(tx *db.Tx, w, d int) (int, error) {
 func (c *Client) orderStatus(p *sim.Proc) error {
 	w := c.home
 	d := c.rng.Intn(c.cfg.Districts) + 1
-	tx := c.eng.Begin()
+	tx := c.eng.BeginP(p)
 	cid, err := c.selectCustomer(tx, w, d)
 	if err != nil {
 		tx.Abort()
@@ -425,7 +425,7 @@ func (c *Client) orderStatus(p *sim.Proc) error {
 func (c *Client) delivery(p *sim.Proc) error {
 	w := c.home
 	carrier := int64(c.rng.Intn(10) + 1)
-	tx := c.eng.Begin()
+	tx := c.eng.BeginP(p)
 	for d := 1; d <= c.cfg.Districts; d++ {
 		dRow, ok := tx.GetIn(c.tabs.district, DKey(w, d))
 		if !ok {
@@ -488,7 +488,7 @@ func (c *Client) stockLevel(p *sim.Proc) error {
 	w := c.home
 	d := c.rng.Intn(c.cfg.Districts) + 1
 	threshold := int64(c.rng.Intn(11) + 10)
-	tx := c.eng.Begin()
+	tx := c.eng.BeginP(p)
 	dRow, ok := tx.GetIn(c.tabs.district, DKey(w, d))
 	if !ok {
 		tx.Abort()

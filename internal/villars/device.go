@@ -402,6 +402,36 @@ func (d *Device) Destage() *destageModule { return d.fs.destage }
 // Transport returns the transport module.
 func (d *Device) Transport() *transportModule { return d.transport }
 
+// HostMemory returns the host DMA memory the conventional side reads
+// commands' payloads from and writes completions' data into.
+func (d *Device) HostMemory() *pcie.HostMemory { return d.host }
+
+// ControllerStats returns the host-interface controller's cumulative
+// command counts (reads, writes, flushes, admins, errors). The error
+// count includes background cache writes the controller dropped after
+// acknowledging the command — durability protocols must check its delta
+// across a flush.
+func (d *Device) ControllerStats() (reads, writes, flushes, admins, errors int64) {
+	return d.ctrl.Stats()
+}
+
+// AllocLBARange reserves count conventional-side blocks above every
+// destage ring (and any earlier reservation) and returns the first LBA.
+// The range is the caller's to read and write through the normal NVMe
+// path — the paged table store places its page slots here.
+func (d *Device) AllocLBARange(count int64) (int64, error) {
+	if count <= 0 {
+		return 0, fmt.Errorf("villars: LBA range: count %d must be positive", count)
+	}
+	if d.vfLBAUsed+count > d.ftl.LogicalPages() {
+		return 0, fmt.Errorf("villars: LBA range: %d blocks requested, %d free above LBA %d",
+			count, d.ftl.LogicalPages()-d.vfLBAUsed, d.vfLBAUsed)
+	}
+	base := d.vfLBAUsed
+	d.vfLBAUsed += count
+	return base, nil
+}
+
 // controlTarget adapts one fast side's register file to pcie.Target.
 type controlTarget struct {
 	fs *fastSide

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"xssd/internal/fault"
@@ -228,6 +229,21 @@ func (l *Log) Commit(p *sim.Proc, r Record) int64 {
 // Backlog returns the number of appended-but-not-yet-durable bytes (the
 // fill level of the in-memory log buffer).
 func (l *Log) Backlog() int64 { return l.bufStart + int64(len(l.buf)) - l.durableLSN }
+
+// AppendedLSN returns the append frontier: the LSN just past the last
+// appended record. A checkpoint captures it as its start LSN — every
+// record below it is covered by the checkpoint's page images, every
+// record at or above it belongs to the replay tail.
+func (l *Log) AppendedLSN() int64 { return l.bufStart + int64(len(l.buf)) }
+
+// TailRecords returns the suffix of rs whose records start at or after
+// from — the tail-replay cursor for recovery from a checkpoint. rs must
+// be in stream order with LSNs set (DecodeAll's output qualifies);
+// records never straddle an append frontier, so the cut is exact.
+func TailRecords(rs []Record, from int64) []Record {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].LSN >= from })
+	return rs[i:]
+}
 
 // WaitBacklog blocks while the backlog exceeds max — the pipelined-commit
 // back-pressure: a worker may run ahead of durability only by a bounded
